@@ -1,0 +1,47 @@
+//! Boundary machinery throughput: Algorithm-1 inference (filter on/off),
+//! golden-boundary construction, and whole-space prediction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftb_core::prelude::*;
+use ftb_kernels::{StencilConfig, StencilKernel};
+
+fn benches(c: &mut Criterion) {
+    let kernel = StencilKernel::new(StencilConfig {
+        grid: 8,
+        sweeps: 4,
+        ..StencilConfig::small()
+    });
+    let analysis = Analysis::new(&kernel, Classifier::new(1e-6));
+    let samples = analysis.sample_uniform(0.10, 5);
+    let truth = analysis.exhaustive();
+    let boundary = analysis.golden_boundary(&truth);
+
+    let mut group = c.benchmark_group("boundary");
+    group.sample_size(15);
+
+    group.bench_function("infer_no_filter", |b| {
+        b.iter(|| analysis.infer(&samples, FilterMode::Off));
+    });
+
+    group.bench_function("infer_per_site_filter", |b| {
+        b.iter(|| analysis.infer(&samples, FilterMode::PerSite));
+    });
+
+    group.bench_function("golden_boundary", |b| {
+        b.iter(|| analysis.golden_boundary(&truth));
+    });
+
+    group.bench_function("predict_whole_space", |b| {
+        let predictor = analysis.predictor(&boundary);
+        b.iter(|| predictor.overall_sdc_ratio(None));
+    });
+
+    group.bench_function("evaluate_against_truth", |b| {
+        b.iter(|| analysis.evaluate(&boundary, &truth));
+    });
+
+    group.finish();
+}
+
+criterion_group!(boundary, benches);
+criterion_main!(boundary);

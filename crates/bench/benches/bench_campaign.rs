@@ -1,0 +1,51 @@
+//! Campaign throughput: single experiments, batches, and the exhaustive
+//! sweep on a small kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftb_inject::{Classifier, Injector};
+use ftb_kernels::{MatvecConfig, MatvecKernel, StencilConfig, StencilKernel};
+use ftb_trace::FaultSpec;
+
+fn benches(c: &mut Criterion) {
+    let stencil = StencilKernel::new(StencilConfig {
+        grid: 8,
+        sweeps: 4,
+        ..StencilConfig::small()
+    });
+    let inj = Injector::new(&stencil, Classifier::new(1e-6));
+
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(20);
+
+    group.bench_function("run_one", |b| {
+        b.iter(|| inj.run_one(50, 30));
+    });
+
+    group.bench_function("run_one_traced", |b| {
+        b.iter(|| inj.run_one_traced(50, 10));
+    });
+
+    let faults: Vec<FaultSpec> = (0..64)
+        .map(|i| FaultSpec {
+            site: i * 4,
+            bit: 20,
+        })
+        .collect();
+    group.bench_function("run_many_64", |b| {
+        b.iter(|| inj.run_many(&faults));
+    });
+
+    let tiny = MatvecKernel::new(MatvecConfig {
+        n: 4,
+        ..MatvecConfig::small()
+    });
+    let tiny_inj = Injector::new(&tiny, Classifier::new(1e-6));
+    group.bench_function("exhaustive_matvec4", |b| {
+        b.iter(|| tiny_inj.exhaustive());
+    });
+
+    group.finish();
+}
+
+criterion_group!(campaign, benches);
+criterion_main!(campaign);

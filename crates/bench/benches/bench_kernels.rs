@@ -1,0 +1,55 @@
+//! Kernel execution throughput: untraced vs golden-recording vs
+//! fault-injected runs. The golden/untraced gap is the instrumentation
+//! overhead discussed in the paper's §5 ("Overhead").
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ftb_kernels::{
+    CgConfig, CgKernel, FftConfig, FftKernel, Kernel, LuConfig, LuKernel, StencilConfig,
+    StencilKernel,
+};
+use ftb_trace::{FaultSpec, RecordMode};
+
+fn bench_kernel(c: &mut Criterion, name: &str, kernel: &dyn Kernel) {
+    let mut group = c.benchmark_group(format!("kernels/{name}"));
+    group.sample_size(20);
+
+    group.bench_function("untraced", |b| {
+        b.iter(|| kernel.run_untraced());
+    });
+    group.bench_function("golden", |b| {
+        b.iter_batched(|| (), |_| kernel.golden(), BatchSize::SmallInput);
+    });
+    group.bench_function("inject_output_only", |b| {
+        b.iter(|| kernel.run_injected(FaultSpec { site: 10, bit: 20 }, RecordMode::OutputOnly));
+    });
+    group.bench_function("inject_full_trace", |b| {
+        b.iter(|| kernel.run_injected(FaultSpec { site: 10, bit: 20 }, RecordMode::Full));
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_kernel(c, "cg", &CgKernel::new(CgConfig::small()));
+    bench_kernel(
+        c,
+        "lu",
+        &LuKernel::new(LuConfig {
+            n: 16,
+            block: 4,
+            ..LuConfig::small()
+        }),
+    );
+    bench_kernel(
+        c,
+        "fft",
+        &FftKernel::new(FftConfig {
+            n1: 8,
+            n2: 8,
+            ..FftConfig::small()
+        }),
+    );
+    bench_kernel(c, "stencil", &StencilKernel::new(StencilConfig::small()));
+}
+
+criterion_group!(kernels, benches);
+criterion_main!(kernels);

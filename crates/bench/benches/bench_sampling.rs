@@ -1,0 +1,56 @@
+//! Sampling machinery throughput: uniform and weighted
+//! without-replacement draws, SampleSet bookkeeping, and a full adaptive
+//! loop on a small kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ftb_core::prelude::*;
+use ftb_kernels::{MatvecConfig, MatvecKernel};
+use ftb_stats::sampling::{
+    sample_weighted_without_replacement, sample_without_replacement, seeded_rng,
+};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(20);
+
+    group.bench_function("uniform_wor_1k_of_100k", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(1);
+            sample_without_replacement(black_box(100_000), black_box(1000), &mut rng)
+        });
+    });
+
+    let weights: Vec<f64> = (0..100_000)
+        .map(|i| 1.0 / (1.0 + (i % 67) as f64))
+        .collect();
+    group.bench_function("weighted_wor_1k_of_100k", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(1);
+            sample_weighted_without_replacement(black_box(&weights), 1000, &mut rng)
+        });
+    });
+
+    let kernel = MatvecKernel::new(MatvecConfig {
+        n: 8,
+        ..MatvecConfig::small()
+    });
+    let analysis = Analysis::new(&kernel, Classifier::new(1e-6));
+
+    group.bench_function("sample_sites_10", |b| {
+        b.iter(|| SampleSet::sample_sites(analysis.injector(), 10, 3));
+    });
+
+    group.bench_function("adaptive_loop_matvec8", |b| {
+        b.iter(|| {
+            analysis.adaptive(&AdaptiveConfig {
+                seed: 3,
+                ..Default::default()
+            })
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(sampling, benches);
+criterion_main!(sampling);

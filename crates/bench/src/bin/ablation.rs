@@ -1,0 +1,131 @@
+//! Ablations over the design choices called out in DESIGN.md:
+//!
+//! 1. filter operation: off vs per-site vs global scope;
+//! 2. adaptive bias term `p_i ∝ 1/S_i` vs uniform progressive sampling;
+//! 3. crash-aware prediction vs the paper's plain assume-SDC;
+//! 4. all-bits-per-sampled-site (the paper's §4.4 semantics) vs
+//!    one-bit-per-site at the same experiment budget.
+//!
+//! Usage: `cargo run --release -p ftb-bench --bin ablation`
+
+use ftb_bench::{exhaustive_cached, paper_suite, Scale};
+use ftb_core::prelude::*;
+use ftb_report::Table;
+
+fn main() {
+    let scale = Scale::from_args();
+    let suite = paper_suite(scale);
+    // CG is the benchmark where the design choices matter most
+    // (non-monotonic, crash-prone); run every ablation on it, and the
+    // filter-scope ablation on all three.
+    let b = &suite[0];
+    let kernel = b.build();
+    let analysis = Analysis::new(kernel.as_ref(), b.classifier());
+    let truth = exhaustive_cached(b, analysis.injector());
+
+    // --- 1. filter scope, all benchmarks, 10% sampling -----------------
+    println!("\n=== ablation 1: filter operation scope (10% sampling) ===");
+    let mut t = Table::new(&["bench", "mode", "precision", "recall"]);
+    for bench in &suite {
+        let k = bench.build();
+        let a = Analysis::new(k.as_ref(), bench.classifier());
+        let tr = exhaustive_cached(bench, a.injector());
+        let samples = a.sample_uniform(0.10, 21);
+        for (label, mode) in [
+            ("off", FilterMode::Off),
+            ("per-site", FilterMode::PerSite),
+            ("global", FilterMode::Global),
+        ] {
+            let inf = a.infer(&samples, mode);
+            let eval = a.evaluate(&inf.boundary, &tr);
+            t.row(&[
+                bench.name.to_string(),
+                label.to_string(),
+                format!("{:.2}%", eval.precision * 100.0),
+                format!("{:.2}%", eval.recall * 100.0),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!(
+        "(filtering trades recall for precision; the global scope is the aggressive end \
+         of that trade — only CG, the non-monotonic benchmark, is sensitive at all)"
+    );
+
+    // --- 2. adaptive bias term -----------------------------------------
+    println!("\n=== ablation 2: adaptive bias p_i ∝ 1/S_i vs uniform (CG) ===");
+    let mut t = Table::new(&[
+        "variant",
+        "experiments",
+        "rounds",
+        "predicted SDC",
+        "golden",
+    ]);
+    for (label, bias) in [("biased (paper)", true), ("uniform rounds", false)] {
+        let cfg = AdaptiveConfig {
+            bias,
+            seed: 17,
+            ..Default::default()
+        };
+        let res = analysis.adaptive(&cfg);
+        let pred = analysis
+            .profile(&res.inference.boundary, &truth, Some(&res.samples))
+            .overall()
+            .1;
+        t.row(&[
+            label.to_string(),
+            res.samples.len().to_string(),
+            res.rounds.len().to_string(),
+            format!("{:.2}%", pred * 100.0),
+            format!("{:.2}%", truth.overall_sdc_ratio() * 100.0),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // --- 3. crash-aware prediction --------------------------------------
+    println!("\n=== ablation 3: crash-aware prediction (CG, 5% sampling) ===");
+    let samples = analysis.sample_uniform(0.05, 33);
+    let inf = analysis.infer(&samples, FilterMode::PerSite);
+    let aware = analysis.predictor(&inf.boundary);
+    let naive = aware.without_crash_prediction();
+    let mut t = Table::new(&["variant", "predicted SDC", "golden SDC"]);
+    for (label, p) in [("crash-aware", &aware), ("assume-SDC (paper)", &naive)] {
+        t.row(&[
+            label.to_string(),
+            format!("{:.2}%", p.overall_sdc_ratio(Some(&samples)) * 100.0),
+            format!("{:.2}%", truth.overall_sdc_ratio() * 100.0),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // --- 4. sampling semantics at equal budget --------------------------
+    println!("\n=== ablation 4: all-bits-per-site vs one-bit-per-site (CG, equal budget) ===");
+    let bits = usize::from(analysis.golden().precision.bits());
+    let n_sites_sampled = (analysis.n_sites() as f64 * 0.01).round() as usize;
+    let budget = n_sites_sampled * bits;
+    let all_bits = SampleSet::sample_sites(analysis.injector(), n_sites_sampled, 5);
+    let one_bit =
+        SampleSet::sample_sites_one_bit(analysis.injector(), budget.min(analysis.n_sites()), 5);
+    let mut t = Table::new(&[
+        "variant",
+        "experiments",
+        "sites touched",
+        "precision",
+        "recall",
+    ]);
+    for (label, s) in [
+        ("all bits (paper §4.4)", &all_bits),
+        ("one bit per site", &one_bit),
+    ] {
+        let inf = analysis.infer(s, FilterMode::PerSite);
+        let eval = analysis.evaluate(&inf.boundary, &truth);
+        t.row(&[
+            label.to_string(),
+            s.len().to_string(),
+            s.distinct_sites().to_string(),
+            format!("{:.2}%", eval.precision * 100.0),
+            format!("{:.2}%", eval.recall * 100.0),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,69 @@
+//! Tolerance/size calibration helper.
+//!
+//! Runs the exhaustive campaign for each suite kernel across a ladder of
+//! candidate tolerances and prints the resulting outcome mix, plus basic
+//! size/timing data — the evidence behind the calibrated `*_TOLERANCE`
+//! constants in `ftb_bench::suite`.
+//!
+//! Usage:
+//! `cargo run --release -p ftb-bench --bin calibrate [-- --bench NAME] [-- --tols 1e-1,1e-2,...]`
+
+use ftb_bench::{paper_suite, Scale};
+use ftb_inject::{Classifier, Injector};
+use ftb_report::Table;
+use std::time::Instant;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let only = arg_value("--bench");
+    let tols: Vec<f64> = arg_value("--tols")
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.parse().expect("bad tolerance"))
+                .collect()
+        })
+        .unwrap_or_else(|| (1..=9).map(|e| 10f64.powi(-e)).collect());
+    let suite = paper_suite(Scale::Laptop);
+    for b in &suite {
+        if let Some(ref o) = only {
+            if !b.name.eq_ignore_ascii_case(o) {
+                continue;
+            }
+        }
+        let kernel = b.build();
+        let golden = kernel.golden();
+        println!(
+            "\n=== {} ({}) — {} sites × {} bits = {} experiments, golden trace {:.1} KiB ===",
+            b.name,
+            b.origin,
+            golden.n_sites(),
+            golden.precision.bits(),
+            golden.n_experiments(),
+            golden.memory_bytes() as f64 / 1024.0
+        );
+
+        let mut table = Table::new(&["tolerance", "masked", "SDC", "crash", "SDC ratio", "secs"]);
+        for &tol in &tols {
+            let inj = Injector::with_golden(kernel.as_ref(), golden.clone(), Classifier::new(tol));
+            let t0 = Instant::now();
+            let ex = inj.exhaustive();
+            let secs = t0.elapsed().as_secs_f64();
+            let (m, s, c) = ex.counts();
+            table.row(&[
+                format!("{tol:.1e}"),
+                m.to_string(),
+                s.to_string(),
+                c.to_string(),
+                format!("{:.2}%", ex.overall_sdc_ratio() * 100.0),
+                format!("{secs:.2}"),
+            ]);
+        }
+        print!("{}", table.render());
+    }
+}

@@ -1,0 +1,62 @@
+//! Diagnostic: per-static-instruction ΔSDC breakdown for CG (not part of
+//! the paper's artifact set; used to validate the reproduction).
+
+use ftb_bench::{exhaustive_cached, paper_suite, Scale};
+use ftb_core::prelude::*;
+use ftb_report::Table;
+
+fn main() {
+    let b = &paper_suite(Scale::Laptop)[0];
+    let kernel = b.build();
+    let analysis = Analysis::new(kernel.as_ref(), b.classifier());
+    let truth = exhaustive_cached(b, analysis.injector());
+    let boundary = analysis.golden_boundary(&truth);
+    let profile = analysis.profile(&boundary, &truth, None);
+    let delta = profile.delta();
+    let golden = analysis.golden();
+    let registry = kernel.registry();
+
+    // aggregate by static instruction
+    let n_static = registry.len();
+    let mut count = vec![0usize; n_static];
+    let mut over = vec![0usize; n_static];
+    let mut sum_delta = vec![0.0f64; n_static];
+    let mut sum_golden = vec![0.0f64; n_static];
+    let mut sum_pred = vec![0.0f64; n_static];
+    for (site, &d) in delta.iter().enumerate() {
+        let sid = golden.static_id(site).index();
+        count[sid] += 1;
+        sum_delta[sid] += d;
+        sum_golden[sid] += profile.golden[site];
+        sum_pred[sid] += profile.predicted[site];
+        if d < -1e-9 {
+            over[sid] += 1;
+        }
+    }
+
+    let mut t = Table::new(&[
+        "static",
+        "region",
+        "sites",
+        "over%",
+        "mean ΔSDC",
+        "golden",
+        "pred",
+    ]);
+    for (id, instr) in registry.iter() {
+        let i = id.index();
+        if count[i] == 0 {
+            continue;
+        }
+        t.row(&[
+            instr.name.to_string(),
+            instr.region.label().to_string(),
+            count[i].to_string(),
+            format!("{:.1}%", over[i] as f64 / count[i] as f64 * 100.0),
+            format!("{:+.3}%", sum_delta[i] / count[i] as f64 * 100.0),
+            format!("{:.2}%", sum_golden[i] / count[i] as f64 * 100.0),
+            format!("{:.2}%", sum_pred[i] / count[i] as f64 * 100.0),
+        ]);
+    }
+    print!("{}", t.render());
+}

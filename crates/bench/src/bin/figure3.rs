@@ -1,0 +1,84 @@
+//! **Figure 3** — histograms of `ΔSDC = Golden_SDC − Approx_SDC` per
+//! dynamic instruction, where the approximation comes from the boundary
+//! built out of the exhaustive campaign (§4.1).
+//!
+//! Paper findings: the mass sits at ΔSDC = 0; 10.7% (LU) and 9.3% (CG)
+//! of sites show non-monotonic behaviour whose SDC ratio the boundary
+//! *overestimates* by ~1.5% (a small tail up to 3–14%); FFT is exact.
+//!
+//! Usage: `cargo run --release -p ftb-bench --bin figure3 [-- --paper-scale]`
+//! CSV series are written to `target/ftb-figures/figure3-<name>.csv`.
+
+use ftb_bench::{exhaustive_cached, paper_suite, Scale};
+use ftb_core::prelude::*;
+use ftb_report::{render_histogram, Series};
+use ftb_stats::Histogram;
+use std::path::PathBuf;
+
+fn main() {
+    let scale = Scale::from_args();
+    for b in &paper_suite(scale) {
+        let kernel = b.build();
+        let analysis = Analysis::new(kernel.as_ref(), b.classifier());
+        let truth = exhaustive_cached(b, analysis.injector());
+        let boundary = analysis.golden_boundary(&truth);
+        // the paper-style construction: prediction from the thresholds
+        // alone (finite-error crashes count as assumed SDC)
+        let profile = analysis.profile(&boundary, &truth, None);
+        let delta = profile.delta();
+        // ablation: crash outcomes treated as known campaign data
+        let crashes = crash_known_set(analysis.golden(), &truth);
+        let delta_ck = analysis.profile(&boundary, &truth, Some(&crashes)).delta();
+
+        // histogram over ΔSDC (paper-style)
+        let mut h = Histogram::new(-0.25, 0.25, 50);
+        h.extend(&delta);
+
+        let stats = |d: &[f64]| {
+            let over = d.iter().filter(|&&x| x < -1e-9).count();
+            let under = d.iter().filter(|&&x| x > 1e-9).count();
+            let mean_over = if over > 0 {
+                -d.iter().filter(|&&x| x < -1e-9).sum::<f64>() / over as f64
+            } else {
+                0.0
+            };
+            (over, under, mean_over)
+        };
+        let (over, under, mean_over) = stats(&delta);
+        let (over_ck, _, mean_over_ck) = stats(&delta_ck);
+
+        println!(
+            "\n=== Figure 3 — {} (ΔSDC = golden − approx, per site) ===",
+            b.name
+        );
+        println!(
+            "sites: {}   exact: {:.1}%   overestimated: {:.1}% (mean {:.2}%)   underestimated: {:.1}%",
+            delta.len(),
+            profile.exact_fraction(1e-9) * 100.0,
+            over as f64 / delta.len() as f64 * 100.0,
+            mean_over * 100.0,
+            under as f64 / delta.len() as f64 * 100.0,
+        );
+        println!(
+            "crash-known ablation: overestimated {:.1}% (mean {:.2}%) — the tail is mostly \
+             finite-error crash confusion",
+            over_ck as f64 / delta.len() as f64 * 100.0,
+            mean_over_ck * 100.0,
+        );
+        print!("{}", render_histogram(&h, 50));
+
+        let mut series = Series::new(&["bin_center", "count"]);
+        for i in 0..h.bins() {
+            series.push(&[h.bin_center(i), h.counts()[i] as f64]);
+        }
+        let path = PathBuf::from(format!(
+            "target/ftb-figures/figure3-{}.csv",
+            b.name.to_lowercase()
+        ));
+        series.write_csv(&path).expect("write csv");
+        println!("csv: {}", path.display());
+    }
+    println!(
+        "\npaper: LU 10.7% and CG 9.3% of sites non-monotonic, overestimated ~1.5%; FFT exact"
+    );
+}

@@ -1,0 +1,69 @@
+//! **Table 2** — prediction precision, recall and uncertainty of the
+//! inference method at a 1% sampling rate, mean ± std over 10 trials.
+//!
+//! Paper values: CG 98.64%±0.2 / 94.31%±1.6 / 98.4%±0.8;
+//! LU 99.9%±0.01 / 84.58%±0.9 / 99.9%±0.05; FFT 100% / 77.2%±0.19 / 100%.
+//!
+//! Usage: `cargo run --release -p ftb-bench --bin table2`
+//! Flags: `--rate 0.01`, `--trials 10`, `--no-filter`, `--paper-scale`.
+
+use ftb_bench::{exhaustive_cached, paper_suite, Scale};
+use ftb_core::prelude::*;
+use ftb_report::Table;
+use ftb_stats::Summary;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let rate: f64 = arg_value("--rate")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(0.01);
+    let trials: usize = arg_value("--trials")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(10);
+    let filter = if std::env::args().any(|a| a == "--no-filter") {
+        FilterMode::Off
+    } else {
+        FilterMode::PerSite
+    };
+    let scale = Scale::from_args();
+
+    let mut table = Table::new(&["Name", "Precision", "Recall", "Uncertainty"]);
+    for b in &paper_suite(scale) {
+        let kernel = b.build();
+        let analysis = Analysis::new(kernel.as_ref(), b.classifier());
+        let truth = exhaustive_cached(b, analysis.injector());
+
+        let (mut ps, mut rs, mut us) = (Vec::new(), Vec::new(), Vec::new());
+        for trial in 0..trials {
+            let samples = analysis.sample_uniform(rate, 1000 + trial as u64);
+            let inf = analysis.infer(&samples, filter);
+            let eval = analysis.evaluate(&inf.boundary, &truth);
+            ps.push(eval.precision);
+            rs.push(eval.recall);
+            us.push(analysis.uncertainty(&inf.boundary, &samples));
+        }
+        table.row(&[
+            b.name.to_string(),
+            Summary::of(&ps).pct(2),
+            Summary::of(&rs).pct(2),
+            Summary::of(&us).pct(2),
+        ]);
+    }
+
+    println!(
+        "\nTable 2: inference performance at {:.1}% sampling, {} trials (filter: {:?})\n",
+        rate * 100.0,
+        trials,
+        filter
+    );
+    print!("{}", table.render());
+    println!("\npaper: CG 98.64%±0.2 / 94.31%±1.6 / 98.4%±0.8");
+    println!("       LU 99.9%±0.01 / 84.58%±0.9 / 99.9%±0.05");
+    println!("       FFT 100% / 77.2%±0.19 / 100%");
+}

@@ -1,0 +1,58 @@
+//! **Table 3** — the adaptive sampling method (§3.4): final sample size
+//! and predicted SDC ratio, mean ± std over 10 trials.
+//!
+//! Paper values: CG 8.2% golden, 1.09%±0.2 samples, 5.3%±0.7 predicted;
+//! LU 35.89%, 4.82%±0.4, 36.1%±0.1; FFT 7.83%, 10.2%±0.04, 9.2%±0.08.
+//!
+//! Usage: `cargo run --release -p ftb-bench --bin table3 [-- --trials N]`
+
+use ftb_bench::{exhaustive_cached, paper_suite, Scale};
+use ftb_core::prelude::*;
+use ftb_report::Table;
+use ftb_stats::Summary;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let trials: usize = arg_value("--trials")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(10);
+    let scale = Scale::from_args();
+
+    let mut table = Table::new(&["Name", "SDC Ratio", "Sample Size", "Predict SDC Ratio"]);
+    for b in &paper_suite(scale) {
+        let kernel = b.build();
+        let analysis = Analysis::new(kernel.as_ref(), b.classifier());
+        let truth = exhaustive_cached(b, analysis.injector());
+        let golden_sdc = truth.overall_sdc_ratio();
+
+        let (mut sizes, mut preds) = (Vec::new(), Vec::new());
+        for trial in 0..trials {
+            let cfg = AdaptiveConfig {
+                seed: 5000 + trial as u64,
+                ..AdaptiveConfig::default()
+            };
+            let res = analysis.adaptive(&cfg);
+            sizes.push(res.samples.rate(analysis.n_sites()));
+            let profile = analysis.profile(&res.inference.boundary, &truth, Some(&res.samples));
+            preds.push(profile.overall().1);
+        }
+        table.row(&[
+            b.name.to_string(),
+            format!("{:.2}%", golden_sdc * 100.0),
+            Summary::of(&sizes).pct(2),
+            Summary::of(&preds).pct(2),
+        ]);
+    }
+
+    println!("\nTable 3: adaptive sampling, {trials} trials (sample size = experiments / sites)\n");
+    print!("{}", table.render());
+    println!("\npaper: CG 8.2% / 1.09%±0.2 / 5.3%±0.7");
+    println!("       LU 35.89% / 4.82%±0.4 / 36.1%±0.1");
+    println!("       FFT 7.83% / 10.2%±0.04 / 9.2%±0.08");
+}

@@ -1,0 +1,312 @@
+//! Flag parsing for the `ftb` CLI (hand-rolled; the workspace's offline
+//! dependency set has no argument-parsing crate, and the surface is
+//! small enough not to need one).
+
+use ftb_kernels::{
+    CgConfig, CgStorage, FftConfig, GemmConfig, JacobiConfig, KernelConfig, LuConfig, MatvecConfig,
+    SpmvConfig, StencilConfig,
+};
+use ftb_trace::Precision;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Usage text printed on parse errors and `ftb help`.
+pub const USAGE: &str = "\
+ftb — fault tolerance boundary analysis (PPoPP'21 reproduction)
+
+USAGE:
+    ftb <command> --kernel <cg|lu|fft|stencil|matvec|spmv|gemm|jacobi> [options]
+
+COMMANDS:
+    golden       record the golden run and print its statistics
+    campaign     uniform Monte-Carlo fault-injection campaign
+    exhaustive   exhaustive campaign (every bit of every site)
+    analyze      sample uniformly, infer the boundary, self-verify
+    adaptive     adaptive progressive sampling (paper §3.4)
+    report       per-static-instruction / per-region vulnerability table
+    protect      selective-protection plan from the inferred boundary
+    help         print this text
+
+KERNEL OPTIONS (defaults in parentheses):
+    --kernel NAME          kernel to analyse (required)
+    --grid N               cg/stencil/spmv/jacobi grid dimension (8 / 12 / 10 / 6)
+    --csr                  cg only: assemble an explicit CSR matrix (MiniFE
+                           semantics; matrix entries become injectable)
+    --n N                  lu/matvec/gemm matrix dimension (16 / 24 / 12)
+    --block N              lu block size (4)
+    --n1 N --n2 N          fft factorisation (16 x 16)
+    --sweeps N             stencil sweeps (8)
+    --f32                  32-bit data elements (default for cg)
+    --f64                  64-bit data elements
+    --seed N               input/sampling seed (42)
+
+ANALYSIS OPTIONS:
+    --tolerance T          output tolerance, L-inf (1e-6)
+    --rate R               sampling rate for analyze (0.01)
+    --samples N            experiment count for campaign (1000)
+    --filter MODE          off | per-site | global (per-site)
+    --json PATH            also write results as JSON
+";
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Subcommand name.
+    pub command: String,
+    /// Kernel configuration assembled from the flags.
+    pub kernel: KernelConfig,
+    /// Output tolerance `T`.
+    pub tolerance: f64,
+    /// Sampling rate for `analyze`.
+    pub rate: f64,
+    /// Experiment count for `campaign`.
+    pub samples: u64,
+    /// Filter mode string (validated in the command layer).
+    pub filter: String,
+    /// Seed.
+    pub seed: u64,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parse raw arguments (excluding the program name).
+pub fn parse(raw: &[String]) -> Result<Args, CliError> {
+    let command = raw
+        .first()
+        .ok_or_else(|| err("missing command"))?
+        .to_string();
+    if command == "help" || command == "--help" || command == "-h" {
+        return Err(err("help requested"));
+    }
+    const COMMANDS: [&str; 7] = [
+        "golden",
+        "campaign",
+        "exhaustive",
+        "analyze",
+        "adaptive",
+        "report",
+        "protect",
+    ];
+    if !COMMANDS.contains(&command.as_str()) {
+        return Err(err(format!("unknown command '{command}'")));
+    }
+
+    // collect --key value / --flag pairs
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut i = 1;
+    while i < raw.len() {
+        let key = raw[i]
+            .strip_prefix("--")
+            .ok_or_else(|| err(format!("expected a --flag, got '{}'", raw[i])))?;
+        let boolean = matches!(key, "f32" | "f64" | "csr");
+        if boolean {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+        } else {
+            let value = raw
+                .get(i + 1)
+                .ok_or_else(|| err(format!("--{key} needs a value")))?;
+            flags.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+    }
+
+    let get_usize = |k: &str, default: usize| -> Result<usize, CliError> {
+        match flags.get(k) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{k}: bad integer '{v}'"))),
+        }
+    };
+    let get_f64 = |k: &str, default: f64| -> Result<f64, CliError> {
+        match flags.get(k) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{k}: bad number '{v}'"))),
+        }
+    };
+
+    let seed = get_usize("seed", 42)? as u64;
+    let kernel_name = flags
+        .get("kernel")
+        .ok_or_else(|| err("--kernel is required"))?
+        .as_str();
+
+    let precision = if flags.contains_key("f32") {
+        Some(Precision::F32)
+    } else if flags.contains_key("f64") {
+        Some(Precision::F64)
+    } else {
+        None
+    };
+
+    let kernel = match kernel_name {
+        "cg" => {
+            let grid = get_usize("grid", 8)?;
+            KernelConfig::Cg(CgConfig {
+                grid,
+                rtol: get_f64("rtol", 1e-4)?,
+                max_iters: get_usize("max-iters", 4 * grid * grid)?,
+                precision: precision.unwrap_or(Precision::F32),
+                seed,
+                storage: if flags.contains_key("csr") {
+                    CgStorage::AssembledCsr
+                } else {
+                    CgStorage::MatrixFree
+                },
+            })
+        }
+        "lu" => KernelConfig::Lu(LuConfig {
+            n: get_usize("n", 16)?,
+            block: get_usize("block", 4)?,
+            precision: precision.unwrap_or(Precision::F64),
+            seed,
+        }),
+        "fft" => KernelConfig::Fft(FftConfig {
+            n1: get_usize("n1", 16)?,
+            n2: get_usize("n2", 16)?,
+            precision: precision.unwrap_or(Precision::F64),
+            seed,
+        }),
+        "stencil" => KernelConfig::Stencil(StencilConfig {
+            grid: get_usize("grid", 12)?,
+            sweeps: get_usize("sweeps", 8)?,
+            precision: precision.unwrap_or(Precision::F64),
+            seed,
+        }),
+        "matvec" => KernelConfig::Matvec(MatvecConfig {
+            n: get_usize("n", 24)?,
+            precision: precision.unwrap_or(Precision::F64),
+            seed,
+        }),
+        "spmv" => KernelConfig::Spmv(SpmvConfig {
+            grid: get_usize("grid", 10)?,
+            precision: precision.unwrap_or(Precision::F64),
+            seed,
+        }),
+        "jacobi" => KernelConfig::Jacobi(JacobiConfig {
+            grid: get_usize("grid", 6)?,
+            sweeps: get_usize("sweeps", 30)?,
+            precision: precision.unwrap_or(Precision::F64),
+            seed,
+        }),
+        "gemm" => KernelConfig::Gemm(GemmConfig {
+            n: get_usize("n", 12)?,
+            precision: precision.unwrap_or(Precision::F64),
+            seed,
+        }),
+        other => return Err(err(format!("unknown kernel '{other}'"))),
+    };
+
+    Ok(Args {
+        command,
+        kernel,
+        tolerance: get_f64("tolerance", 1e-6)?,
+        rate: get_f64("rate", 0.01)?,
+        samples: get_usize("samples", 1000)? as u64,
+        filter: flags
+            .get("filter")
+            .cloned()
+            .unwrap_or_else(|| "per-site".into()),
+        seed,
+        json: flags.get("json").cloned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_minimal_analyze() {
+        let a = parse(&v(&["analyze", "--kernel", "cg"])).unwrap();
+        assert_eq!(a.command, "analyze");
+        assert!(matches!(a.kernel, KernelConfig::Cg(_)));
+        assert_eq!(a.rate, 0.01);
+        assert_eq!(a.filter, "per-site");
+    }
+
+    #[test]
+    fn parses_kernel_dimensions() {
+        let a = parse(&v(&[
+            "exhaustive",
+            "--kernel",
+            "fft",
+            "--n1",
+            "8",
+            "--n2",
+            "4",
+            "--tolerance",
+            "0.5",
+        ]))
+        .unwrap();
+        match a.kernel {
+            KernelConfig::Fft(f) => {
+                assert_eq!(f.n1, 8);
+                assert_eq!(f.n2, 4);
+            }
+            _ => panic!("wrong kernel"),
+        }
+        assert_eq!(a.tolerance, 0.5);
+    }
+
+    #[test]
+    fn precision_flags() {
+        let a = parse(&v(&["golden", "--kernel", "lu", "--f32"])).unwrap();
+        match a.kernel {
+            KernelConfig::Lu(l) => assert_eq!(l.precision, Precision::F32),
+            _ => panic!(),
+        }
+        let a = parse(&v(&["golden", "--kernel", "cg"])).unwrap();
+        match a.kernel {
+            KernelConfig::Cg(c) => assert_eq!(c.precision, Precision::F32),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn seed_feeds_kernel_config() {
+        let a = parse(&v(&["golden", "--kernel", "gemm", "--seed", "7"])).unwrap();
+        match a.kernel {
+            KernelConfig::Gemm(g) => assert_eq!(g.seed, 7),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_kernel() {
+        assert!(parse(&v(&["frobnicate", "--kernel", "cg"])).is_err());
+        assert!(parse(&v(&["golden", "--kernel", "quantum"])).is_err());
+        assert!(parse(&v(&["golden"])).is_err());
+        assert!(parse(&v(&[])).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_flags() {
+        assert!(parse(&v(&["golden", "kernel", "cg"])).is_err());
+        assert!(parse(&v(&["golden", "--kernel", "cg", "--grid"])).is_err());
+        assert!(parse(&v(&["golden", "--kernel", "cg", "--grid", "NaNa"])).is_err());
+    }
+}

@@ -1,0 +1,392 @@
+//! Command implementations. Each returns its report as a `String` so the
+//! commands are testable without capturing stdout.
+
+use crate::args::{Args, CliError};
+use ftb_core::prelude::*;
+use ftb_report::Table;
+use std::fmt::Write as _;
+
+fn filter_mode(name: &str) -> Result<FilterMode, CliError> {
+    match name {
+        "off" => Ok(FilterMode::Off),
+        "per-site" => Ok(FilterMode::PerSite),
+        "global" => Ok(FilterMode::Global),
+        other => Err(CliError(format!("unknown filter mode '{other}'"))),
+    }
+}
+
+fn maybe_write_json<T: serde::Serialize>(args: &Args, value: &T) -> Result<(), CliError> {
+    if let Some(path) = &args.json {
+        let data = serde_json::to_vec_pretty(value)
+            .map_err(|e| CliError(format!("serialising JSON: {e}")))?;
+        std::fs::write(path, data).map_err(|e| CliError(format!("writing {path}: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Run the selected command.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "golden" => golden(args),
+        "campaign" => campaign(args),
+        "exhaustive" => exhaustive(args),
+        "analyze" => analyze(args),
+        "adaptive" => adaptive(args),
+        "report" => report(args),
+        "protect" => protect(args),
+        other => Err(CliError(format!("unknown command '{other}'"))),
+    }
+}
+
+fn golden(args: &Args) -> Result<String, CliError> {
+    let kernel = args.kernel.build();
+    let g = kernel.golden();
+    let mut out = String::new();
+    let _ = writeln!(out, "kernel:               {}", kernel.name());
+    let _ = writeln!(out, "dynamic instructions: {}", g.n_sites());
+    let _ = writeln!(out, "experiment space:     {}", g.n_experiments());
+    let _ = writeln!(out, "branch events:        {}", g.branches.len());
+    let _ = writeln!(out, "output elements:      {}", g.output.len());
+    let _ = writeln!(
+        out,
+        "trace memory:         {:.1} KiB",
+        g.memory_bytes() as f64 / 1024.0
+    );
+
+    // per-region site counts
+    let registry = kernel.registry();
+    let mut counts = vec![0usize; registry.len()];
+    for site in 0..g.n_sites() {
+        counts[g.static_id(site).index()] += 1;
+    }
+    let mut table = Table::new(&["static instruction", "region", "dynamic sites"]);
+    for (id, instr) in registry.iter() {
+        table.row(&[
+            instr.name.to_string(),
+            instr.region.label().to_string(),
+            counts[id.index()].to_string(),
+        ]);
+    }
+    let _ = write!(out, "\n{}", table.render());
+    Ok(out)
+}
+
+fn campaign(args: &Args) -> Result<String, CliError> {
+    let kernel = args.kernel.build();
+    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance));
+    let est = analysis.monte_carlo(args.samples, 0.95, args.seed);
+    maybe_write_json(args, &est)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "experiments:     {}", est.n);
+    let _ = writeln!(
+        out,
+        "outcomes:        {} masked, {} SDC, {} crash",
+        est.n_masked, est.n_sdc, est.n_crash
+    );
+    let _ = writeln!(
+        out,
+        "SDC ratio:       {:.3}%  (95% CI [{:.3}%, {:.3}%])",
+        est.sdc_ratio() * 100.0,
+        est.sdc_ci.lo * 100.0,
+        est.sdc_ci.hi * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "sites observed:  {} of {}",
+        est.distinct_sites,
+        analysis.n_sites()
+    );
+    Ok(out)
+}
+
+fn exhaustive(args: &Args) -> Result<String, CliError> {
+    let kernel = args.kernel.build();
+    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance));
+    let ex = analysis.exhaustive();
+    maybe_write_json(args, &ex)?;
+    let (m, s, c) = ex.counts();
+    let mut out = String::new();
+    let _ = writeln!(out, "experiments:  {}", ex.n_experiments());
+    let _ = writeln!(out, "outcomes:     {m} masked, {s} SDC, {c} crash");
+    let _ = writeln!(out, "SDC ratio:    {:.3}%", ex.overall_sdc_ratio() * 100.0);
+    Ok(out)
+}
+
+fn analyze(args: &Args) -> Result<String, CliError> {
+    let filter = filter_mode(&args.filter)?;
+    let kernel = args.kernel.build();
+    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance));
+    let samples = analysis.sample_uniform(args.rate, args.seed);
+    let inference = analysis.infer(&samples, filter);
+    let predictor = analysis.predictor(&inference.boundary);
+    let uncertainty = analysis.uncertainty(&inference.boundary, &samples);
+    let overall = predictor.overall_sdc_ratio(Some(&samples));
+    maybe_write_json(args, &inference)?;
+
+    let (m, s, c) = samples.counts();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sampled:            {} experiments at {} sites ({:.2}% of {})",
+        samples.len(),
+        samples.distinct_sites(),
+        samples.site_rate(analysis.n_sites()) * 100.0,
+        analysis.n_sites()
+    );
+    let _ = writeln!(out, "outcomes:           {m} masked, {s} SDC, {c} crash");
+    let _ = writeln!(
+        out,
+        "boundary coverage:  {:.1}% of sites",
+        inference.boundary.coverage() * 100.0
+    );
+    let _ = writeln!(out, "predicted SDC:      {:.3}%", overall * 100.0);
+    let _ = writeln!(
+        out,
+        "uncertainty (§3.6): {:.2}%  (self-verified precision; 100% = no \
+         contradiction between boundary and samples)",
+        uncertainty * 100.0
+    );
+    Ok(out)
+}
+
+fn adaptive(args: &Args) -> Result<String, CliError> {
+    let filter = filter_mode(&args.filter)?;
+    let kernel = args.kernel.build();
+    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance));
+    let cfg = AdaptiveConfig {
+        filter,
+        seed: args.seed,
+        ..AdaptiveConfig::default()
+    };
+    let result = analysis.adaptive(&cfg);
+    let predictor = analysis.predictor(&result.inference.boundary);
+    let overall = predictor.overall_sdc_ratio(Some(&result.samples));
+    let uncertainty = analysis.uncertainty(&result.inference.boundary, &result.samples);
+    maybe_write_json(args, &result)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "rounds:             {}", result.rounds.len());
+    let _ = writeln!(
+        out,
+        "experiments:        {} ({:.2}% of the exhaustive campaign)",
+        result.samples.len(),
+        result.samples.len() as f64 / analysis.golden().n_experiments() as f64 * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "boundary coverage:  {:.1}% of sites",
+        result.inference.boundary.coverage() * 100.0
+    );
+    let _ = writeln!(out, "predicted SDC:      {:.3}%", overall * 100.0);
+    let _ = writeln!(out, "uncertainty (§3.6): {:.2}%", uncertainty * 100.0);
+    if let Some(last) = result.rounds.last() {
+        let _ = writeln!(
+            out,
+            "final round:        {} run, {} masked, {} SDC, {} candidates left",
+            last.n_run, last.n_masked, last.n_sdc, last.candidates_left
+        );
+    }
+    Ok(out)
+}
+
+fn report(args: &Args) -> Result<String, CliError> {
+    let filter = filter_mode(&args.filter)?;
+    let kernel = args.kernel.build();
+    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance));
+    let samples = analysis.sample_uniform(args.rate, args.seed);
+    let inference = analysis.infer(&samples, filter);
+    let predictor = analysis.predictor(&inference.boundary);
+    let per_site = predictor.sdc_ratio_per_site(Some(&samples));
+
+    let registry = kernel.registry();
+    let rows = by_static_instruction(analysis.golden(), &registry, &per_site);
+    maybe_write_json(args, &rows)?;
+
+    let mut table = Table::new(&["static instruction", "region", "dyn sites", "predicted SDC"]);
+    for r in &rows {
+        table.row(&[
+            r.name.to_string(),
+            r.region.label().to_string(),
+            r.dynamic_sites.to_string(),
+            format!("{:.2}%", r.mean * 100.0),
+        ]);
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "per-static-instruction vulnerability at {:.1}% sampling (most vulnerable first):\n",
+        args.rate * 100.0
+    );
+    let _ = write!(out, "{}", table.render());
+
+    let regions = by_region(analysis.golden(), &registry, &per_site);
+    let mut rt = Table::new(&["region", "dyn sites", "predicted SDC"]);
+    for r in &regions {
+        rt.row(&[
+            r.region.label().to_string(),
+            r.dynamic_sites.to_string(),
+            format!("{:.2}%", r.mean * 100.0),
+        ]);
+    }
+    let _ = write!(out, "\nby region:\n\n{}", rt.render());
+    Ok(out)
+}
+
+fn protect(args: &Args) -> Result<String, CliError> {
+    let filter = filter_mode(&args.filter)?;
+    let kernel = args.kernel.build();
+    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance));
+    let samples = analysis.sample_uniform(args.rate, args.seed);
+    let inference = analysis.infer(&samples, filter);
+    let predictor = analysis.predictor(&inference.boundary);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "protection planning from a {:.1}% sample ({} experiments):\n",
+        args.rate * 100.0,
+        samples.len()
+    );
+    let mut table = Table::new(&["budget", "sites guarded", "predicted SDC removed"]);
+    let mut last_plan = None;
+    for pct in [5usize, 10, 20, 40] {
+        let budget = analysis.n_sites() * pct / 100;
+        let plan = ProtectionPlan::rank(&predictor, Some(&samples), budget);
+        table.row(&[
+            format!("{pct}%"),
+            plan.sites.len().to_string(),
+            format!("{:.1}%", plan.predicted_sdc_removed * 100.0),
+        ]);
+        last_plan = Some(plan);
+    }
+    let _ = write!(out, "{}", table.render());
+    if let Some(plan) = last_plan {
+        maybe_write_json(args, &plan)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn v(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn golden_reports_sites() {
+        let args = parse(&v(&["golden", "--kernel", "matvec", "--n", "4"])).unwrap();
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("dynamic instructions: 24"));
+        assert!(out.contains("matvec.row"));
+    }
+
+    #[test]
+    fn campaign_reports_ci() {
+        let args = parse(&v(&[
+            "campaign",
+            "--kernel",
+            "matvec",
+            "--n",
+            "4",
+            "--samples",
+            "50",
+        ]))
+        .unwrap();
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("experiments:     50"));
+        assert!(out.contains("95% CI"));
+    }
+
+    #[test]
+    fn exhaustive_covers_space() {
+        let args = parse(&v(&["exhaustive", "--kernel", "matvec", "--n", "4"])).unwrap();
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("experiments:  1536"), "{out}");
+    }
+
+    #[test]
+    fn analyze_self_verifies() {
+        let args = parse(&v(&[
+            "analyze", "--kernel", "stencil", "--grid", "8", "--sweeps", "4", "--rate", "0.2",
+        ]))
+        .unwrap();
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("uncertainty"), "{out}");
+        assert!(out.contains("boundary coverage"));
+    }
+
+    #[test]
+    fn adaptive_runs_rounds() {
+        let args = parse(&v(&["adaptive", "--kernel", "matvec", "--n", "6"])).unwrap();
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("rounds:"), "{out}");
+    }
+
+    #[test]
+    fn bad_filter_rejected() {
+        let args = parse(&v(&[
+            "analyze", "--kernel", "matvec", "--n", "4", "--filter", "sideways",
+        ]))
+        .unwrap();
+        assert!(dispatch(&args).is_err());
+    }
+
+    #[test]
+    fn report_lists_static_instructions() {
+        let args = parse(&v(&[
+            "report", "--kernel", "stencil", "--grid", "8", "--sweeps", "3", "--rate", "0.2",
+        ]))
+        .unwrap();
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("stencil.sweep"), "{out}");
+        assert!(out.contains("by region"), "{out}");
+    }
+
+    #[test]
+    fn protect_prints_budget_ladder() {
+        let args = parse(&v(&[
+            "protect", "--kernel", "matvec", "--n", "6", "--rate", "0.3",
+        ]))
+        .unwrap();
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("predicted SDC removed"), "{out}");
+        assert!(out.contains("40%"), "{out}");
+    }
+
+    #[test]
+    fn new_kernels_reachable_from_cli() {
+        for kernel in ["spmv", "jacobi"] {
+            let args = parse(&v(&["golden", "--kernel", kernel])).unwrap();
+            let out = dispatch(&args).unwrap();
+            assert!(out.contains("dynamic instructions"), "{kernel}: {out}");
+        }
+        let args = parse(&v(&["golden", "--kernel", "cg", "--csr", "--grid", "4"])).unwrap();
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("cg.init.matrix"), "{out}");
+    }
+
+    #[test]
+    fn json_output_written() {
+        let path = std::env::temp_dir().join("ftb_cli_test.json");
+        let _ = std::fs::remove_file(&path);
+        let args = parse(&v(&[
+            "campaign",
+            "--kernel",
+            "matvec",
+            "--n",
+            "4",
+            "--samples",
+            "20",
+            "--json",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&args).unwrap();
+        let data = std::fs::read_to_string(&path).unwrap();
+        assert!(data.contains("sdc_ci"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

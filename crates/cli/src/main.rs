@@ -1,0 +1,6 @@
+//! `ftb` — the fault-tolerance-boundary command-line tool.
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ftb_cli::run(&raw));
+}

@@ -1,0 +1,442 @@
+//! The §3.4 adaptive sampling method: progressive rounds, biased toward
+//! under-informed sites, with boundary-based pruning of the remaining
+//! sample space.
+//!
+//! Each round:
+//!
+//! 1. draws `round_fraction × n_sites` experiments — sites with
+//!    probability `p_i ∝ 1 / S_i` (where `S_i` is the §3.4 information
+//!    count: injections at `i` plus propagation observations reaching
+//!    `i`), one untested bit per chosen site;
+//! 2. runs them and rebuilds the boundary (Algorithm 1 + filter);
+//! 3. **shrinks the sample space**: candidate experiments the current
+//!    boundary already predicts (masked — or crash, in crash-aware mode)
+//!    are removed and never run;
+//! 4. stops when a round finds no new masked case or ≥
+//!    `stop_sdc_fraction` of its results are SDC (the paper uses 95%),
+//!    or when the space is exhausted.
+//!
+//! The paper's Table 3 shows this terminating at ~1% (CG) to ~10% (FFT)
+//! of sites while predicting the golden SDC ratio closely.
+
+use crate::infer::{infer_boundary, FilterMode, Inference};
+use crate::predict::{PredictedOutcome, Predictor};
+use crate::sample::SampleSet;
+use ftb_inject::Injector;
+use ftb_stats::sampling::{sample_weighted_without_replacement, seeded_rng};
+use ftb_trace::FaultSpec;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the adaptive sampler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Experiments per round as a fraction of the site count (the paper
+    /// uses 0.1%).
+    pub round_fraction: f64,
+    /// Lower bound on the experiments per round. The paper's programs
+    /// have ≥47k sites, so its 0.1% rounds hold ≥47 experiments; at
+    /// laptop scale a bare 0.1% round is 3–8 experiments and the stop
+    /// criterion would fire on sampling noise.
+    pub min_round_size: usize,
+    /// Stop once this fraction of a round's outcomes are SDC (paper: 95%).
+    pub stop_sdc_fraction: f64,
+    /// Require this many *consecutive* rounds meeting the stop criterion
+    /// before actually stopping (noise guard for small rounds).
+    pub dry_rounds: usize,
+    /// Never stop before this many rounds (guards against a tiny unlucky
+    /// first round aborting the whole analysis).
+    pub min_rounds: usize,
+    /// Hard round cap.
+    pub max_rounds: usize,
+    /// Filter operation mode for boundary rebuilds.
+    pub filter: FilterMode,
+    /// Bias sites by `1/S_i` (`false` = uniform progressive sampling, the
+    /// ablation baseline).
+    pub bias: bool,
+    /// Also prune candidates whose flip is non-finite (predicted crash).
+    pub crash_aware: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            round_fraction: 0.001,
+            min_round_size: 32,
+            stop_sdc_fraction: 0.95,
+            dry_rounds: 2,
+            min_rounds: 2,
+            max_rounds: 10_000,
+            filter: FilterMode::PerSite,
+            bias: true,
+            crash_aware: true,
+            seed: 42,
+        }
+    }
+}
+
+/// Per-round progress record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Experiments run this round.
+    pub n_run: usize,
+    /// Masked outcomes this round.
+    pub n_masked: usize,
+    /// SDC outcomes this round.
+    pub n_sdc: usize,
+    /// Crash outcomes this round.
+    pub n_crash: usize,
+    /// Candidate experiments remaining after pruning.
+    pub candidates_left: u64,
+}
+
+/// Result of an adaptive sampling run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptiveResult {
+    /// All experiments run, across rounds.
+    pub samples: SampleSet,
+    /// Final boundary inference.
+    pub inference: Inference,
+    /// Per-round progress.
+    pub rounds: Vec<RoundStats>,
+}
+
+impl AdaptiveResult {
+    /// The paper's sample-size metric: experiments / sites.
+    pub fn sample_rate(&self, n_sites: usize) -> f64 {
+        self.samples.rate(n_sites)
+    }
+}
+
+/// Remaining-candidate bookkeeping: one bitmask of untested, unpruned
+/// bits per site.
+struct CandidateSpace {
+    masks: Vec<u64>,
+}
+
+impl CandidateSpace {
+    fn full(n_sites: usize, bits: u8) -> Self {
+        let full_mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        CandidateSpace {
+            masks: vec![full_mask; n_sites],
+        }
+    }
+
+    fn remaining(&self) -> u64 {
+        self.masks.iter().map(|m| u64::from(m.count_ones())).sum()
+    }
+
+    fn site_has_candidates(&self, site: usize) -> bool {
+        self.masks[site] != 0
+    }
+
+    /// Pick the `k`-th set bit (random rank) of the site's mask.
+    fn random_bit(&self, site: usize, rng: &mut impl Rng) -> u8 {
+        let m = self.masks[site];
+        debug_assert!(m != 0);
+        let n = m.count_ones();
+        let rank = rng.gen_range(0..n);
+        nth_set_bit(m, rank)
+    }
+
+    fn remove(&mut self, site: usize, bit: u8) {
+        self.masks[site] &= !(1u64 << bit);
+    }
+
+    /// Prune every candidate the predictor already decides (masked, or
+    /// crash in crash-aware mode). Returns the number pruned.
+    fn prune(&mut self, predictor: &Predictor<'_>, crash_aware: bool) -> u64 {
+        let mut pruned = 0;
+        for site in 0..self.masks.len() {
+            let mut m = self.masks[site];
+            while m != 0 {
+                let bit = m.trailing_zeros() as u8;
+                m &= m - 1;
+                let p = predictor.predict(site, bit);
+                let decided =
+                    p == PredictedOutcome::Masked || (crash_aware && p == PredictedOutcome::Crash);
+                if decided {
+                    self.remove(site, bit);
+                    pruned += 1;
+                }
+            }
+        }
+        pruned
+    }
+}
+
+/// Index of the `rank`-th (0-based) set bit of `m`.
+fn nth_set_bit(mut m: u64, mut rank: u32) -> u8 {
+    debug_assert!(m.count_ones() > rank);
+    loop {
+        let b = m.trailing_zeros();
+        if rank == 0 {
+            return b as u8;
+        }
+        m &= m - 1;
+        rank -= 1;
+    }
+}
+
+/// Run the adaptive sampling loop. See the module docs.
+///
+/// Between rounds the boundary is maintained *incrementally*: each new
+/// masked experiment's propagation is folded in once (filtered against
+/// the SDC minima known at that moment), and a later SDC observation
+/// clamps the affected site's threshold below its injected error
+/// ([`crate::Boundary::clamp_below`]). This keeps the whole loop linear
+/// in the number of experiments; a final exact
+/// [`infer_boundary`] rebuild produces the returned inference.
+pub fn adaptive_boundary(injector: &Injector<'_>, cfg: &AdaptiveConfig) -> AdaptiveResult {
+    assert!(cfg.round_fraction > 0.0, "round_fraction must be positive");
+    assert!(cfg.max_rounds > 0, "need at least one round");
+    let n_sites = injector.n_sites();
+    let bits = injector.bits();
+    let golden = injector.golden();
+    let mut rng = seeded_rng(cfg.seed);
+    let mut space = CandidateSpace::full(n_sites, bits);
+    let mut samples = SampleSet::new();
+    let mut rounds = Vec::new();
+
+    // incremental state
+    let mut boundary = crate::boundary::Boundary::zero(n_sites);
+    let mut min_sdc = vec![f64::INFINITY; n_sites];
+    let mut information = vec![1u32; n_sites]; // the §3.4 S_i counts
+
+    let round_size = ((cfg.round_fraction * n_sites as f64).ceil() as usize)
+        .max(cfg.min_round_size)
+        .max(1);
+    let mut consecutive_dry = 0usize;
+
+    for round in 0..cfg.max_rounds {
+        // 1. choose sites: weight 1/S_i among sites with candidates left
+        let weights: Vec<f64> = (0..n_sites)
+            .map(|site| {
+                if !space.site_has_candidates(site) {
+                    0.0
+                } else if cfg.bias {
+                    1.0 / f64::from(information[site])
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let chosen = sample_weighted_without_replacement(&weights, round_size, &mut rng);
+        if chosen.is_empty() {
+            break; // space exhausted
+        }
+        let faults: Vec<FaultSpec> = chosen
+            .iter()
+            .map(|&site| {
+                let bit = space.random_bit(site, &mut rng);
+                FaultSpec { site, bit }
+            })
+            .collect();
+
+        // 2. run, record and update the incremental state
+        let results = injector.run_many(&faults);
+        let (mut n_masked, mut n_sdc, mut n_crash) = (0, 0, 0);
+        for e in results {
+            information[e.site] = information[e.site].saturating_add(1);
+            match e.outcome {
+                o if o.is_masked() => {
+                    n_masked += 1;
+                    // fold this run's propagation (Algorithm 1), filtered
+                    // against the SDC minima known so far
+                    let (_, prop) = injector.run_one_traced(e.site, e.bit);
+                    for (site, err) in prop.iter() {
+                        if err == 0.0 {
+                            continue;
+                        }
+                        let passes = match cfg.filter {
+                            FilterMode::Off => true,
+                            _ => err < min_sdc[site],
+                        };
+                        if passes {
+                            boundary.observe(site, err);
+                        }
+                        information[site] = information[site].saturating_add(1);
+                    }
+                }
+                o if o.is_sdc() => {
+                    n_sdc += 1;
+                    if cfg.filter != FilterMode::Off && e.injected_err < min_sdc[e.site] {
+                        min_sdc[e.site] = e.injected_err;
+                        // retroactive filter: never certify ≥ a known SDC error
+                        boundary.clamp_below(e.site, e.injected_err);
+                    }
+                }
+                _ => n_crash += 1,
+            }
+            space.remove(e.site, e.bit);
+            samples.insert(e);
+        }
+
+        // 3. shrink the candidate space with the current boundary
+        let predictor = Predictor::new(golden, &boundary);
+        space.prune(&predictor, cfg.crash_aware);
+
+        let n_run = n_masked + n_sdc + n_crash;
+        rounds.push(RoundStats {
+            round,
+            n_run,
+            n_masked,
+            n_sdc,
+            n_crash,
+            candidates_left: space.remaining(),
+        });
+
+        // 4. stop criteria (paper §3.4): no new masked cases, or the
+        // round was ≥95% SDC — sustained for `dry_rounds` rounds
+        let sdc_frac = n_sdc as f64 / n_run.max(1) as f64;
+        if n_masked == 0 || sdc_frac >= cfg.stop_sdc_fraction {
+            consecutive_dry += 1;
+        } else {
+            consecutive_dry = 0;
+        }
+        if consecutive_dry >= cfg.dry_rounds && round + 1 >= cfg.min_rounds {
+            break;
+        }
+        if space.remaining() == 0 {
+            break;
+        }
+    }
+
+    // exact final rebuild (the incremental fold is order-dependent in
+    // what the filter discards; the returned boundary is canonical)
+    let inference = infer_boundary(injector, &samples, cfg.filter);
+    AdaptiveResult {
+        samples,
+        inference,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftb_inject::Classifier;
+    use ftb_kernels::{MatvecConfig, MatvecKernel, StencilConfig, StencilKernel};
+
+    #[test]
+    fn nth_set_bit_works() {
+        assert_eq!(nth_set_bit(0b1011, 0), 0);
+        assert_eq!(nth_set_bit(0b1011, 1), 1);
+        assert_eq!(nth_set_bit(0b1011, 2), 3);
+        assert_eq!(nth_set_bit(1 << 63, 0), 63);
+    }
+
+    #[test]
+    fn candidate_space_accounting() {
+        let mut s = CandidateSpace::full(2, 32);
+        assert_eq!(s.remaining(), 64);
+        s.remove(0, 5);
+        assert_eq!(s.remaining(), 63);
+        assert!(s.site_has_candidates(0));
+        for b in 0..32 {
+            s.remove(1, b);
+        }
+        assert!(!s.site_has_candidates(1));
+    }
+
+    #[test]
+    fn adaptive_terminates_and_uses_fewer_samples_than_exhaustive() {
+        let k = StencilKernel::new(StencilConfig {
+            grid: 8,
+            sweeps: 4,
+            ..StencilConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let cfg = AdaptiveConfig {
+            round_fraction: 0.01,
+            ..AdaptiveConfig::default()
+        };
+        let res = adaptive_boundary(&inj, &cfg);
+        assert!(!res.rounds.is_empty());
+        let total_space = inj.n_sites() as u64 * 64;
+        assert!(
+            (res.samples.len() as u64) < total_space / 4,
+            "adaptive used {} of {} experiments",
+            res.samples.len(),
+            total_space
+        );
+        assert!(res.inference.boundary.coverage() > 0.0);
+    }
+
+    #[test]
+    fn adaptive_is_deterministic_per_seed() {
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 6,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let cfg = AdaptiveConfig {
+            round_fraction: 0.02,
+            ..AdaptiveConfig::default()
+        };
+        let a = adaptive_boundary(&inj, &cfg);
+        let b = adaptive_boundary(&inj, &cfg);
+        assert_eq!(a.samples.experiments(), b.samples.experiments());
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn rounds_respect_min_rounds() {
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 6,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let cfg = AdaptiveConfig {
+            round_fraction: 0.01,
+            min_rounds: 4,
+            ..AdaptiveConfig::default()
+        };
+        let res = adaptive_boundary(&inj, &cfg);
+        assert!(res.rounds.len() >= 4 || res.rounds.last().unwrap().candidates_left == 0);
+    }
+
+    #[test]
+    fn unbiased_mode_also_terminates() {
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 6,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let cfg = AdaptiveConfig {
+            bias: false,
+            round_fraction: 0.02,
+            ..AdaptiveConfig::default()
+        };
+        let res = adaptive_boundary(&inj, &cfg);
+        assert!(!res.rounds.is_empty());
+    }
+
+    #[test]
+    fn pruned_candidates_shrink_monotonically() {
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 6,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let cfg = AdaptiveConfig {
+            round_fraction: 0.02,
+            min_rounds: 3,
+            stop_sdc_fraction: 2.0, // never stop on SDC fraction
+            max_rounds: 6,
+            ..AdaptiveConfig::default()
+        };
+        let res = adaptive_boundary(&inj, &cfg);
+        for w in res.rounds.windows(2) {
+            assert!(w[1].candidates_left <= w[0].candidates_left);
+        }
+    }
+}

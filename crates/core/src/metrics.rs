@@ -1,0 +1,259 @@
+//! Evaluation metrics: precision, recall, the self-verifying uncertainty
+//! (paper §3.6), and the ΔSDC profile (paper §4.1/Figure 3).
+//!
+//! The boundary is treated like a trained classifier whose positive class
+//! is "masked":
+//!
+//! * `Precision = M_positive / M_predict` — of all experiments predicted
+//!   masked, the fraction truly masked;
+//! * `Recall = M_positive / M_total` — of all truly masked experiments,
+//!   the fraction the boundary finds;
+//! * `Uncertainty = Ms_positive / Ms_predict` — precision restricted to
+//!   the *sampled* experiments. Because it needs no ground truth beyond
+//!   the samples already run, it lets an application programmer verify
+//!   the boundary without an exhaustive campaign; §4.3 shows it tracks
+//!   the true precision closely.
+
+use crate::predict::Predictor;
+use crate::sample::SampleSet;
+use ftb_inject::{ExhaustiveResult, Outcome};
+use serde::{Deserialize, Serialize};
+
+/// Classifier-style evaluation of a boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundaryEval {
+    /// Truly masked among predicted-masked, over the evaluated truth set.
+    pub precision: f64,
+    /// Predicted-masked among all truly masked.
+    pub recall: f64,
+    /// Number of experiments predicted masked (`M_predict`).
+    pub m_predict: u64,
+    /// Number of correct masked predictions (`M_positive`).
+    pub m_positive: u64,
+    /// Number of truly masked experiments (`M_total`).
+    pub m_total: u64,
+    /// Number of truth experiments evaluated.
+    pub n_evaluated: u64,
+}
+
+impl BoundaryEval {
+    /// Evaluate predictions against an arbitrary stream of ground-truth
+    /// outcomes. Conventions: an empty predicted-masked set has precision
+    /// 1 (no false claims); an empty truth-masked set has recall 1.
+    pub fn from_truth<I>(predictor: &Predictor<'_>, truth: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, u8, Outcome)>,
+    {
+        let mut m_predict = 0u64;
+        let mut m_positive = 0u64;
+        let mut m_total = 0u64;
+        let mut n = 0u64;
+        for (site, bit, actual) in truth {
+            n += 1;
+            let predicted_masked = predictor.predict(site, bit).is_masked();
+            let actually_masked = actual.is_masked();
+            m_predict += u64::from(predicted_masked);
+            m_total += u64::from(actually_masked);
+            m_positive += u64::from(predicted_masked && actually_masked);
+        }
+        BoundaryEval {
+            precision: if m_predict == 0 {
+                1.0
+            } else {
+                m_positive as f64 / m_predict as f64
+            },
+            recall: if m_total == 0 {
+                1.0
+            } else {
+                m_positive as f64 / m_total as f64
+            },
+            m_predict,
+            m_positive,
+            m_total,
+            n_evaluated: n,
+        }
+    }
+
+    /// Evaluate against a full exhaustive campaign (the whole experiment
+    /// space).
+    pub fn against_exhaustive(predictor: &Predictor<'_>, truth: &ExhaustiveResult) -> Self {
+        Self::from_truth(predictor, truth.iter())
+    }
+
+    /// The §3.6 uncertainty: precision over the sampled experiments only.
+    /// Returns the same struct shape with `precision` holding
+    /// `Ms_positive / Ms_predict`.
+    pub fn uncertainty(predictor: &Predictor<'_>, samples: &SampleSet) -> Self {
+        Self::from_truth(
+            predictor,
+            samples
+                .experiments()
+                .iter()
+                .map(|e| (e.site, e.bit, e.outcome)),
+        )
+    }
+}
+
+/// Per-site SDC profile: the ground-truth and predicted vulnerability of
+/// every dynamic instruction, plus their difference (ΔSDC).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SdcProfile {
+    /// Ground-truth per-site SDC ratio.
+    pub golden: Vec<f64>,
+    /// Predicted per-site SDC ratio.
+    pub predicted: Vec<f64>,
+}
+
+impl SdcProfile {
+    /// Build the profile from an exhaustive truth and a predictor,
+    /// optionally letting known sample outcomes override predictions.
+    pub fn new(
+        truth: &ExhaustiveResult,
+        predictor: &Predictor<'_>,
+        known: Option<&SampleSet>,
+    ) -> Self {
+        SdcProfile {
+            golden: truth.sdc_ratio_per_site(),
+            predicted: predictor.sdc_ratio_per_site(known),
+        }
+    }
+
+    /// `ΔSDC_i = golden_i − predicted_i` per site (negative = the method
+    /// overestimates the site's SDC ratio, the direction the paper
+    /// reports for non-monotonic sites).
+    pub fn delta(&self) -> Vec<f64> {
+        delta_sdc(&self.golden, &self.predicted)
+    }
+
+    /// Overall (mean) golden and predicted SDC ratios.
+    pub fn overall(&self) -> (f64, f64) {
+        let n = self.golden.len().max(1) as f64;
+        (
+            self.golden.iter().sum::<f64>() / n,
+            self.predicted.iter().sum::<f64>() / n,
+        )
+    }
+
+    /// Fraction of sites whose prediction is exact (|ΔSDC| < tol).
+    pub fn exact_fraction(&self, tol: f64) -> f64 {
+        if self.golden.is_empty() {
+            return 1.0;
+        }
+        let exact = self.delta().iter().filter(|d| d.abs() < tol).count();
+        exact as f64 / self.golden.len() as f64
+    }
+}
+
+/// `ΔSDC = golden − predicted`, elementwise.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn delta_sdc(golden: &[f64], predicted: &[f64]) -> Vec<f64> {
+    assert_eq!(golden.len(), predicted.len(), "profile length mismatch");
+    golden.iter().zip(predicted).map(|(&g, &p)| g - p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::{golden_boundary, Boundary};
+    use ftb_inject::{Classifier, Injector};
+    use ftb_kernels::{MatvecConfig, MatvecKernel};
+    use ftb_trace::{Precision, StaticId, Tracer};
+
+    fn tiny_golden(vals: &[f64]) -> ftb_trace::GoldenRun {
+        let mut t = Tracer::golden(Precision::F64);
+        for &v in vals {
+            t.value(StaticId(0), v);
+        }
+        t.finish_golden(vals.to_vec())
+    }
+
+    #[test]
+    fn perfect_boundary_scores_perfectly() {
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 4,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let ex = inj.exhaustive();
+        let b = golden_boundary(inj.golden(), &ex);
+        let p = Predictor::new(inj.golden(), &b);
+        let eval = BoundaryEval::against_exhaustive(&p, &ex);
+        // the golden boundary never claims masked for an SDC case
+        assert_eq!(
+            eval.precision, 1.0,
+            "golden boundary mispredicted an SDC case"
+        );
+        assert!(eval.recall > 0.5, "golden boundary recall {}", eval.recall);
+        assert_eq!(eval.n_evaluated, ex.n_experiments());
+    }
+
+    #[test]
+    fn zero_boundary_has_trivial_precision_and_zero_recall() {
+        let g = tiny_golden(&[1.0, 2.0]);
+        let b = Boundary::zero(2);
+        let p = Predictor::new(&g, &b);
+        // truth: everything masked
+        let truth: Vec<(usize, u8, Outcome)> = (0..2usize)
+            .flat_map(|s| (1..64u8).map(move |bit| (s, bit, Outcome::Masked)))
+            .collect();
+        let eval = BoundaryEval::from_truth(&p, truth);
+        assert_eq!(eval.m_predict, 0);
+        assert_eq!(eval.precision, 1.0, "vacuous precision convention");
+        assert_eq!(eval.recall, 0.0);
+    }
+
+    #[test]
+    fn uncertainty_equals_precision_on_the_sample_set_itself() {
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 4,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let ex = inj.exhaustive();
+        let b = golden_boundary(inj.golden(), &ex);
+        let p = Predictor::new(inj.golden(), &b);
+        // a "sample set" that is the whole space: uncertainty == precision
+        let mut all = SampleSet::new();
+        for site in 0..inj.n_sites() {
+            for bit in 0..64u8 {
+                all.insert(ftb_inject::Experiment {
+                    site,
+                    bit,
+                    injected_err: 0.0,
+                    output_err: 0.0,
+                    outcome: ex.outcome(site, bit),
+                });
+            }
+        }
+        let eval = BoundaryEval::against_exhaustive(&p, &ex);
+        let unc = BoundaryEval::uncertainty(&p, &all);
+        assert!((eval.precision - unc.precision).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_sdc_signs() {
+        let d = delta_sdc(&[0.5, 0.2], &[0.4, 0.6]);
+        assert!((d[0] - 0.1).abs() < 1e-15, "underestimate is positive");
+        assert!((d[1] + 0.4).abs() < 1e-15, "overestimate is negative");
+    }
+
+    #[test]
+    fn profile_overall_and_exact_fraction() {
+        let p = SdcProfile {
+            golden: vec![0.5, 0.5],
+            predicted: vec![0.5, 1.0],
+        };
+        let (g, pr) = p.overall();
+        assert!((g - 0.5).abs() < 1e-15);
+        assert!((pr - 0.75).abs() < 1e-15);
+        assert!((p.exact_fraction(1e-6) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn delta_sdc_length_mismatch_panics() {
+        let _ = delta_sdc(&[0.1], &[0.1, 0.2]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Selective-protection planning — the downstream use case the paper's
+//! introduction motivates.
+//!
+//! Full duplication/TMR "introduce\[s\] significant computation overhead";
+//! the economic alternative is protecting only the vulnerable
+//! instructions, which requires exactly what the boundary provides: a
+//! per-dynamic-instruction vulnerability ranking obtained without an
+//! exhaustive campaign. This module turns a boundary into a protection
+//! plan and estimates/measures the SDC reduction it buys.
+
+use crate::predict::Predictor;
+use crate::sample::SampleSet;
+use ftb_inject::ExhaustiveResult;
+use serde::{Deserialize, Serialize};
+
+/// A protection plan: the set of dynamic instructions to guard (e.g. by
+/// instruction duplication), chosen to maximise removed SDC per guarded
+/// site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProtectionPlan {
+    /// Guarded sites, most vulnerable first.
+    pub sites: Vec<usize>,
+    /// Predicted per-site SDC ratio used for the ranking.
+    pub predicted_sdc: Vec<f64>,
+    /// Predicted fraction of all SDC events removed by this plan.
+    pub predicted_sdc_removed: f64,
+}
+
+impl ProtectionPlan {
+    /// Plan a protection budget of `budget` sites from a boundary's
+    /// predictions (ties broken toward earlier sites for determinism).
+    /// `known` experiment outcomes take precedence over prediction.
+    pub fn rank(predictor: &Predictor<'_>, known: Option<&SampleSet>, budget: usize) -> Self {
+        let predicted = predictor.sdc_ratio_per_site(known);
+        let mut order: Vec<usize> = (0..predicted.len()).collect();
+        order.sort_by(|&a, &b| {
+            predicted[b]
+                .partial_cmp(&predicted[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order.truncate(budget);
+        let total: f64 = predicted.iter().sum();
+        let removed: f64 = order.iter().map(|&s| predicted[s]).sum();
+        ProtectionPlan {
+            sites: order,
+            predicted_sdc_removed: if total > 0.0 { removed / total } else { 0.0 },
+            predicted_sdc: predicted,
+        }
+    }
+
+    /// Membership mask over all sites.
+    pub fn mask(&self, n_sites: usize) -> Vec<bool> {
+        let mut m = vec![false; n_sites];
+        for &s in &self.sites {
+            m[s] = true;
+        }
+        m
+    }
+
+    /// Ground-truth residual SDC ratio if every experiment at a guarded
+    /// site is corrected (evaluation only; requires exhaustive truth).
+    pub fn residual_sdc(&self, truth: &ExhaustiveResult) -> f64 {
+        let mask = self.mask(truth.n_sites);
+        let mut sdc = 0u64;
+        for (site, _, o) in truth.iter() {
+            if o.is_sdc() && !mask[site] {
+                sdc += 1;
+            }
+        }
+        sdc as f64 / truth.n_experiments() as f64
+    }
+
+    /// Ground-truth fraction of SDC removed, relative to the unprotected
+    /// baseline.
+    pub fn sdc_reduction(&self, truth: &ExhaustiveResult) -> f64 {
+        let base = truth.overall_sdc_ratio();
+        if base == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.residual_sdc(truth) / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analysis;
+    use crate::infer::FilterMode;
+    use ftb_inject::Classifier;
+    use ftb_kernels::{CgConfig, CgKernel};
+
+    fn cg_fixture() -> CgKernel {
+        CgKernel::new(CgConfig {
+            grid: 4,
+            max_iters: 100,
+            ..CgConfig::small()
+        })
+    }
+
+    #[test]
+    fn ranking_orders_by_predicted_vulnerability() {
+        let k = cg_fixture();
+        let a = Analysis::new(&k, Classifier::new(1e-1));
+        let samples = a.sample_uniform(0.2, 3);
+        let inf = a.infer(&samples, FilterMode::PerSite);
+        let predictor = a.predictor(&inf.boundary);
+        let plan = ProtectionPlan::rank(&predictor, Some(&samples), 10);
+        assert_eq!(plan.sites.len(), 10);
+        for w in plan.sites.windows(2) {
+            assert!(
+                plan.predicted_sdc[w[0]] >= plan.predicted_sdc[w[1]],
+                "ranking not sorted"
+            );
+        }
+        assert!((0.0..=1.0).contains(&plan.predicted_sdc_removed));
+    }
+
+    #[test]
+    fn guided_plan_beats_tail_sites_on_ground_truth() {
+        let k = cg_fixture();
+        let a = Analysis::new(&k, Classifier::new(1e-1));
+        let truth = a.exhaustive();
+        let samples = a.sample_uniform(0.2, 3);
+        let inf = a.infer(&samples, FilterMode::PerSite);
+        let predictor = a.predictor(&inf.boundary);
+
+        let budget = a.n_sites() / 5;
+        let guided = ProtectionPlan::rank(&predictor, Some(&samples), budget);
+
+        // an anti-plan guarding the *least* vulnerable sites
+        let mut anti_order: Vec<usize> = (0..a.n_sites()).collect();
+        anti_order.sort_by(|&x, &y| {
+            guided.predicted_sdc[x]
+                .partial_cmp(&guided.predicted_sdc[y])
+                .unwrap()
+        });
+        let anti = ProtectionPlan {
+            sites: anti_order.into_iter().take(budget).collect(),
+            predicted_sdc: guided.predicted_sdc.clone(),
+            predicted_sdc_removed: 0.0,
+        };
+
+        assert!(
+            guided.sdc_reduction(&truth) > anti.sdc_reduction(&truth),
+            "guided {:.3} should beat anti {:.3}",
+            guided.sdc_reduction(&truth),
+            anti.sdc_reduction(&truth)
+        );
+    }
+
+    #[test]
+    fn full_budget_removes_everything() {
+        let k = cg_fixture();
+        let a = Analysis::new(&k, Classifier::new(1e-1));
+        let truth = a.exhaustive();
+        let samples = a.sample_uniform(0.2, 3);
+        let inf = a.infer(&samples, FilterMode::PerSite);
+        let plan = ProtectionPlan::rank(&a.predictor(&inf.boundary), Some(&samples), a.n_sites());
+        assert_eq!(plan.residual_sdc(&truth), 0.0);
+        assert_eq!(plan.sdc_reduction(&truth), 1.0);
+    }
+
+    #[test]
+    fn zero_budget_changes_nothing() {
+        let k = cg_fixture();
+        let a = Analysis::new(&k, Classifier::new(1e-1));
+        let truth = a.exhaustive();
+        let samples = a.sample_uniform(0.2, 3);
+        let inf = a.infer(&samples, FilterMode::PerSite);
+        let plan = ProtectionPlan::rank(&a.predictor(&inf.boundary), Some(&samples), 0);
+        assert!(plan.sites.is_empty());
+        assert!((plan.residual_sdc(&truth) - truth.overall_sdc_ratio()).abs() < 1e-12);
+    }
+}

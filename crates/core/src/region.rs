@@ -1,0 +1,168 @@
+//! Per-static-instruction and per-region aggregation of site profiles.
+//!
+//! The paper interprets its per-dynamic-instruction results through
+//! source structure ("initialization instructions", "a new loop is
+//! started…", §4.2); this module gives that view as an API: fold any
+//! per-site metric (predicted SDC, potential impact, thresholds) by the
+//! static instruction or coarse region it belongs to.
+
+use ftb_trace::{GoldenRun, Region, StaticRegistry};
+use serde::Serialize;
+
+/// Aggregated statistics for one static instruction.
+#[derive(Debug, Clone, Serialize)]
+pub struct StaticProfile {
+    /// Static-instruction name (e.g. `"cg.update.x"`).
+    pub name: &'static str,
+    /// Source region.
+    pub region: Region,
+    /// Number of dynamic instances.
+    pub dynamic_sites: usize,
+    /// Mean of the folded metric over the instances.
+    pub mean: f64,
+    /// Maximum of the folded metric over the instances.
+    pub max: f64,
+}
+
+/// Fold a per-site metric by static instruction, returning one row per
+/// static instruction that actually executed, sorted by descending mean.
+///
+/// # Panics
+/// Panics if `per_site` does not match the golden run's site count.
+pub fn by_static_instruction(
+    golden: &GoldenRun,
+    registry: &StaticRegistry,
+    per_site: &[f64],
+) -> Vec<StaticProfile> {
+    assert_eq!(
+        per_site.len(),
+        golden.n_sites(),
+        "metric length does not match golden run"
+    );
+    let n = registry.len();
+    let mut count = vec![0usize; n];
+    let mut sum = vec![0.0f64; n];
+    let mut max = vec![f64::NEG_INFINITY; n];
+    for (site, &v) in per_site.iter().enumerate() {
+        let sid = golden.static_id(site).index();
+        count[sid] += 1;
+        sum[sid] += v;
+        max[sid] = max[sid].max(v);
+    }
+    let mut rows: Vec<StaticProfile> = registry
+        .iter()
+        .filter(|(id, _)| count[id.index()] > 0)
+        .map(|(id, instr)| {
+            let i = id.index();
+            StaticProfile {
+                name: instr.name,
+                region: instr.region,
+                dynamic_sites: count[i],
+                mean: sum[i] / count[i] as f64,
+                max: max[i],
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.mean
+            .partial_cmp(&a.mean)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    rows
+}
+
+/// Aggregated statistics for one coarse [`Region`].
+#[derive(Debug, Clone, Serialize)]
+pub struct RegionProfile {
+    /// The region.
+    pub region: Region,
+    /// Number of dynamic instances across the region's instructions.
+    pub dynamic_sites: usize,
+    /// Mean of the folded metric.
+    pub mean: f64,
+}
+
+/// Fold a per-site metric by coarse region, sorted by descending mean.
+pub fn by_region(
+    golden: &GoldenRun,
+    registry: &StaticRegistry,
+    per_site: &[f64],
+) -> Vec<RegionProfile> {
+    let statics = by_static_instruction(golden, registry, per_site);
+    let mut merged: Vec<RegionProfile> = Vec::new();
+    for s in statics {
+        match merged.iter_mut().find(|r| r.region == s.region) {
+            Some(r) => {
+                let total = r.mean * r.dynamic_sites as f64 + s.mean * s.dynamic_sites as f64;
+                r.dynamic_sites += s.dynamic_sites;
+                r.mean = total / r.dynamic_sites as f64;
+            }
+            None => merged.push(RegionProfile {
+                region: s.region,
+                dynamic_sites: s.dynamic_sites,
+                mean: s.mean,
+            }),
+        }
+    }
+    merged.sort_by(|a, b| {
+        b.mean
+            .partial_cmp(&a.mean)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftb_kernels::{Kernel, StencilConfig, StencilKernel};
+
+    #[test]
+    fn static_fold_partitions_all_sites() {
+        let k = StencilKernel::new(StencilConfig::small());
+        let g = k.golden();
+        let metric = vec![1.0; g.n_sites()];
+        let rows = by_static_instruction(&g, &k.registry(), &metric);
+        let total: usize = rows.iter().map(|r| r.dynamic_sites).sum();
+        assert_eq!(total, g.n_sites());
+        for r in &rows {
+            assert_eq!(r.mean, 1.0);
+            assert_eq!(r.max, 1.0);
+        }
+    }
+
+    #[test]
+    fn static_fold_sorts_by_mean() {
+        let k = StencilKernel::new(StencilConfig::small());
+        let g = k.golden();
+        // metric = site index, so later instructions average higher
+        let metric: Vec<f64> = (0..g.n_sites()).map(|i| i as f64).collect();
+        let rows = by_static_instruction(&g, &k.registry(), &metric);
+        for w in rows.windows(2) {
+            assert!(w[0].mean >= w[1].mean);
+        }
+    }
+
+    #[test]
+    fn region_fold_merges_same_region_instructions() {
+        let k = StencilKernel::new(StencilConfig::small());
+        let g = k.golden();
+        let metric = vec![2.0; g.n_sites()];
+        let regions = by_region(&g, &k.registry(), &metric);
+        let total: usize = regions.iter().map(|r| r.dynamic_sites).sum();
+        assert_eq!(total, g.n_sites());
+        // stencil has init / compute / move regions
+        assert!(regions.len() <= 3);
+        for r in &regions {
+            assert!((r.mean - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let k = StencilKernel::new(StencilConfig::small());
+        let g = k.golden();
+        let _ = by_static_instruction(&g, &k.registry(), &[1.0, 2.0]);
+    }
+}

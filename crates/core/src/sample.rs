@@ -1,0 +1,296 @@
+//! Sample sets: the fault-injection experiments a boundary is built from.
+//!
+//! Following the paper's accounting (its Table 4: "1000 samples …
+//! represents sampling 0.4% and 0.006% of the total samples" with site
+//! counts as the denominator), a *sample* is one `(site, bit)` experiment
+//! and the *sampling rate* is `experiments / sites`.
+
+use ftb_inject::{Experiment, Injector};
+use ftb_stats::sampling::{sample_without_replacement, seeded_rng};
+use ftb_trace::FaultSpec;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A deduplicated set of completed experiments.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "Vec<Experiment>", into = "Vec<Experiment>")]
+pub struct SampleSet {
+    experiments: Vec<Experiment>,
+    index: HashMap<(usize, u8), u32>,
+}
+
+impl From<Vec<Experiment>> for SampleSet {
+    fn from(experiments: Vec<Experiment>) -> Self {
+        let mut s = SampleSet::new();
+        for e in experiments {
+            s.insert(e);
+        }
+        s
+    }
+}
+
+impl From<SampleSet> for Vec<Experiment> {
+    fn from(s: SampleSet) -> Self {
+        s.experiments
+    }
+}
+
+impl SampleSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an experiment; returns `false` (and drops it) if the same
+    /// `(site, bit)` was already present.
+    pub fn insert(&mut self, e: Experiment) -> bool {
+        if self.index.contains_key(&e.key()) {
+            return false;
+        }
+        self.index.insert(e.key(), self.experiments.len() as u32);
+        self.experiments.push(e);
+        true
+    }
+
+    /// Whether `(site, bit)` has been run.
+    pub fn contains(&self, site: usize, bit: u8) -> bool {
+        self.index.contains_key(&(site, bit))
+    }
+
+    /// The recorded experiment at `(site, bit)`, if any (O(1)).
+    pub fn get(&self, site: usize, bit: u8) -> Option<&Experiment> {
+        self.index
+            .get(&(site, bit))
+            .map(|&i| &self.experiments[i as usize])
+    }
+
+    /// All experiments, in insertion order.
+    pub fn experiments(&self) -> &[Experiment] {
+        &self.experiments
+    }
+
+    /// Number of experiments.
+    pub fn len(&self) -> usize {
+        self.experiments.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.experiments.is_empty()
+    }
+
+    /// The paper's sampling rate: experiments per dynamic instruction.
+    pub fn rate(&self, n_sites: usize) -> f64 {
+        self.experiments.len() as f64 / n_sites as f64
+    }
+
+    /// Iterate over the masked experiments (the Algorithm-1 inputs).
+    pub fn masked(&self) -> impl Iterator<Item = &Experiment> {
+        self.experiments.iter().filter(|e| e.outcome.is_masked())
+    }
+
+    /// Iterate over the SDC experiments (the filter-operation inputs).
+    pub fn sdc(&self) -> impl Iterator<Item = &Experiment> {
+        self.experiments.iter().filter(|e| e.outcome.is_sdc())
+    }
+
+    /// Per-site count of injections performed (any outcome) — the
+    /// injection half of the §3.4 information count `S_i`.
+    pub fn injection_counts(&self, n_sites: usize) -> Vec<u32> {
+        let mut counts = vec![0u32; n_sites];
+        for e in &self.experiments {
+            counts[e.site] += 1;
+        }
+        counts
+    }
+
+    /// Per-site minimum injected error among known **SDC** outcomes
+    /// (`+∞` where no SDC is known) — the per-site filter threshold of
+    /// §3.5.
+    pub fn min_sdc_injected(&self, n_sites: usize) -> Vec<f64> {
+        let mut mins = vec![f64::INFINITY; n_sites];
+        for e in self.sdc() {
+            if e.injected_err < mins[e.site] {
+                mins[e.site] = e.injected_err;
+            }
+        }
+        mins
+    }
+
+    /// Global minimum injected error among known SDC outcomes (`+∞` if
+    /// none) — the global-filter ablation.
+    pub fn min_sdc_injected_global(&self) -> f64 {
+        self.sdc()
+            .map(|e| e.injected_err)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Outcome counts `(masked, sdc, crash)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let m = self.masked().count();
+        let s = self.sdc().count();
+        (m, s, self.experiments.len() - m - s)
+    }
+
+    /// Draw the paper's uniform sample: `k` distinct dynamic instructions
+    /// chosen uniformly, **all bits injected at each** (§4.4: "if all
+    /// possible error conditions are injected into a dynamic instruction,
+    /// we simply use the correct boundary value" — selected instructions
+    /// are tested exhaustively). A 1% sampling rate therefore means 1% of
+    /// sites and `0.01 × sites × bits` experiments.
+    pub fn sample_sites(injector: &Injector<'_>, k: usize, seed: u64) -> SampleSet {
+        let mut rng = seeded_rng(seed);
+        let sites = sample_without_replacement(injector.n_sites(), k, &mut rng);
+        let bits = injector.bits();
+        let faults: Vec<FaultSpec> = sites
+            .into_iter()
+            .flat_map(|site| (0..bits).map(move |bit| FaultSpec { site, bit }))
+            .collect();
+        let mut set = SampleSet::new();
+        for e in injector.run_many(&faults) {
+            set.insert(e);
+        }
+        set
+    }
+
+    /// Number of *distinct sites* covered by the experiments.
+    pub fn distinct_sites(&self) -> usize {
+        let mut sites: Vec<usize> = self.experiments.iter().map(|e| e.site).collect();
+        sites.sort_unstable();
+        sites.dedup();
+        sites.len()
+    }
+
+    /// The paper's site-level sampling rate: distinct sampled sites per
+    /// dynamic instruction.
+    pub fn site_rate(&self, n_sites: usize) -> f64 {
+        self.distinct_sites() as f64 / n_sites as f64
+    }
+
+    /// Ablation variant of [`SampleSet::sample_sites`]: one uniformly
+    /// random bit per selected site (cheaper, thinner propagation data).
+    pub fn sample_sites_one_bit(injector: &Injector<'_>, k: usize, seed: u64) -> SampleSet {
+        let mut rng = seeded_rng(seed);
+        let sites = sample_without_replacement(injector.n_sites(), k, &mut rng);
+        let bits = injector.bits();
+        let faults: Vec<FaultSpec> = sites
+            .into_iter()
+            .map(|site| FaultSpec {
+                site,
+                bit: rng.gen_range(0..bits),
+            })
+            .collect();
+        let mut set = SampleSet::new();
+        for e in injector.run_many(&faults) {
+            set.insert(e);
+        }
+        set
+    }
+
+    /// Draw `k` distinct `(site, bit)` experiments uniformly from the
+    /// whole `sites × bits` space. Used for large statistical
+    /// ground-truth sets, where repeat visits to one site are expected
+    /// and wanted.
+    pub fn sample_uniform_pairs(injector: &Injector<'_>, k: usize, seed: u64) -> SampleSet {
+        let mut rng = seeded_rng(seed);
+        let bits = injector.bits() as usize;
+        let space = injector.n_sites() * bits;
+        let picks = sample_without_replacement(space, k, &mut rng);
+        let faults: Vec<FaultSpec> = picks
+            .into_iter()
+            .map(|p| FaultSpec {
+                site: p / bits,
+                bit: (p % bits) as u8,
+            })
+            .collect();
+        let mut set = SampleSet::new();
+        for e in injector.run_many(&faults) {
+            set.insert(e);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftb_inject::{Classifier, Outcome};
+    use ftb_kernels::{MatvecConfig, MatvecKernel};
+
+    fn exp(site: usize, bit: u8, outcome: Outcome, inj: f64) -> Experiment {
+        Experiment {
+            site,
+            bit,
+            injected_err: inj,
+            output_err: 0.0,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut s = SampleSet::new();
+        assert!(s.insert(exp(1, 2, Outcome::Masked, 0.5)));
+        assert!(!s.insert(exp(1, 2, Outcome::Sdc, 0.7)));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(1, 2));
+        assert!(!s.contains(1, 3));
+    }
+
+    #[test]
+    fn min_sdc_injected_per_site() {
+        let mut s = SampleSet::new();
+        s.insert(exp(0, 1, Outcome::Sdc, 3.0));
+        s.insert(exp(0, 2, Outcome::Sdc, 1.5));
+        s.insert(exp(0, 3, Outcome::Masked, 0.1));
+        s.insert(exp(1, 1, Outcome::Masked, 9.0));
+        let mins = s.min_sdc_injected(3);
+        assert_eq!(mins[0], 1.5);
+        assert_eq!(mins[1], f64::INFINITY);
+        assert_eq!(mins[2], f64::INFINITY);
+        assert_eq!(s.min_sdc_injected_global(), 1.5);
+    }
+
+    #[test]
+    fn counts_and_rate() {
+        let mut s = SampleSet::new();
+        s.insert(exp(0, 1, Outcome::Masked, 0.0));
+        s.insert(exp(1, 1, Outcome::Sdc, 1.0));
+        s.insert(exp(
+            2,
+            1,
+            Outcome::Crash(ftb_inject::CrashKind::NonFinite),
+            1.0,
+        ));
+        assert_eq!(s.counts(), (1, 1, 1));
+        assert!((s.rate(30) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn injection_counts_accumulate() {
+        let mut s = SampleSet::new();
+        s.insert(exp(2, 1, Outcome::Masked, 0.0));
+        s.insert(exp(2, 5, Outcome::Sdc, 0.0));
+        let c = s.injection_counts(4);
+        assert_eq!(c, vec![0, 0, 2, 0]);
+    }
+
+    #[test]
+    fn sample_uniform_hits_requested_count_deterministically() {
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 4,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let a = SampleSet::sample_sites(&inj, 10, 99);
+        let b = SampleSet::sample_sites(&inj, 10, 99);
+        assert_eq!(a.len(), 10 * 64, "10 sites x 64 bits");
+        assert_eq!(a.experiments(), b.experiments());
+        assert_eq!(a.distinct_sites(), 10);
+        assert!((a.site_rate(inj.n_sites()) - 10.0 / inj.n_sites() as f64).abs() < 1e-12);
+        let one = SampleSet::sample_sites_one_bit(&inj, 10, 99);
+        assert_eq!(one.len(), 10);
+        assert_eq!(one.distinct_sites(), 10);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests for the boundary/prediction/metrics layer against
+//! synthetic ground truths, where the exact expected values can be
+//! computed independently.
+
+use ftb_core::prelude::*;
+use ftb_core::{golden_boundary, Boundary};
+use ftb_inject::{ExhaustiveResult, Outcome};
+use ftb_trace::{Precision, StaticId, Tracer};
+use proptest::prelude::*;
+
+/// Build a golden run holding exactly `vals`.
+fn golden_of(vals: &[f64]) -> ftb_trace::GoldenRun {
+    let mut t = Tracer::golden(Precision::F64);
+    for &v in vals {
+        t.value(StaticId(0), v);
+    }
+    t.finish_golden(vals.to_vec())
+}
+
+/// Build a *monotone* synthetic exhaustive truth for `vals`: at each
+/// site, flips with injected error ≤ cutoff are masked, larger finite
+/// errors are SDC, non-finite flips are crashes.
+fn monotone_truth(golden: &ftb_trace::GoldenRun, cutoffs: &[f64]) -> ExhaustiveResult {
+    let bits = golden.precision.bits();
+    let mut codes = Vec::with_capacity(golden.n_sites() * bits as usize);
+    for (site, &cutoff) in cutoffs.iter().enumerate().take(golden.n_sites()) {
+        for e in golden.flip_errors(site) {
+            let o = if !e.is_finite() {
+                Outcome::Crash(ftb_inject::CrashKind::NonFinite)
+            } else if e <= cutoff {
+                Outcome::Masked
+            } else {
+                Outcome::Sdc
+            };
+            codes.push(o.code());
+        }
+    }
+    ExhaustiveResult {
+        n_sites: golden.n_sites(),
+        bits,
+        codes,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On a perfectly monotone program, the golden boundary recovers a
+    /// classifier with precision 1 and recall 1: every masked flip sits
+    /// at or below the recovered threshold, every SDC flip above it.
+    #[test]
+    fn golden_boundary_is_exact_on_monotone_truth(
+        vals in proptest::collection::vec(0.5f64..100.0, 1..20),
+        cutoff_scale in 0.0f64..2.0,
+    ) {
+        let golden = golden_of(&vals);
+        let cutoffs: Vec<f64> = vals.iter().map(|v| v * cutoff_scale).collect();
+        let truth = monotone_truth(&golden, &cutoffs);
+        let boundary = golden_boundary(&golden, &truth);
+        let predictor = Predictor::new(&golden, &boundary);
+        let eval = BoundaryEval::against_exhaustive(&predictor, &truth);
+        prop_assert_eq!(eval.precision, 1.0);
+        prop_assert_eq!(eval.recall, 1.0, "m_total {} m_positive {}", eval.m_total, eval.m_positive);
+    }
+
+    /// Counting identities of the evaluation hold for arbitrary truth
+    /// streams and boundaries.
+    #[test]
+    fn eval_counting_identities(
+        vals in proptest::collection::vec(0.5f64..100.0, 1..15),
+        thresholds in proptest::collection::vec(0.0f64..200.0, 1..15),
+        outcome_bits in any::<u64>(),
+    ) {
+        let n = vals.len().min(thresholds.len());
+        let golden = golden_of(&vals[..n]);
+        let boundary = Boundary::from_thresholds(thresholds[..n].to_vec());
+        let predictor = Predictor::new(&golden, &boundary);
+        // a pseudorandom truth assignment
+        let truth: Vec<(usize, u8, Outcome)> = (0..n)
+            .flat_map(|site| (0..64u8).map(move |bit| {
+                let h = (site as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ (u64::from(bit) << 32) ^ outcome_bits;
+                let o = match h % 3 {
+                    0 => Outcome::Masked,
+                    1 => Outcome::Sdc,
+                    _ => Outcome::Crash(ftb_inject::CrashKind::NonFinite),
+                };
+                (site, bit, o)
+            }))
+            .collect();
+        let eval = BoundaryEval::from_truth(&predictor, truth.iter().copied());
+        prop_assert_eq!(eval.n_evaluated as usize, truth.len());
+        prop_assert!(eval.m_positive <= eval.m_predict);
+        prop_assert!(eval.m_positive <= eval.m_total);
+        prop_assert!((0.0..=1.0).contains(&eval.precision));
+        prop_assert!((0.0..=1.0).contains(&eval.recall));
+        // brute-force recount
+        let mut mp = 0u64;
+        let mut mt = 0u64;
+        let mut pos = 0u64;
+        for &(site, bit, o) in &truth {
+            let pm = predictor.predict(site, bit).is_masked();
+            mp += u64::from(pm);
+            mt += u64::from(o.is_masked());
+            pos += u64::from(pm && o.is_masked());
+        }
+        prop_assert_eq!(mp, eval.m_predict);
+        prop_assert_eq!(mt, eval.m_total);
+        prop_assert_eq!(pos, eval.m_positive);
+    }
+
+    /// Raising a threshold can only move predictions from assumed-SDC to
+    /// masked, never the reverse — so recall is monotone in the boundary.
+    #[test]
+    fn recall_is_monotone_in_the_boundary(
+        vals in proptest::collection::vec(0.5f64..100.0, 1..12),
+        lo in proptest::collection::vec(0.0f64..10.0, 1..12),
+        bumps in proptest::collection::vec(0.0f64..100.0, 1..12),
+    ) {
+        let n = vals.len().min(lo.len()).min(bumps.len());
+        let golden = golden_of(&vals[..n]);
+        let cutoffs: Vec<f64> = vals[..n].iter().map(|v| v * 0.7).collect();
+        let truth = monotone_truth(&golden, &cutoffs);
+
+        let small = Boundary::from_thresholds(lo[..n].to_vec());
+        let big_thresholds: Vec<f64> = lo[..n]
+            .iter()
+            .zip(&bumps[..n])
+            .map(|(&a, &b)| a + b)
+            .collect();
+        let big = Boundary::from_thresholds(big_thresholds);
+
+        let ps = Predictor::new(&golden, &small);
+        let pb = Predictor::new(&golden, &big);
+        let es = BoundaryEval::against_exhaustive(&ps, &truth);
+        let eb = BoundaryEval::against_exhaustive(&pb, &truth);
+        prop_assert!(eb.recall >= es.recall, "recall {} -> {}", es.recall, eb.recall);
+    }
+
+    /// The predicted SDC ratio of a site is exactly the fraction of
+    /// finite, above-threshold, non-crash flips.
+    #[test]
+    fn site_sdc_ratio_matches_brute_force(
+        v in 0.5f64..100.0,
+        threshold in 0.0f64..300.0,
+    ) {
+        let golden = golden_of(&[v]);
+        let boundary = Boundary::from_thresholds(vec![threshold]);
+        let predictor = Predictor::new(&golden, &boundary);
+        let ratio = predictor.sdc_ratio_at(0, None);
+        let expected = (0..64u8)
+            .filter(|&bit| predictor.predict(0, bit) == PredictedOutcome::AssumedSdc)
+            .count() as f64
+            / 64.0;
+        prop_assert_eq!(ratio, expected);
+    }
+
+    /// Protection-plan accounting: residual SDC plus removed SDC equals
+    /// the baseline, for any budget.
+    #[test]
+    fn protection_budget_accounting(
+        vals in proptest::collection::vec(0.5f64..100.0, 2..12),
+        budget_frac in 0.0f64..1.0,
+    ) {
+        let golden = golden_of(&vals);
+        let cutoffs: Vec<f64> = vals.iter().map(|v| v * 0.5).collect();
+        let truth = monotone_truth(&golden, &cutoffs);
+        let boundary = golden_boundary(&golden, &truth);
+        let predictor = Predictor::new(&golden, &boundary);
+        let budget = (vals.len() as f64 * budget_frac) as usize;
+        let plan = ProtectionPlan::rank(&predictor, None, budget);
+        let residual = plan.residual_sdc(&truth);
+        prop_assert!(residual <= truth.overall_sdc_ratio() + 1e-15);
+        prop_assert!((0.0..=1.0).contains(&plan.sdc_reduction(&truth)));
+        // guarding everything removes everything
+        let full = ProtectionPlan::rank(&predictor, None, vals.len());
+        prop_assert_eq!(full.residual_sdc(&truth), 0.0);
+    }
+}

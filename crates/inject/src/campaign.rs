@@ -1,0 +1,306 @@
+//! Campaign execution: single experiments, experiment batches, and the
+//! exhaustive ground-truth campaign.
+//!
+//! Fault-injection campaigns are embarrassingly parallel — every
+//! experiment is an independent re-execution of the kernel — so batches
+//! fan out over Rayon. Kernels are immutable (`&dyn Kernel` is `Sync`)
+//! and each worker owns its run's tracer, so there is no shared mutable
+//! state at all.
+
+use crate::experiment::Experiment;
+use crate::outcome::{Classifier, Outcome};
+use ftb_kernels::Kernel;
+use ftb_trace::{propagation, FaultSpec, GoldenRun, Propagation, RecordMode};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Bound experiment runner: a kernel, its golden run, and a classifier.
+pub struct Injector<'k> {
+    kernel: &'k dyn Kernel,
+    golden: GoldenRun,
+    classifier: Classifier,
+}
+
+impl<'k> Injector<'k> {
+    /// Record the golden run and bind the classifier.
+    pub fn new(kernel: &'k dyn Kernel, classifier: Classifier) -> Self {
+        let golden = kernel.golden();
+        Injector {
+            kernel,
+            golden,
+            classifier,
+        }
+    }
+
+    /// Bind to an already-recorded golden run (avoids re-recording when
+    /// several analyses share one kernel).
+    pub fn with_golden(kernel: &'k dyn Kernel, golden: GoldenRun, classifier: Classifier) -> Self {
+        Injector {
+            kernel,
+            golden,
+            classifier,
+        }
+    }
+
+    /// The golden reference run.
+    pub fn golden(&self) -> &GoldenRun {
+        &self.golden
+    }
+
+    /// The outcome classifier in use.
+    pub fn classifier(&self) -> &Classifier {
+        &self.classifier
+    }
+
+    /// Number of fault-injection sites.
+    pub fn n_sites(&self) -> usize {
+        self.golden.n_sites()
+    }
+
+    /// Bits per site.
+    pub fn bits(&self) -> u8 {
+        self.golden.precision.bits()
+    }
+
+    /// Run one experiment (outcome only — the fast path).
+    ///
+    /// # Panics
+    /// Panics if `site` is out of range.
+    pub fn run_one(&self, site: usize, bit: u8) -> Experiment {
+        assert!(site < self.n_sites(), "site {site} out of range");
+        let run = self
+            .kernel
+            .run_injected(FaultSpec { site, bit }, RecordMode::OutputOnly);
+        let (outcome, output_err) = self.classifier.classify(&self.golden, &run);
+        Experiment {
+            site,
+            bit,
+            injected_err: run.injected_err.unwrap_or(0.0),
+            output_err,
+            outcome,
+        }
+    }
+
+    /// Run one experiment with full tracing and extract its propagation
+    /// data (used for masked experiments feeding Algorithm 1).
+    pub fn run_one_traced(&self, site: usize, bit: u8) -> (Experiment, Propagation) {
+        assert!(site < self.n_sites(), "site {site} out of range");
+        let run = self
+            .kernel
+            .run_injected(FaultSpec { site, bit }, RecordMode::Full);
+        let (outcome, output_err) = self.classifier.classify(&self.golden, &run);
+        let prop = propagation(&self.golden, &run);
+        (
+            Experiment {
+                site,
+                bit,
+                injected_err: run.injected_err.unwrap_or(0.0),
+                output_err,
+                outcome,
+            },
+            prop,
+        )
+    }
+
+    /// Run a batch of experiments in parallel. Results are returned in
+    /// input order.
+    pub fn run_many(&self, faults: &[FaultSpec]) -> Vec<Experiment> {
+        faults
+            .par_iter()
+            .map(|f| self.run_one(f.site, f.bit))
+            .collect()
+    }
+
+    /// The exhaustive ground-truth campaign: every bit of every site
+    /// (`n_sites × bits` kernel executions), parallel over sites.
+    pub fn exhaustive(&self) -> ExhaustiveResult {
+        let bits = self.bits();
+        let n = self.n_sites();
+        let codes: Vec<u8> = (0..n)
+            .into_par_iter()
+            .flat_map_iter(|site| (0..bits).map(move |bit| self.run_one(site, bit).outcome.code()))
+            .collect();
+        ExhaustiveResult {
+            n_sites: n,
+            bits,
+            codes,
+        }
+    }
+}
+
+/// Dense outcome table of an exhaustive campaign: one code per
+/// `(site, bit)` experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExhaustiveResult {
+    /// Number of sites covered.
+    pub n_sites: usize,
+    /// Bits per site.
+    pub bits: u8,
+    /// Outcome codes, laid out `site * bits + bit`.
+    pub codes: Vec<u8>,
+}
+
+impl ExhaustiveResult {
+    /// Outcome of experiment `(site, bit)`.
+    #[inline]
+    pub fn outcome(&self, site: usize, bit: u8) -> Outcome {
+        Outcome::from_code(self.codes[site * self.bits as usize + bit as usize])
+    }
+
+    /// Total number of experiments.
+    pub fn n_experiments(&self) -> u64 {
+        self.codes.len() as u64
+    }
+
+    /// Per-site SDC ratio: SDC outcomes over all experiments at the site
+    /// (the paper's per-dynamic-instruction vulnerability metric).
+    pub fn sdc_ratio_per_site(&self) -> Vec<f64> {
+        let b = self.bits as usize;
+        self.codes
+            .chunks_exact(b)
+            .map(|chunk| {
+                let sdc = chunk.iter().filter(|&&c| c == Outcome::Sdc.code()).count();
+                sdc as f64 / b as f64
+            })
+            .collect()
+    }
+
+    /// Overall `SDC_ratio = n_sdc / N` over the whole campaign.
+    pub fn overall_sdc_ratio(&self) -> f64 {
+        let sdc = self
+            .codes
+            .iter()
+            .filter(|&&c| c == Outcome::Sdc.code())
+            .count();
+        sdc as f64 / self.codes.len() as f64
+    }
+
+    /// Counts of (masked, sdc, crash) outcomes.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        let (mut m, mut s, mut c) = (0, 0, 0);
+        for &code in &self.codes {
+            match code {
+                0 => m += 1,
+                1 => s += 1,
+                _ => c += 1,
+            }
+        }
+        (m, s, c)
+    }
+
+    /// Iterate over every experiment as `(site, bit, outcome)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u8, Outcome)> + '_ {
+        let b = self.bits as usize;
+        self.codes
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (i / b, (i % b) as u8, Outcome::from_code(c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftb_kernels::{MatvecConfig, MatvecKernel};
+
+    fn tiny_kernel() -> MatvecKernel {
+        MatvecKernel::new(MatvecConfig {
+            n: 4,
+            ..MatvecConfig::small()
+        })
+    }
+
+    fn injector(k: &MatvecKernel) -> Injector<'_> {
+        Injector::new(k, Classifier::new(1e-6))
+    }
+
+    #[test]
+    fn run_one_sign_flip_of_used_input_is_sdc() {
+        let k = tiny_kernel();
+        let inj = injector(&k);
+        // sign-flip an element of A (site 0): y row 0 is corrupted
+        let e = inj.run_one(0, 63);
+        assert_eq!(e.outcome, Outcome::Sdc);
+        assert!(e.injected_err > 0.0);
+        assert!(e.output_err > 1e-6);
+    }
+
+    #[test]
+    fn run_one_low_bit_is_masked() {
+        let k = tiny_kernel();
+        let inj = injector(&k);
+        let e = inj.run_one(0, 0);
+        assert_eq!(e.outcome, Outcome::Masked);
+        assert!(e.output_err <= 1e-6);
+    }
+
+    #[test]
+    fn traced_run_agrees_with_untraced() {
+        let k = tiny_kernel();
+        let inj = injector(&k);
+        for (site, bit) in [(0usize, 63u8), (5, 0), (10, 52)] {
+            let fast = inj.run_one(site, bit);
+            let (slow, prop) = inj.run_one_traced(site, bit);
+            assert_eq!(fast, slow, "record mode must not change the outcome");
+            assert_eq!(prop.injected_at, site);
+        }
+    }
+
+    #[test]
+    fn run_many_preserves_order() {
+        let k = tiny_kernel();
+        let inj = injector(&k);
+        let faults: Vec<FaultSpec> = (0..8).map(|s| FaultSpec { site: s, bit: 1 }).collect();
+        let res = inj.run_many(&faults);
+        assert_eq!(res.len(), 8);
+        for (i, e) in res.iter().enumerate() {
+            assert_eq!(e.site, i);
+            assert_eq!(e.bit, 1);
+        }
+    }
+
+    #[test]
+    fn exhaustive_covers_every_pair_and_matches_run_one() {
+        let k = tiny_kernel();
+        let inj = injector(&k);
+        let ex = inj.exhaustive();
+        assert_eq!(ex.n_experiments(), inj.n_sites() as u64 * 64);
+        // spot-check agreement with single runs
+        for (site, bit) in [(0usize, 63u8), (3, 10), (17, 62)] {
+            assert_eq!(ex.outcome(site, bit), inj.run_one(site, bit).outcome);
+        }
+        let (m, s, c) = ex.counts();
+        assert_eq!(m + s + c, ex.n_experiments());
+        assert!(m > 0, "some flips must be masked");
+        assert!(s > 0, "some flips must be SDC");
+    }
+
+    #[test]
+    fn per_site_ratios_average_to_overall() {
+        let k = tiny_kernel();
+        let inj = injector(&k);
+        let ex = inj.exhaustive();
+        let per = ex.sdc_ratio_per_site();
+        assert_eq!(per.len(), inj.n_sites());
+        let avg = per.iter().sum::<f64>() / per.len() as f64;
+        assert!((avg - ex.overall_sdc_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_layout_matches_outcome_accessor() {
+        let k = tiny_kernel();
+        let inj = injector(&k);
+        let ex = inj.exhaustive();
+        for (site, bit, o) in ex.iter().take(130) {
+            assert_eq!(o, ex.outcome(site, bit));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_site_panics() {
+        let k = tiny_kernel();
+        let inj = injector(&k);
+        let _ = inj.run_one(1_000_000, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # ftb-inject
+//!
+//! The fault-injection engine: runs single-bit-flip experiments against an
+//! instrumented kernel and classifies their outcomes into the paper's
+//! three categories (§2.1):
+//!
+//! * **Masked** — the output is within the domain tolerance `T` of the
+//!   golden output (not necessarily bitwise identical);
+//! * **SDC** — the run terminates normally but the output violates `T`;
+//! * **Crash** — the run dies with a symptom: a non-finite value (the
+//!   NaN-exception model) or an iteration blow-up (the hang model for
+//!   iterative solvers).
+//!
+//! Campaign styles:
+//!
+//! * [`Injector::exhaustive`] — every bit of every dynamic instruction
+//!   (the ground truth of the paper's §4.1, Rayon-parallel over sites);
+//! * [`Injector::run_many`] — an arbitrary experiment list in parallel
+//!   (used by the boundary samplers);
+//! * [`monte_carlo()`] — the uniform statistical-fault-injection baseline
+//!   (Leveugle et al., reference 18 of the paper) that reports an overall SDC
+//!   ratio with a binomial confidence interval.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod experiment;
+pub mod lockstep;
+pub mod monte_carlo;
+pub mod outcome;
+
+pub use campaign::{ExhaustiveResult, Injector};
+pub use experiment::Experiment;
+pub use lockstep::{fold_propagation_lockstep, LockstepReport};
+pub use monte_carlo::{monte_carlo, MonteCarloEstimate};
+pub use outcome::{Classifier, CrashKind, Outcome};

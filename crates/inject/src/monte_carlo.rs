@@ -1,0 +1,131 @@
+//! The statistical-fault-injection baseline.
+//!
+//! The traditional approach the paper compares against (its Figure 1,
+//! left): uniformly sample `(site, bit)` experiments and report the
+//! overall SDC ratio with a binomial confidence interval (Leveugle et
+//! al., DATE'09 — reference 18 of the paper). It estimates the *overall*
+//! ratio well but says nothing about unsampled instructions — exactly the
+//! gap the fault tolerance boundary closes.
+
+use crate::campaign::Injector;
+use crate::experiment::Experiment;
+use ftb_stats::ci::{proportion_ci_wilson, ConfidenceInterval};
+use ftb_stats::sampling::seeded_rng;
+use ftb_trace::FaultSpec;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Result of a uniform Monte-Carlo campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonteCarloEstimate {
+    /// Number of experiments run.
+    pub n: u64,
+    /// Number of SDC outcomes.
+    pub n_sdc: u64,
+    /// Number of masked outcomes.
+    pub n_masked: u64,
+    /// Number of crash outcomes.
+    pub n_crash: u64,
+    /// Wilson confidence interval around the SDC ratio.
+    pub sdc_ci: ConfidenceInterval,
+    /// Number of *distinct sites* the campaign touched — the coverage
+    /// number contrasted with the boundary method in Figure 1.
+    pub distinct_sites: usize,
+}
+
+impl MonteCarloEstimate {
+    /// Point estimate of the SDC ratio.
+    pub fn sdc_ratio(&self) -> f64 {
+        self.sdc_ci.estimate
+    }
+}
+
+/// Run `n` uniform-random experiments (sites and bits drawn uniformly,
+/// with replacement — the classic statistical-FI estimator) and summarise.
+pub fn monte_carlo(injector: &Injector<'_>, n: u64, level: f64, seed: u64) -> MonteCarloEstimate {
+    assert!(n > 0, "need at least one experiment");
+    let mut rng = seeded_rng(seed);
+    let n_sites = injector.n_sites();
+    let bits = injector.bits();
+    let faults: Vec<FaultSpec> = (0..n)
+        .map(|_| FaultSpec {
+            site: rng.gen_range(0..n_sites),
+            bit: rng.gen_range(0..bits),
+        })
+        .collect();
+    let results = injector.run_many(&faults);
+    summarize(&results, level)
+}
+
+/// Summarise an arbitrary experiment list as a Monte-Carlo estimate.
+pub fn summarize(results: &[Experiment], level: f64) -> MonteCarloEstimate {
+    let n = results.len() as u64;
+    let n_sdc = results.iter().filter(|e| e.outcome.is_sdc()).count() as u64;
+    let n_masked = results.iter().filter(|e| e.outcome.is_masked()).count() as u64;
+    let n_crash = n - n_sdc - n_masked;
+    let mut sites: Vec<usize> = results.iter().map(|e| e.site).collect();
+    sites.sort_unstable();
+    sites.dedup();
+    MonteCarloEstimate {
+        n,
+        n_sdc,
+        n_masked,
+        n_crash,
+        sdc_ci: proportion_ci_wilson(n_sdc, n, level),
+        distinct_sites: sites.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Classifier;
+    use ftb_kernels::{MatvecConfig, MatvecKernel};
+
+    #[test]
+    fn estimate_tracks_exhaustive_truth() {
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 4,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let truth = inj.exhaustive().overall_sdc_ratio();
+        let est = monte_carlo(&inj, 800, 0.95, 7);
+        assert_eq!(est.n, 800);
+        assert_eq!(est.n_sdc + est.n_masked + est.n_crash, 800);
+        assert!(
+            est.sdc_ci.contains(truth) || (est.sdc_ratio() - truth).abs() < 0.05,
+            "MC estimate {} too far from truth {truth}",
+            est.sdc_ratio()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 4,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let a = monte_carlo(&inj, 100, 0.95, 3);
+        let b = monte_carlo(&inj, 100, 0.95, 3);
+        assert_eq!(a.n_sdc, b.n_sdc);
+        assert_eq!(a.distinct_sites, b.distinct_sites);
+    }
+
+    #[test]
+    fn coverage_is_partial_at_low_sample_counts() {
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 8,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let est = monte_carlo(&inj, 20, 0.95, 1);
+        assert!(est.distinct_sites <= 20);
+        assert!(
+            est.distinct_sites < inj.n_sites(),
+            "20 samples cannot cover {} sites",
+            inj.n_sites()
+        );
+    }
+}

@@ -1,0 +1,467 @@
+//! Conjugate gradient on a MiniFE-style 2-D Poisson finite-element system.
+//!
+//! The paper's CG benchmark (from MiniFE) solves a sparse linear system
+//! arising from a finite-element discretisation. We use the standard
+//! 5-point Poisson operator on a `grid × grid` mesh with a manufactured
+//! right-hand side, applied matrix-free (identical arithmetic to a CSR
+//! apply of the assembled stencil matrix).
+//!
+//! The dynamic-instruction layout deliberately mirrors the paper's §4.2
+//! description of its Figure 4:
+//!
+//! 1. the run opens with `x = 0` stores — "the first 80 dynamic
+//!    instructions initialize floating point variables to zero", whose
+//!    flips are almost all tiny (§4.2's analysis of bit flips on a
+//!    32-bit zero);
+//! 2. a one-shot setup region (`b`, `r = b`, `p = r`) that later errors
+//!    never propagate back into;
+//! 3. the iterative compute/reduction region, where errors injected early
+//!    propagate through every subsequent iteration.
+//!
+//! The convergence test goes through [`Tracer::branch`], so a fault that
+//! changes the iteration count is detected as control-flow divergence.
+
+use crate::csr::Csr;
+use crate::inputs::uniform_vec;
+use crate::Kernel;
+use ftb_trace::{Precision, StaticRegistry, Tracer};
+use serde::{Deserialize, Serialize};
+
+ftb_trace::static_instrs! {
+    pub mod sid {
+        INIT_X   => ("cg.init.x=0", Init),
+        INIT_MAT => ("cg.init.matrix", Init),
+        INIT_B   => ("cg.init.b", Init),
+        INIT_R   => ("cg.init.r=b", Init),
+        INIT_P   => ("cg.init.p=r", Init),
+        DOT_RR0  => ("cg.dot.rr0", Reduction),
+        SPMV_Q   => ("cg.spmv.q=Ap", Compute),
+        DOT_PQ   => ("cg.dot.pq", Reduction),
+        ALPHA    => ("cg.alpha", Compute),
+        UPDATE_X => ("cg.update.x", Compute),
+        UPDATE_R => ("cg.update.r", Compute),
+        DOT_RR   => ("cg.dot.rr", Reduction),
+        BETA     => ("cg.beta", Compute),
+        UPDATE_P => ("cg.update.p", Compute),
+    }
+}
+
+/// How the CG kernel represents the Poisson operator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CgStorage {
+    /// Apply the 5-point stencil directly (no stored matrix data).
+    #[default]
+    MatrixFree,
+    /// Assemble an explicit CSR matrix first (MiniFE semantics): every
+    /// stored matrix entry is itself an injectable dynamic instruction,
+    /// and a corrupted entry perturbs both the right-hand-side assembly
+    /// and every subsequent operator application.
+    AssembledCsr,
+}
+
+/// Configuration of the CG kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CgConfig {
+    /// Mesh is `grid × grid`; the system has `grid²` unknowns. The
+    /// paper's §4.6 scaling study uses 20×20 and 100×100.
+    pub grid: usize,
+    /// Relative residual reduction target (‖r‖² ≤ rtol² ‖b‖²).
+    pub rtol: f64,
+    /// Hard iteration cap (the hang bound for faulty runs).
+    pub max_iters: usize,
+    /// Element precision. The paper analyses CG with 32-bit floats.
+    pub precision: Precision,
+    /// Input seed.
+    pub seed: u64,
+    /// Operator representation.
+    #[serde(default)]
+    pub storage: CgStorage,
+}
+
+impl CgConfig {
+    /// A laptop-scale default: 8×8 mesh (64 unknowns), f32 elements.
+    pub fn small() -> Self {
+        CgConfig {
+            grid: 8,
+            rtol: 1e-4,
+            max_iters: 200,
+            precision: Precision::F32,
+            seed: 42,
+            storage: CgStorage::MatrixFree,
+        }
+    }
+
+    /// The paper-proportioned sizes of §4.6.
+    pub fn paper_scaling(grid: usize) -> Self {
+        CgConfig {
+            grid,
+            rtol: 1e-4,
+            max_iters: 4 * grid * grid,
+            precision: Precision::F32,
+            seed: 42,
+            storage: CgStorage::MatrixFree,
+        }
+    }
+}
+
+/// The instrumented CG kernel. Immutable after construction; safe to run
+/// from many campaign threads concurrently.
+#[derive(Debug, Clone)]
+pub struct CgKernel {
+    cfg: CgConfig,
+    /// Manufactured solution used to build the right-hand side.
+    x_true: Vec<f64>,
+    /// Assembled operator (only in [`CgStorage::AssembledCsr`] mode).
+    matrix: Option<Csr>,
+    sites_hint: usize,
+    branches_hint: usize,
+}
+
+impl CgKernel {
+    /// Build the kernel, generating its input from `cfg.seed` and running
+    /// one untraced dry run to size the trace buffers exactly.
+    pub fn new(cfg: CgConfig) -> Self {
+        let n = cfg.grid * cfg.grid;
+        let x_true = uniform_vec(cfg.seed, n, -1.0, 1.0);
+        let matrix = match cfg.storage {
+            CgStorage::MatrixFree => None,
+            CgStorage::AssembledCsr => Some(Csr::poisson_2d(cfg.grid)),
+        };
+        let mut k = CgKernel {
+            cfg,
+            x_true,
+            matrix,
+            sites_hint: 0,
+            branches_hint: 0,
+        };
+        let mut t = Tracer::untraced(k.cfg.precision);
+        let _ = k.run(&mut t);
+        k.sites_hint = t.cursor();
+        k.branches_hint = t.branch_count();
+        k
+    }
+
+    /// Number of unknowns (`grid²`).
+    pub fn n_unknowns(&self) -> usize {
+        self.cfg.grid * self.cfg.grid
+    }
+
+    /// The kernel's configuration.
+    pub fn config(&self) -> &CgConfig {
+        &self.cfg
+    }
+
+    /// Apply the 5-point Poisson operator: `q = A v`, tracing each store
+    /// of `q`. Dirichlet boundary: off-grid neighbours are zero.
+    fn apply_poisson(&self, t: &mut Tracer, v: &[f64], q: &mut [f64]) {
+        let g = self.cfg.grid;
+        for i in 0..g {
+            for j in 0..g {
+                let idx = i * g + j;
+                let mut s = 4.0 * v[idx];
+                if i > 0 {
+                    s -= v[idx - g];
+                }
+                if i + 1 < g {
+                    s -= v[idx + g];
+                }
+                if j > 0 {
+                    s -= v[idx - 1];
+                }
+                if j + 1 < g {
+                    s -= v[idx + 1];
+                }
+                q[idx] = t.value(sid::SPMV_Q, s);
+            }
+        }
+    }
+}
+
+impl Kernel for CgKernel {
+    fn name(&self) -> &'static str {
+        "cg"
+    }
+
+    fn precision(&self) -> Precision {
+        self.cfg.precision
+    }
+
+    fn registry(&self) -> StaticRegistry {
+        sid::registry()
+    }
+
+    fn estimated_sites(&self) -> usize {
+        self.sites_hint
+    }
+
+    fn estimated_branches(&self) -> usize {
+        self.branches_hint
+    }
+
+    fn run(&self, t: &mut Tracer) -> Vec<f64> {
+        let n = self.n_unknowns();
+        let g = self.cfg.grid;
+
+        // Region 1: zero-initialise the solution vector.
+        let mut x = vec![0.0; n];
+        for xi in x.iter_mut() {
+            *xi = t.value(sid::INIT_X, 0.0);
+        }
+
+        // Region 1b (AssembledCsr only): matrix assembly — every stored
+        // entry is a dynamic instruction (MiniFE semantics).
+        let avals: Option<Vec<f64>> = self.matrix.as_ref().map(|m| {
+            m.values()
+                .iter()
+                .map(|&v| t.value(sid::INIT_MAT, v))
+                .collect()
+        });
+
+        // Region 2: one-shot setup. b = A x_true (manufactured), r = b,
+        // p = r. Errors injected later in the run never propagate back
+        // into these dynamic instructions.
+        let mut b = vec![0.0; n];
+        if let Some(m) = &self.matrix {
+            // the right-hand side comes from the source term, not from the
+            // stored operator entries (so a corrupted matrix entry leads
+            // to an inconsistent system, as in a real FE code where b is
+            // integrated independently): compute from pristine values,
+            // trace only the stores
+            let mut tmp = vec![0.0; n];
+            m.spmv(&self.x_true, &mut tmp);
+            for (dst, &src) in b.iter_mut().zip(&tmp) {
+                *dst = t.value(sid::INIT_B, src);
+            }
+        } else {
+            for i in 0..g {
+                for j in 0..g {
+                    let idx = i * g + j;
+                    let v = &self.x_true;
+                    let mut s = 4.0 * v[idx];
+                    if i > 0 {
+                        s -= v[idx - g];
+                    }
+                    if i + 1 < g {
+                        s -= v[idx + g];
+                    }
+                    if j > 0 {
+                        s -= v[idx - 1];
+                    }
+                    if j + 1 < g {
+                        s -= v[idx + 1];
+                    }
+                    b[idx] = t.value(sid::INIT_B, s);
+                }
+            }
+        }
+        let mut r = vec![0.0; n];
+        for i in 0..n {
+            r[i] = t.value(sid::INIT_R, b[i]);
+        }
+        let mut p = vec![0.0; n];
+        for i in 0..n {
+            p[i] = t.value(sid::INIT_P, r[i]);
+        }
+        let mut rr = t.value(sid::DOT_RR0, dot(&r, &r));
+
+        let bb: f64 = dot(&b, &b);
+        let tol2 = self.cfg.rtol * self.cfg.rtol * bb;
+
+        // Region 3: the iterative solve.
+        let mut q = vec![0.0; n];
+        let mut it = 0;
+        while t.branch(it < self.cfg.max_iters && rr > tol2) {
+            if let (Some(m), Some(av)) = (&self.matrix, &avals) {
+                m.spmv_traced(t, sid::SPMV_Q, av, &p, &mut q);
+            } else {
+                self.apply_poisson(t, &p, &mut q);
+            }
+            let pq = t.value(sid::DOT_PQ, dot(&p, &q));
+            let alpha = t.value(sid::ALPHA, rr / pq);
+            for i in 0..n {
+                x[i] = t.value(sid::UPDATE_X, x[i] + alpha * p[i]);
+            }
+            for i in 0..n {
+                r[i] = t.value(sid::UPDATE_R, r[i] - alpha * q[i]);
+            }
+            let rr_new = t.value(sid::DOT_RR, dot(&r, &r));
+            let beta = t.value(sid::BETA, rr_new / rr);
+            for i in 0..n {
+                p[i] = t.value(sid::UPDATE_P, r[i] + beta * p[i]);
+            }
+            rr = rr_new;
+            it += 1;
+            // NaN-exception model: the program dies at the trap rather
+            // than iterating on poisoned data.
+            if t.trapped() {
+                break;
+            }
+        }
+
+        x
+    }
+}
+
+/// Untraced dot product (its *result* is traced by the caller; the paper's
+/// fault model corrupts stored data elements, and the partial sums live in
+/// registers).
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+    use ftb_trace::norms::Norm;
+    use ftb_trace::{FaultSpec, RecordMode};
+
+    #[test]
+    fn golden_solves_the_system() {
+        let k = CgKernel::new(CgConfig::small());
+        let g = k.golden();
+        // the solution approximates the manufactured x_true
+        let err = Norm::LInf.distance(&g.output, &k.x_true);
+        assert!(err < 2e-3, "CG did not converge: L∞ error {err}");
+    }
+
+    #[test]
+    fn converges_before_iteration_cap() {
+        let k = CgKernel::new(CgConfig::small());
+        let g = k.golden();
+        // branch events = iterations + final false test; far below cap
+        assert!(g.branches.len() < CgConfig::small().max_iters);
+        assert!(g.branches.len() > 3, "suspiciously few iterations");
+    }
+
+    #[test]
+    fn site_layout_starts_with_zero_init() {
+        let k = CgKernel::new(CgConfig::small());
+        let g = k.golden();
+        let n = k.n_unknowns();
+        for i in 0..n {
+            assert_eq!(g.values[i], 0.0, "x init site {i} not zero");
+            assert_eq!(g.static_id(i), sid::INIT_X);
+        }
+        assert_eq!(g.static_id(n), sid::INIT_B);
+    }
+
+    #[test]
+    fn f32_precision_quantizes_all_sites() {
+        let k = CgKernel::new(CgConfig::small());
+        let g = k.golden();
+        for (i, &v) in g.values.iter().enumerate() {
+            assert_eq!(v, v as f32 as f64, "site {i} not an f32 value");
+        }
+    }
+
+    #[test]
+    fn low_mantissa_flip_late_in_run_is_masked() {
+        let k = CgKernel::new(CgConfig::small());
+        let g = k.golden();
+        // flip the lowest mantissa bit of one of the last x updates
+        let site = g.n_sites() - 2;
+        let r = k.run_injected(FaultSpec { site, bit: 0 }, RecordMode::OutputOnly);
+        let d = Norm::LInf.distance(&g.output, &r.output);
+        assert!(
+            d < 1e-5,
+            "tiny late flip should be inconsequential, got {d}"
+        );
+    }
+
+    #[test]
+    fn sign_flip_of_rhs_is_not_masked() {
+        let k = CgKernel::new(CgConfig::small());
+        let g = k.golden();
+        let n = k.n_unknowns();
+        // find a b-init site with non-trivial magnitude and flip its sign
+        let site = (n..2 * n)
+            .max_by(|&a, &b| g.values[a].abs().partial_cmp(&g.values[b].abs()).unwrap())
+            .unwrap();
+        let r = k.run_injected(FaultSpec { site, bit: 31 }, RecordMode::OutputOnly);
+        let d = Norm::LInf.distance(&g.output, &r.output);
+        assert!(
+            d > 1e-2,
+            "sign flip of b should corrupt the solution, got {d}"
+        );
+    }
+
+    #[test]
+    fn faulty_iteration_count_shows_as_branch_divergence() {
+        let k = CgKernel::new(CgConfig::small());
+        let g = k.golden();
+        let n = k.n_unknowns();
+        // corrupt an early residual-ish site hard: sign flip of r init
+        let r = k.run_injected(
+            FaultSpec {
+                site: 2 * n + 3,
+                bit: 31,
+            },
+            RecordMode::Full,
+        );
+        let p = ftb_trace::propagation(&g, &r);
+        // either control flow diverged or the run still compared fully —
+        // but a sign flip of r definitely perturbs later instructions
+        assert!(p.errors.iter().any(|&e| e > 0.0));
+    }
+
+    #[test]
+    fn dry_run_hints_match_golden_exactly() {
+        let k = CgKernel::new(CgConfig::small());
+        let g = k.golden();
+        assert_eq!(k.estimated_sites(), g.n_sites());
+        assert_eq!(k.estimated_branches(), g.branches.len());
+    }
+
+    #[test]
+    fn assembled_csr_solves_like_matrix_free() {
+        let free = CgKernel::new(CgConfig::small());
+        let csr = CgKernel::new(CgConfig {
+            storage: CgStorage::AssembledCsr,
+            ..CgConfig::small()
+        });
+        let gf = free.golden();
+        let gc = csr.golden();
+        // identical arithmetic, identical solution (both f32-quantised)
+        let err = Norm::LInf.distance(&gf.output, &gc.output);
+        assert!(err < 1e-5, "storage modes disagree by {err}");
+        // but the CSR run has nnz extra injectable sites
+        assert!(
+            gc.n_sites() > gf.n_sites(),
+            "assembled mode should expose matrix-entry sites"
+        );
+    }
+
+    #[test]
+    fn corrupting_a_matrix_entry_perturbs_the_solution() {
+        let k = CgKernel::new(CgConfig {
+            storage: CgStorage::AssembledCsr,
+            ..CgConfig::small()
+        });
+        let g = k.golden();
+        let n = k.n_unknowns();
+        // matrix sites follow the n zero-init sites; sign-flip a diagonal
+        // entry (value 4.0 -> -4.0): the operator changes, so the solve
+        // lands somewhere else entirely
+        let site = (n..g.n_sites())
+            .find(|&s| g.static_id(s) == sid::INIT_MAT && g.values[s] == 4.0)
+            .expect("no diagonal matrix site found");
+        let r = k.run_injected(FaultSpec { site, bit: 31 }, RecordMode::OutputOnly);
+        let d = Norm::LInf.distance(&g.output, &r.output);
+        assert!(d > 1e-3, "matrix corruption should show, got {d}");
+    }
+
+    #[test]
+    fn scaling_config_grows_sites() {
+        let small = CgKernel::new(CgConfig {
+            grid: 6,
+            ..CgConfig::small()
+        });
+        let large = CgKernel::new(CgConfig {
+            grid: 12,
+            ..CgConfig::small()
+        });
+        assert!(large.estimated_sites() > 3 * small.estimated_sites());
+    }
+}

@@ -1,0 +1,147 @@
+//! Dense matrix-matrix product (`C = A·B`).
+//!
+//! Rounds out the §5 family ("sparse or dense matrix multiplication can be
+//! proven to have such a property"): an error in one element of `A` or `B`
+//! perturbs a single row/column of `C` linearly. Also serves as an extra
+//! workload for the campaign and boundary machinery beyond the paper's
+//! three evaluation kernels.
+
+use crate::inputs::uniform_vec;
+use crate::Kernel;
+use ftb_trace::{Precision, StaticRegistry, Tracer};
+use serde::{Deserialize, Serialize};
+
+ftb_trace::static_instrs! {
+    pub mod sid {
+        INIT_A => ("gemm.init.a", Init),
+        INIT_B => ("gemm.init.b", Init),
+        CELL   => ("gemm.cell", Compute),
+    }
+}
+
+/// Configuration of the GEMM kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GemmConfig {
+    /// Matrices are `n × n`.
+    pub n: usize,
+    /// Element precision.
+    pub precision: Precision,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl GemmConfig {
+    /// Laptop-scale default: 12×12.
+    pub fn small() -> Self {
+        GemmConfig {
+            n: 12,
+            precision: Precision::F64,
+            seed: 42,
+        }
+    }
+}
+
+/// The instrumented GEMM kernel.
+#[derive(Debug, Clone)]
+pub struct GemmKernel {
+    cfg: GemmConfig,
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl GemmKernel {
+    /// Build the kernel with random `A` and `B`.
+    pub fn new(cfg: GemmConfig) -> Self {
+        let a = uniform_vec(cfg.seed, cfg.n * cfg.n, -1.0, 1.0);
+        let b = uniform_vec(cfg.seed.wrapping_add(1), cfg.n * cfg.n, -1.0, 1.0);
+        GemmKernel { cfg, a, b }
+    }
+
+    /// The kernel's configuration.
+    pub fn config(&self) -> &GemmConfig {
+        &self.cfg
+    }
+}
+
+impl Kernel for GemmKernel {
+    fn name(&self) -> &'static str {
+        "gemm"
+    }
+
+    fn precision(&self) -> Precision {
+        self.cfg.precision
+    }
+
+    fn registry(&self) -> StaticRegistry {
+        sid::registry()
+    }
+
+    fn estimated_sites(&self) -> usize {
+        3 * self.cfg.n * self.cfg.n
+    }
+
+    fn run(&self, t: &mut Tracer) -> Vec<f64> {
+        let n = self.cfg.n;
+        let mut a = vec![0.0; n * n];
+        for (dst, &src) in a.iter_mut().zip(&self.a) {
+            *dst = t.value(sid::INIT_A, src);
+        }
+        let mut b = vec![0.0; n * n];
+        for (dst, &src) in b.iter_mut().zip(&self.b) {
+            *dst = t.value(sid::INIT_B, src);
+        }
+        let mut c = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += a[i * n + k] * b[k * n + j];
+                }
+                c[i * n + j] = t.value(sid::CELL, s);
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+    use ftb_trace::{FaultSpec, RecordMode};
+
+    #[test]
+    fn output_matches_direct_product() {
+        let k = GemmKernel::new(GemmConfig::small());
+        let g = k.golden();
+        let n = k.config().n;
+        for i in 0..n {
+            for j in 0..n {
+                let expect: f64 = (0..n).map(|x| k.a[i * n + x] * k.b[x * n + j]).sum();
+                assert!((g.output[i * n + j] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupting_a_element_touches_one_row_of_c() {
+        let k = GemmKernel::new(GemmConfig::small());
+        let g = k.golden();
+        let n = k.config().n;
+        // flip sign of A[2][5] (init site 2*n+5)
+        let site = 2 * n + 5;
+        let r = k.run_injected(FaultSpec { site, bit: 63 }, RecordMode::OutputOnly);
+        for i in 0..n {
+            for j in 0..n {
+                let changed = (g.output[i * n + j] - r.output[i * n + j]).abs() > 1e-12;
+                assert_eq!(changed, i == 2, "C[{i}][{j}] change pattern wrong");
+            }
+        }
+    }
+
+    #[test]
+    fn estimated_sites_is_exact() {
+        let k = GemmKernel::new(GemmConfig::small());
+        assert_eq!(k.estimated_sites(), k.golden().n_sites());
+    }
+}

@@ -1,0 +1,219 @@
+//! Jacobi iterative solver on the 2-D Poisson system.
+//!
+//! A contrasting workload for the boundary method: where CG's
+//! short-recurrence coupling makes error propagation noisy and
+//! non-monotonic, Jacobi is a *contraction* — each sweep multiplies the
+//! error by the iteration matrix whose spectral radius is < 1, so an
+//! injected perturbation **decays geometrically**. Propagation data from
+//! masked Jacobi runs therefore certifies large thresholds for early
+//! instructions (their errors die out), the mirror image of the LU/FFT
+//! pattern where early errors persist.
+//!
+//! The solve is `x_{k+1} = D⁻¹ (b − (A − D) x_k)` for the 5-point
+//! Poisson operator, with the same manufactured right-hand side as the
+//! CG kernel and a fixed sweep count (data-independent control flow).
+
+use crate::csr::Csr;
+use crate::inputs::uniform_vec;
+use crate::Kernel;
+use ftb_trace::{Precision, StaticRegistry, Tracer};
+use serde::{Deserialize, Serialize};
+
+ftb_trace::static_instrs! {
+    pub mod sid {
+        INIT_X  => ("jacobi.init.x=0", Init),
+        INIT_B  => ("jacobi.init.b", Init),
+        SWEEP_X => ("jacobi.sweep.x", Compute),
+        RESID   => ("jacobi.residual", Reduction),
+    }
+}
+
+/// Configuration of the Jacobi solver kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JacobiConfig {
+    /// Mesh is `grid × grid`.
+    pub grid: usize,
+    /// Number of sweeps (fixed; Jacobi converges slowly and the paper's
+    /// model prefers deterministic control flow where the algorithm has
+    /// it).
+    pub sweeps: usize,
+    /// Element precision.
+    pub precision: Precision,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl JacobiConfig {
+    /// Laptop-scale default: 6×6 mesh, 30 sweeps.
+    pub fn small() -> Self {
+        JacobiConfig {
+            grid: 6,
+            sweeps: 30,
+            precision: Precision::F64,
+            seed: 42,
+        }
+    }
+}
+
+/// The instrumented Jacobi solver.
+#[derive(Debug, Clone)]
+pub struct JacobiKernel {
+    cfg: JacobiConfig,
+    matrix: Csr,
+    x_true: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl JacobiKernel {
+    /// Build the kernel (assembles the Poisson system, manufactures `b`).
+    pub fn new(cfg: JacobiConfig) -> Self {
+        let n = cfg.grid * cfg.grid;
+        let matrix = Csr::poisson_2d(cfg.grid);
+        let x_true = uniform_vec(cfg.seed, n, -1.0, 1.0);
+        let mut b = vec![0.0; n];
+        matrix.spmv(&x_true, &mut b);
+        JacobiKernel {
+            cfg,
+            matrix,
+            x_true,
+            b,
+        }
+    }
+
+    /// The kernel's configuration.
+    pub fn config(&self) -> &JacobiConfig {
+        &self.cfg
+    }
+
+    /// The manufactured exact solution.
+    pub fn x_true(&self) -> &[f64] {
+        &self.x_true
+    }
+}
+
+impl Kernel for JacobiKernel {
+    fn name(&self) -> &'static str {
+        "jacobi"
+    }
+
+    fn precision(&self) -> Precision {
+        self.cfg.precision
+    }
+
+    fn registry(&self) -> StaticRegistry {
+        sid::registry()
+    }
+
+    fn estimated_sites(&self) -> usize {
+        let n = self.cfg.grid * self.cfg.grid;
+        2 * n + self.cfg.sweeps * (n + 1)
+    }
+
+    fn run(&self, t: &mut Tracer) -> Vec<f64> {
+        let n = self.cfg.grid * self.cfg.grid;
+
+        let mut x = vec![0.0; n];
+        for xi in x.iter_mut() {
+            *xi = t.value(sid::INIT_X, 0.0);
+        }
+        let mut b = vec![0.0; n];
+        for (dst, &src) in b.iter_mut().zip(&self.b) {
+            *dst = t.value(sid::INIT_B, src);
+        }
+
+        let mut next = vec![0.0; n];
+        for _ in 0..self.cfg.sweeps {
+            for r in 0..n {
+                let mut off = 0.0;
+                let mut diag = 0.0;
+                for (c, v) in self.matrix.row(r) {
+                    if c == r {
+                        diag = v;
+                    } else {
+                        off += v * x[c];
+                    }
+                }
+                next[r] = t.value(sid::SWEEP_X, (b[r] - off) / diag);
+            }
+            std::mem::swap(&mut x, &mut next);
+            // residual norm², traced as a reduction (a typical
+            // convergence-monitoring store in real solvers)
+            let mut res2 = 0.0;
+            let mut ax = vec![0.0; n];
+            self.matrix.spmv(&x, &mut ax);
+            for r in 0..n {
+                let d = b[r] - ax[r];
+                res2 += d * d;
+            }
+            let _ = t.value(sid::RESID, res2);
+            if t.trapped() {
+                break;
+            }
+        }
+
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+    use ftb_trace::norms::Norm;
+    use ftb_trace::{FaultSpec, RecordMode};
+
+    #[test]
+    fn converges_toward_manufactured_solution() {
+        let k = JacobiKernel::new(JacobiConfig {
+            sweeps: 400,
+            ..JacobiConfig::small()
+        });
+        let g = k.golden();
+        let err = Norm::LInf.distance(&g.output, k.x_true());
+        assert!(err < 1e-3, "Jacobi did not converge: {err}");
+    }
+
+    #[test]
+    fn residual_sites_decrease() {
+        let k = JacobiKernel::new(JacobiConfig::small());
+        let g = k.golden();
+        let resids: Vec<f64> = (0..g.n_sites())
+            .filter(|&s| g.static_id(s) == sid::RESID)
+            .map(|s| g.values[s])
+            .collect();
+        assert_eq!(resids.len(), k.config().sweeps);
+        assert!(
+            resids.last().unwrap() < &(resids[0] * 0.5),
+            "residual did not shrink: {resids:?}"
+        );
+    }
+
+    #[test]
+    fn injected_error_decays_across_sweeps() {
+        // the contraction property: a perturbation in an early sweep
+        // store leaves a *smaller* perturbation in the final output than
+        // it injected
+        let k = JacobiKernel::new(JacobiConfig::small());
+        let g = k.golden();
+        let n = k.config().grid * k.config().grid;
+        // first sweep's x store for an interior-ish row
+        let site = 2 * n + 7;
+        assert_eq!(g.static_id(site), sid::SWEEP_X);
+        let bit = 51; // sizeable mantissa perturbation
+        let r = k.run_injected(FaultSpec { site, bit }, RecordMode::OutputOnly);
+        let inj = r.injected_err.unwrap();
+        let out = Norm::LInf.distance(&g.output, &r.output);
+        assert!(
+            out < inj * 0.5,
+            "Jacobi should damp the perturbation: injected {inj:.3e}, output {out:.3e}"
+        );
+    }
+
+    #[test]
+    fn estimate_covers_actual() {
+        let k = JacobiKernel::new(JacobiConfig::small());
+        let g = k.golden();
+        assert!(k.estimated_sites() >= g.n_sites());
+        assert!(k.estimated_sites() <= g.n_sites() + 8);
+    }
+}

@@ -1,0 +1,231 @@
+//! # ftb-kernels
+//!
+//! Instrumented HPC kernels — the workloads of the PPoPP'21 evaluation,
+//! re-implemented against the [`ftb_trace::Tracer`] substrate.
+//!
+//! The paper evaluates three kernels (§4): **conjugate gradient** on a
+//! MiniFE-style finite-element system, the **SPLASH-2 blocked dense LU**
+//! factorization, and the **SPLASH-2 six-step 1-D FFT**. Its §5
+//! additionally analyses the error-monotonicity of **2-D stencil** and
+//! **matrix-vector / matrix-matrix** computation, which we implement as
+//! well so the monotonicity claims can be checked experimentally.
+//!
+//! ## Tracing granularity
+//!
+//! Following the paper's error-propagation model (§2.2: "tracking the
+//! data variables of a program execution during load/store operations"),
+//! a *dynamic instruction* here is **one store of a floating-point data
+//! element** — a vector/matrix element update or a produced scalar
+//! (dot products, α/β in CG). Intermediate register arithmetic is not a
+//! separate site, exactly as in the paper's LLVM instrumentation, which
+//! injects into the *result* of an instruction that writes a data value.
+//!
+//! ## Determinism
+//!
+//! Every kernel builds its input deterministically from a `u64` seed, so
+//! a `(kernel-config, seed, fault)` triple reproduces an experiment
+//! bit-for-bit.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cg;
+pub mod csr;
+pub mod fft;
+pub mod gemm;
+pub mod inputs;
+pub mod jacobi;
+pub mod lu;
+pub mod matvec;
+pub mod spmv;
+pub mod stencil;
+
+use ftb_trace::{FaultSpec, GoldenRun, Precision, RecordMode, RunTrace, StaticRegistry, Tracer};
+use serde::{Deserialize, Serialize};
+
+pub use cg::{CgConfig, CgKernel, CgStorage};
+pub use csr::Csr;
+pub use fft::{FftConfig, FftKernel};
+pub use gemm::{GemmConfig, GemmKernel};
+pub use jacobi::{JacobiConfig, JacobiKernel};
+pub use lu::{LuConfig, LuKernel};
+pub use matvec::{MatvecConfig, MatvecKernel};
+pub use spmv::{SpmvConfig, SpmvKernel};
+pub use stencil::{StencilConfig, StencilKernel};
+
+/// A fault-injectable computational kernel.
+///
+/// Implementations hold their (deterministically generated) input data and
+/// are immutable during runs, so campaigns can execute them from many
+/// threads concurrently (`Send + Sync`).
+pub trait Kernel: Send + Sync {
+    /// Short stable name, e.g. `"cg"`.
+    fn name(&self) -> &'static str;
+
+    /// Floating-point width of the kernel's data elements.
+    fn precision(&self) -> Precision;
+
+    /// The kernel's static-instruction registry (source-site metadata).
+    fn registry(&self) -> StaticRegistry;
+
+    /// Execute against a tracer, returning the program output.
+    fn run(&self, t: &mut Tracer) -> Vec<f64>;
+
+    /// Expected dynamic-instruction count, used to pre-size trace buffers
+    /// (`0` = unknown).
+    fn estimated_sites(&self) -> usize {
+        0
+    }
+
+    /// Expected branch-event count (`0` = unknown).
+    fn estimated_branches(&self) -> usize {
+        0
+    }
+
+    /// Record the golden (fault-free) run.
+    fn golden(&self) -> GoldenRun {
+        let mut t = Tracer::golden(self.precision());
+        t.reserve(self.estimated_sites(), self.estimated_branches());
+        let out = self.run(&mut t);
+        t.finish_golden(out)
+    }
+
+    /// Execute with a single-bit-flip fault injected.
+    fn run_injected(&self, fault: FaultSpec, mode: RecordMode) -> RunTrace {
+        let mut t = Tracer::inject(self.precision(), fault, mode);
+        if mode == RecordMode::Full {
+            t.reserve(self.estimated_sites(), self.estimated_branches());
+        }
+        let out = self.run(&mut t);
+        t.finish(out)
+    }
+
+    /// Execute untraced (instrumentation-overhead baseline for benches).
+    fn run_untraced(&self) -> RunTrace {
+        let mut t = Tracer::untraced(self.precision());
+        let out = self.run(&mut t);
+        t.finish(out)
+    }
+}
+
+/// A serialisable kernel selection + configuration, the unit the CLI and
+/// bench harness pass around.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum KernelConfig {
+    /// Conjugate gradient on a 2-D Poisson finite-element system.
+    Cg(CgConfig),
+    /// Blocked dense LU factorization (SPLASH-2 style, no pivoting).
+    Lu(LuConfig),
+    /// Six-step 1-D complex FFT (SPLASH-2 style).
+    Fft(FftConfig),
+    /// 2-D five-point Jacobi stencil.
+    Stencil(StencilConfig),
+    /// Dense matrix-vector product.
+    Matvec(MatvecConfig),
+    /// Sparse (CSR) matrix-vector product on the Poisson operator.
+    Spmv(SpmvConfig),
+    /// Dense matrix-matrix product.
+    Gemm(GemmConfig),
+    /// Jacobi iterative solver on the Poisson system.
+    Jacobi(JacobiConfig),
+}
+
+impl KernelConfig {
+    /// Instantiate the kernel (generates its input from the config seed).
+    pub fn build(&self) -> Box<dyn Kernel> {
+        match self {
+            KernelConfig::Cg(c) => Box::new(CgKernel::new(c.clone())),
+            KernelConfig::Lu(c) => Box::new(LuKernel::new(c.clone())),
+            KernelConfig::Fft(c) => Box::new(FftKernel::new(c.clone())),
+            KernelConfig::Stencil(c) => Box::new(StencilKernel::new(c.clone())),
+            KernelConfig::Matvec(c) => Box::new(MatvecKernel::new(c.clone())),
+            KernelConfig::Spmv(c) => Box::new(SpmvKernel::new(c.clone())),
+            KernelConfig::Gemm(c) => Box::new(GemmKernel::new(c.clone())),
+            KernelConfig::Jacobi(c) => Box::new(JacobiKernel::new(c.clone())),
+        }
+    }
+
+    /// The kernel's short name without instantiating it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelConfig::Cg(_) => "cg",
+            KernelConfig::Lu(_) => "lu",
+            KernelConfig::Fft(_) => "fft",
+            KernelConfig::Stencil(_) => "stencil",
+            KernelConfig::Matvec(_) => "matvec",
+            KernelConfig::Spmv(_) => "spmv",
+            KernelConfig::Gemm(_) => "gemm",
+            KernelConfig::Jacobi(_) => "jacobi",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_build_and_name() {
+        let cfgs = [
+            KernelConfig::Cg(CgConfig::small()),
+            KernelConfig::Lu(LuConfig::small()),
+            KernelConfig::Fft(FftConfig::small()),
+            KernelConfig::Stencil(StencilConfig::small()),
+            KernelConfig::Matvec(MatvecConfig::small()),
+            KernelConfig::Spmv(SpmvConfig::small()),
+            KernelConfig::Gemm(GemmConfig::small()),
+            KernelConfig::Jacobi(JacobiConfig::small()),
+        ];
+        for cfg in cfgs {
+            let k = cfg.build();
+            assert_eq!(k.name(), cfg.name());
+            let g = k.golden();
+            assert!(g.n_sites() > 0, "{} produced no sites", k.name());
+            assert!(!g.output.is_empty(), "{} produced no output", k.name());
+        }
+    }
+
+    #[test]
+    fn golden_runs_are_deterministic() {
+        for cfg in [
+            KernelConfig::Cg(CgConfig::small()),
+            KernelConfig::Lu(LuConfig::small()),
+            KernelConfig::Fft(FftConfig::small()),
+        ] {
+            let a = cfg.build().golden();
+            let b = cfg.build().golden();
+            assert_eq!(
+                a.values,
+                b.values,
+                "{} golden not deterministic",
+                cfg.name()
+            );
+            assert_eq!(a.output, b.output);
+            assert_eq!(a.branches, b.branches);
+        }
+    }
+
+    #[test]
+    fn estimated_sites_close_to_actual() {
+        for cfg in [
+            KernelConfig::Cg(CgConfig::small()),
+            KernelConfig::Lu(LuConfig::small()),
+            KernelConfig::Fft(FftConfig::small()),
+            KernelConfig::Stencil(StencilConfig::small()),
+        ] {
+            let k = cfg.build();
+            let est = k.estimated_sites();
+            let act = k.golden().n_sites();
+            assert!(
+                est >= act,
+                "{}: estimate {est} below actual {act} (reserve would reallocate)",
+                k.name()
+            );
+            assert!(
+                est <= act * 3,
+                "{}: estimate {est} wildly above actual {act}",
+                k.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Blocked dense LU factorization, SPLASH-2 style.
+//!
+//! The SPLASH-2 `lu` benchmark factors a dense, diagonally dominant
+//! matrix without pivoting, processing it in square blocks: factor the
+//! diagonal block, update the row and column panels, then update the
+//! trailing submatrix. The paper factors a 32×32 matrix in 16×16 blocks
+//! and observes (its Figure 4) that each block step opens a region into
+//! which earlier errors do not propagate — our default configuration uses
+//! four block steps so that structure is visible at laptop scale.
+//!
+//! Every store to the matrix is a dynamic instruction; the output is the
+//! packed `L\U` factorization itself, so most significant perturbations
+//! are *not* masked — this is why LU has by far the highest SDC ratio of
+//! the paper's three benchmarks (35.9% in its Table 1).
+
+use crate::inputs::diag_dominant_matrix;
+use crate::Kernel;
+use ftb_trace::{Precision, StaticRegistry, Tracer};
+use serde::{Deserialize, Serialize};
+
+ftb_trace::static_instrs! {
+    pub mod sid {
+        INIT_A  => ("lu.init.a", Init),
+        DIAG_L  => ("lu.diag.scale", Compute),
+        DIAG_U  => ("lu.diag.update", Compute),
+        COL_L   => ("lu.colpanel.scale", Compute),
+        COL_U   => ("lu.colpanel.update", Compute),
+        ROW_U   => ("lu.rowpanel.update", Compute),
+        TRAIL   => ("lu.trailing.update", Compute),
+    }
+}
+
+/// Configuration of the blocked LU kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LuConfig {
+    /// Matrix dimension (`n × n`).
+    pub n: usize,
+    /// Square block size; must divide `n`.
+    pub block: usize,
+    /// Element precision.
+    pub precision: Precision,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl LuConfig {
+    /// Laptop-scale default: 16×16 matrix in 4×4 blocks (four block steps,
+    /// matching the four-region structure of the paper's Figure 4).
+    pub fn small() -> Self {
+        LuConfig {
+            n: 16,
+            block: 4,
+            precision: Precision::F64,
+            seed: 42,
+        }
+    }
+
+    /// The paper's SPLASH-2 configuration: 32×32 matrix, 16×16 blocks.
+    pub fn paper() -> Self {
+        LuConfig {
+            n: 32,
+            block: 16,
+            precision: Precision::F64,
+            seed: 42,
+        }
+    }
+}
+
+/// The instrumented blocked LU kernel.
+#[derive(Debug, Clone)]
+pub struct LuKernel {
+    cfg: LuConfig,
+    a0: Vec<f64>,
+    sites_hint: usize,
+}
+
+impl LuKernel {
+    /// Build the kernel; generates the diagonally dominant input matrix.
+    ///
+    /// # Panics
+    /// Panics if `block` does not divide `n` or either is zero.
+    pub fn new(cfg: LuConfig) -> Self {
+        assert!(cfg.n > 0 && cfg.block > 0, "empty LU configuration");
+        assert_eq!(cfg.n % cfg.block, 0, "block must divide n");
+        let a0 = diag_dominant_matrix(cfg.seed, cfg.n);
+        let mut k = LuKernel {
+            cfg,
+            a0,
+            sites_hint: 0,
+        };
+        let mut t = Tracer::untraced(k.cfg.precision);
+        let _ = k.run(&mut t);
+        k.sites_hint = t.cursor();
+        k
+    }
+
+    /// The kernel's configuration.
+    pub fn config(&self) -> &LuConfig {
+        &self.cfg
+    }
+}
+
+impl Kernel for LuKernel {
+    fn name(&self) -> &'static str {
+        "lu"
+    }
+
+    fn precision(&self) -> Precision {
+        self.cfg.precision
+    }
+
+    fn registry(&self) -> StaticRegistry {
+        sid::registry()
+    }
+
+    fn estimated_sites(&self) -> usize {
+        self.sites_hint
+    }
+
+    fn run(&self, t: &mut Tracer) -> Vec<f64> {
+        let n = self.cfg.n;
+        let nb = self.cfg.block;
+
+        // Init region: load the input matrix (one store per element).
+        let mut a = vec![0.0; n * n];
+        for (dst, &src) in a.iter_mut().zip(&self.a0) {
+            *dst = t.value(sid::INIT_A, src);
+        }
+
+        // Blocked right-looking factorization.
+        let mut k0 = 0;
+        while k0 < n {
+            let kend = k0 + nb;
+
+            // 1. Factor the diagonal block A[k0..kend, k0..kend].
+            for k in k0..kend {
+                let pivot = a[k * n + k];
+                for i in (k + 1)..kend {
+                    a[i * n + k] = t.value(sid::DIAG_L, a[i * n + k] / pivot);
+                }
+                for i in (k + 1)..kend {
+                    let lik = a[i * n + k];
+                    for j in (k + 1)..kend {
+                        a[i * n + j] = t.value(sid::DIAG_U, a[i * n + j] - lik * a[k * n + j]);
+                    }
+                }
+            }
+
+            // 2. Column panel: rows below the diagonal block.
+            for k in k0..kend {
+                let pivot = a[k * n + k];
+                for i in kend..n {
+                    a[i * n + k] = t.value(sid::COL_L, a[i * n + k] / pivot);
+                }
+                for i in kend..n {
+                    let lik = a[i * n + k];
+                    for j in (k + 1)..kend {
+                        a[i * n + j] = t.value(sid::COL_U, a[i * n + j] - lik * a[k * n + j]);
+                    }
+                }
+            }
+
+            // 3. Row panel: columns right of the diagonal block
+            //    (forward-substitute L of the diagonal block through them).
+            for k in k0..kend {
+                for i in (k + 1)..kend {
+                    let lik = a[i * n + k];
+                    for j in kend..n {
+                        a[i * n + j] = t.value(sid::ROW_U, a[i * n + j] - lik * a[k * n + j]);
+                    }
+                }
+            }
+
+            // 4. Trailing submatrix update: one store per element, inner
+            //    accumulation in registers (a GEMM tile).
+            for i in kend..n {
+                for j in kend..n {
+                    let mut s = a[i * n + j];
+                    for k in k0..kend {
+                        s -= a[i * n + k] * a[k * n + j];
+                    }
+                    a[i * n + j] = t.value(sid::TRAIL, s);
+                }
+            }
+
+            k0 = kend;
+            if t.trapped() {
+                break;
+            }
+        }
+
+        // Output: the packed L\U factors.
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+    use ftb_trace::norms::Norm;
+    use ftb_trace::{FaultSpec, RecordMode};
+
+    /// Multiply the packed factors back together: (L with unit diagonal) · U.
+    fn reassemble(lu: &[f64], n: usize) -> Vec<f64> {
+        let mut m = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0 } else { lu[i * n + k] };
+                    s += l * lu[k * n + j];
+                }
+                m[i * n + j] = s;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn factorization_reassembles_to_input() {
+        let k = LuKernel::new(LuConfig::small());
+        let g = k.golden();
+        let n = k.config().n;
+        let back = reassemble(&g.output, n);
+        let err = Norm::LInf.distance(&back, &k.a0);
+        assert!(err < 1e-9, "L·U != A, L∞ error {err}");
+    }
+
+    #[test]
+    fn blocked_matches_unblocked() {
+        let small = LuConfig {
+            n: 12,
+            block: 12,
+            ..LuConfig::small()
+        };
+        let blocked = LuConfig {
+            n: 12,
+            block: 4,
+            ..LuConfig::small()
+        };
+        let a = LuKernel::new(small).golden().output;
+        let b = LuKernel::new(blocked).golden().output;
+        let err = Norm::LInf.distance(&a, &b);
+        assert!(
+            err < 1e-10,
+            "blocked and unblocked factorizations differ by {err}"
+        );
+    }
+
+    #[test]
+    fn init_region_leads_the_trace() {
+        let k = LuKernel::new(LuConfig::small());
+        let g = k.golden();
+        let n2 = k.config().n * k.config().n;
+        for i in 0..n2 {
+            assert_eq!(g.static_id(i), sid::INIT_A);
+        }
+        assert_ne!(g.static_id(n2), sid::INIT_A);
+    }
+
+    #[test]
+    fn sign_flip_in_factor_region_corrupts_output() {
+        let k = LuKernel::new(LuConfig::small());
+        let g = k.golden();
+        let n2 = k.config().n * k.config().n;
+        let r = k.run_injected(
+            FaultSpec {
+                site: n2 + 1,
+                bit: 63,
+            },
+            RecordMode::OutputOnly,
+        );
+        let d = Norm::LInf.distance(&g.output, &r.output);
+        assert!(d > 1e-3, "sign flip in factorization should show, got {d}");
+    }
+
+    #[test]
+    fn low_bit_flip_is_small_in_output() {
+        let k = LuKernel::new(LuConfig::small());
+        let g = k.golden();
+        let r = k.run_injected(FaultSpec { site: 10, bit: 0 }, RecordMode::OutputOnly);
+        let d = Norm::LInf.distance(&g.output, &r.output);
+        assert!(d < 1e-8, "ulp flip should stay tiny, got {d}");
+    }
+
+    #[test]
+    fn no_branches_in_lu() {
+        // LU control flow is data-independent: propagation windows never
+        // truncate.
+        let k = LuKernel::new(LuConfig::small());
+        let g = k.golden();
+        assert!(g.branches.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn block_must_divide_n() {
+        let _ = LuKernel::new(LuConfig {
+            n: 10,
+            block: 4,
+            ..LuConfig::small()
+        });
+    }
+}

@@ -1,0 +1,173 @@
+//! Dense matrix-vector product.
+//!
+//! The second §5 monotonicity example: one output element of `y = A·x` is
+//! `Σ_j a_{ij} x_j`, so an error `ε` in `x_k` produces output error
+//! `f(ε) = sqrt(Σ_i a_{ik}²) · ε` under the L2 norm — linear in `ε`.
+//! The `monotonicity` bench verifies the measured constant against that
+//! closed form.
+
+use crate::inputs::uniform_vec;
+use crate::Kernel;
+use ftb_trace::{Precision, StaticRegistry, Tracer};
+use serde::{Deserialize, Serialize};
+
+ftb_trace::static_instrs! {
+    pub mod sid {
+        INIT_A => ("matvec.init.a", Init),
+        INIT_X => ("matvec.init.x", Init),
+        ROW    => ("matvec.row", Compute),
+    }
+}
+
+/// Configuration of the matvec kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatvecConfig {
+    /// Matrix dimension (`n × n`).
+    pub n: usize,
+    /// Element precision.
+    pub precision: Precision,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl MatvecConfig {
+    /// Laptop-scale default: 24×24.
+    pub fn small() -> Self {
+        MatvecConfig {
+            n: 24,
+            precision: Precision::F64,
+            seed: 42,
+        }
+    }
+}
+
+/// The instrumented matvec kernel.
+#[derive(Debug, Clone)]
+pub struct MatvecKernel {
+    cfg: MatvecConfig,
+    a: Vec<f64>,
+    x: Vec<f64>,
+}
+
+impl MatvecKernel {
+    /// Build the kernel with random `A` and `x`.
+    pub fn new(cfg: MatvecConfig) -> Self {
+        let a = uniform_vec(cfg.seed, cfg.n * cfg.n, -1.0, 1.0);
+        let x = uniform_vec(cfg.seed.wrapping_add(1), cfg.n, -1.0, 1.0);
+        MatvecKernel { cfg, a, x }
+    }
+
+    /// The kernel's configuration.
+    pub fn config(&self) -> &MatvecConfig {
+        &self.cfg
+    }
+
+    /// Dynamic-instruction index of the `x[k]` init store (for targeted
+    /// monotonicity experiments).
+    pub fn x_site(&self, k: usize) -> usize {
+        self.cfg.n * self.cfg.n + k
+    }
+
+    /// The closed-form §5 propagation constant for an error in `x[k]`
+    /// under the L2 output norm: `sqrt(Σ_i a_{ik}²)`.
+    pub fn l2_constant(&self, k: usize) -> f64 {
+        let n = self.cfg.n;
+        (0..n)
+            .map(|i| self.a[i * n + k] * self.a[i * n + k])
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Kernel for MatvecKernel {
+    fn name(&self) -> &'static str {
+        "matvec"
+    }
+
+    fn precision(&self) -> Precision {
+        self.cfg.precision
+    }
+
+    fn registry(&self) -> StaticRegistry {
+        sid::registry()
+    }
+
+    fn estimated_sites(&self) -> usize {
+        self.cfg.n * self.cfg.n + 2 * self.cfg.n
+    }
+
+    fn run(&self, t: &mut Tracer) -> Vec<f64> {
+        let n = self.cfg.n;
+        let mut a = vec![0.0; n * n];
+        for (dst, &src) in a.iter_mut().zip(&self.a) {
+            *dst = t.value(sid::INIT_A, src);
+        }
+        let mut x = vec![0.0; n];
+        for (dst, &src) in x.iter_mut().zip(&self.x) {
+            *dst = t.value(sid::INIT_X, src);
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = 0.0;
+            for j in 0..n {
+                s += a[i * n + j] * x[j];
+            }
+            y[i] = t.value(sid::ROW, s);
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+    use ftb_trace::norms::Norm;
+    use ftb_trace::{FaultSpec, RecordMode};
+
+    #[test]
+    fn output_matches_direct_product() {
+        let k = MatvecKernel::new(MatvecConfig::small());
+        let g = k.golden();
+        let n = k.config().n;
+        for i in 0..n {
+            let expect: f64 = (0..n).map(|j| k.a[i * n + j] * k.x[j]).sum();
+            assert!((g.output[i] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn x_site_indexing() {
+        let k = MatvecKernel::new(MatvecConfig::small());
+        let g = k.golden();
+        for j in [0, 5, k.config().n - 1] {
+            assert_eq!(g.static_id(k.x_site(j)), sid::INIT_X);
+            assert!((g.values[k.x_site(j)] - k.x[j]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn closed_form_constant_matches_measurement() {
+        // the heart of the §5 argument: measured f(ε)/ε equals the column
+        // norm sqrt(Σ a_{ik}²)
+        let k = MatvecKernel::new(MatvecConfig::small());
+        let g = k.golden();
+        let col = 3;
+        let site = k.x_site(col);
+        let bit = 45; // a mid-mantissa flip: clearly nonzero, clearly finite
+        let r = k.run_injected(FaultSpec { site, bit }, RecordMode::OutputOnly);
+        let measured = Norm::L2.distance(&g.output, &r.output);
+        let eps = ftb_trace::injected_error(Precision::F64, g.values[site], bit);
+        let predicted = k.l2_constant(col) * eps;
+        assert!(
+            (measured - predicted).abs() / predicted < 1e-3,
+            "measured {measured} vs closed form {predicted}"
+        );
+    }
+
+    #[test]
+    fn estimated_sites_is_exact() {
+        let k = MatvecKernel::new(MatvecConfig::small());
+        assert_eq!(k.estimated_sites(), k.golden().n_sites());
+    }
+}

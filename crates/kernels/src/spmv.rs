@@ -1,0 +1,189 @@
+//! Sparse matrix-vector product (`y = A·x`, CSR).
+//!
+//! Completes the §5 monotonicity family: "sparse or dense matrix
+//! multiplication can be proven to have such a property". An error in
+//! `x[k]` perturbs the output by `‖A[:,k]‖₂ · ε` under the L2 norm, with
+//! the column now *sparse* — so the propagation constant is exactly
+//! computable and small, and corrupting `x[k]` touches only the rows
+//! whose stencil references cell `k`.
+
+use crate::csr::Csr;
+use crate::inputs::uniform_vec;
+use crate::Kernel;
+use ftb_trace::{Precision, StaticRegistry, Tracer};
+use serde::{Deserialize, Serialize};
+
+ftb_trace::static_instrs! {
+    pub mod sid {
+        INIT_A => ("spmv.init.a", Init),
+        INIT_X => ("spmv.init.x", Init),
+        ROW    => ("spmv.row", Compute),
+    }
+}
+
+/// Configuration of the sparse matvec kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpmvConfig {
+    /// The operator is the 2-D Poisson matrix on a `grid × grid` mesh.
+    pub grid: usize,
+    /// Element precision.
+    pub precision: Precision,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl SpmvConfig {
+    /// Laptop-scale default: 10×10 mesh (100×100 matrix, 460 nnz).
+    pub fn small() -> Self {
+        SpmvConfig {
+            grid: 10,
+            precision: Precision::F64,
+            seed: 42,
+        }
+    }
+}
+
+/// The instrumented sparse matvec kernel.
+#[derive(Debug, Clone)]
+pub struct SpmvKernel {
+    cfg: SpmvConfig,
+    matrix: Csr,
+    x: Vec<f64>,
+}
+
+impl SpmvKernel {
+    /// Build the kernel.
+    pub fn new(cfg: SpmvConfig) -> Self {
+        let matrix = Csr::poisson_2d(cfg.grid);
+        let x = uniform_vec(cfg.seed, matrix.n_cols(), -1.0, 1.0);
+        SpmvKernel { cfg, matrix, x }
+    }
+
+    /// The kernel's configuration.
+    pub fn config(&self) -> &SpmvConfig {
+        &self.cfg
+    }
+
+    /// Dynamic-instruction index of the `x[k]` init store.
+    pub fn x_site(&self, k: usize) -> usize {
+        self.matrix.nnz() + k
+    }
+
+    /// Closed-form §5 propagation constant for an error in `x[k]` under
+    /// the L2 output norm: the sparse column norm `‖A[:,k]‖₂`.
+    pub fn l2_constant(&self, k: usize) -> f64 {
+        let mut s = 0.0;
+        for r in 0..self.matrix.n_rows() {
+            for (c, v) in self.matrix.row(r) {
+                if c == k {
+                    s += v * v;
+                }
+            }
+        }
+        s.sqrt()
+    }
+}
+
+impl Kernel for SpmvKernel {
+    fn name(&self) -> &'static str {
+        "spmv"
+    }
+
+    fn precision(&self) -> Precision {
+        self.cfg.precision
+    }
+
+    fn registry(&self) -> StaticRegistry {
+        sid::registry()
+    }
+
+    fn estimated_sites(&self) -> usize {
+        self.matrix.nnz() + 2 * self.matrix.n_rows()
+    }
+
+    fn run(&self, t: &mut Tracer) -> Vec<f64> {
+        let n = self.matrix.n_rows();
+        // Init: matrix entries, then the input vector.
+        let avals: Vec<f64> = self
+            .matrix
+            .values()
+            .iter()
+            .map(|&v| t.value(sid::INIT_A, v))
+            .collect();
+        let mut x = vec![0.0; n];
+        for (dst, &src) in x.iter_mut().zip(&self.x) {
+            *dst = t.value(sid::INIT_X, src);
+        }
+        // Compute: one store per output row.
+        let mut y = vec![0.0; n];
+        self.matrix.spmv_traced(t, sid::ROW, &avals, &x, &mut y);
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+    use ftb_trace::norms::Norm;
+    use ftb_trace::{injected_error, FaultSpec, RecordMode};
+
+    #[test]
+    fn output_matches_untraced_spmv() {
+        let k = SpmvKernel::new(SpmvConfig::small());
+        let g = k.golden();
+        let mut y = vec![0.0; k.matrix.n_rows()];
+        k.matrix.spmv(&k.x, &mut y);
+        assert_eq!(g.output, y);
+    }
+
+    #[test]
+    fn closed_form_constant_matches_measurement() {
+        let k = SpmvKernel::new(SpmvConfig::small());
+        let g = k.golden();
+        let col = 37;
+        let site = k.x_site(col);
+        let bit = 45;
+        let r = k.run_injected(FaultSpec { site, bit }, RecordMode::OutputOnly);
+        let eps = injected_error(Precision::F64, g.values[site], bit);
+        let measured = Norm::L2.distance(&g.output, &r.output);
+        let predicted = k.l2_constant(col) * eps;
+        assert!(
+            (measured - predicted).abs() / predicted < 1e-3,
+            "measured {measured} vs closed form {predicted}"
+        );
+    }
+
+    #[test]
+    fn corrupting_x_touches_only_stencil_neighbours() {
+        let k = SpmvKernel::new(SpmvConfig::small());
+        let g = k.golden();
+        let col = 55; // interior cell
+        let r = k.run_injected(
+            FaultSpec {
+                site: k.x_site(col),
+                bit: 62,
+            },
+            RecordMode::OutputOnly,
+        );
+        let touched: Vec<usize> = g
+            .output
+            .iter()
+            .zip(&r.output)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        // a 5-point interior column touches exactly 5 rows
+        assert_eq!(touched.len(), 5, "touched rows {touched:?}");
+        assert!(touched.contains(&col));
+    }
+
+    #[test]
+    fn poisson_column_norm_is_sqrt_20_for_interior() {
+        // interior column: diag 4 plus four −1 neighbours => sqrt(16+4)
+        let k = SpmvKernel::new(SpmvConfig::small());
+        let c = k.l2_constant(55);
+        assert!((c - 20.0f64.sqrt()).abs() < 1e-12);
+    }
+}

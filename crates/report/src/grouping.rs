@@ -1,0 +1,72 @@
+//! Per-group aggregation of per-site profiles.
+//!
+//! Millions of dynamic instructions do not fit in a plot; the paper
+//! groups consecutive dynamic instructions (8 in CG, 147 in LU, 208 in
+//! FFT) and plots each group's mean SDC ratio (Figure 4, rows 1 and 3)
+//! or summed potential impact (row 2).
+
+/// Mean of each consecutive group of `group_size` values. The final
+/// partial group (if any) is averaged over its actual length.
+///
+/// # Panics
+/// Panics if `group_size == 0`.
+pub fn group_means(values: &[f64], group_size: usize) -> Vec<f64> {
+    assert!(group_size > 0, "group size must be positive");
+    values
+        .chunks(group_size)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// Sum of each consecutive group of `group_size` values.
+///
+/// # Panics
+/// Panics if `group_size == 0`.
+pub fn group_sums(values: &[f64], group_size: usize) -> Vec<f64> {
+    assert!(group_size > 0, "group size must be positive");
+    values.chunks(group_size).map(|c| c.iter().sum()).collect()
+}
+
+/// Choose a group size that yields at most `max_groups` groups (the
+/// paper-style plotting resolution).
+pub fn group_size_for(n_sites: usize, max_groups: usize) -> usize {
+    assert!(max_groups > 0, "need at least one group");
+    n_sites.div_ceil(max_groups).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_of_even_groups() {
+        let v = [1.0, 3.0, 5.0, 7.0];
+        assert_eq!(group_means(&v, 2), vec![2.0, 6.0]);
+    }
+
+    #[test]
+    fn partial_tail_group_uses_its_own_length() {
+        let v = [1.0, 3.0, 10.0];
+        assert_eq!(group_means(&v, 2), vec![2.0, 10.0]);
+    }
+
+    #[test]
+    fn sums() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(group_sums(&v, 2), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn group_size_for_caps_group_count() {
+        assert_eq!(group_size_for(1000, 200), 5);
+        assert_eq!(group_size_for(1001, 200), 6);
+        assert_eq!(group_size_for(10, 200), 1);
+        assert!(group_means(&vec![0.0; 1001], group_size_for(1001, 200)).len() <= 200);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_group_size_panics() {
+        let _ = group_means(&[1.0], 0);
+    }
+}

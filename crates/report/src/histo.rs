@@ -1,0 +1,52 @@
+//! Terminal histogram rendering (the paper's Figure 3 in ASCII).
+
+use ftb_stats::Histogram;
+use std::fmt::Write as _;
+
+/// Render a histogram as rows of `#` bars, one per bin, annotated with
+/// bin ranges and counts. `width` is the maximum bar length.
+pub fn render_histogram(h: &Histogram, width: usize) -> String {
+    let max = h.counts().iter().copied().max().unwrap_or(0);
+    let mut out = String::new();
+    for i in 0..h.bins() {
+        let (lo, hi) = h.bin_edges(i);
+        let c = h.counts()[i];
+        let bar_len = if max == 0 {
+            0
+        } else {
+            ((c as f64 / max as f64) * width as f64).round() as usize
+        };
+        let _ = writeln!(
+            out,
+            "[{lo:>10.3e}, {hi:>10.3e}) {c:>8} {}",
+            "#".repeat(bar_len)
+        );
+    }
+    let _ = writeln!(out, "total: {}", h.total());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_one_line_per_bin_plus_total() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend(&[0.1, 0.1, 0.9]);
+        let s = render_histogram(&h, 20);
+        assert_eq!(s.lines().count(), 5);
+        assert!(s.contains("total: 3"));
+        // fullest bin gets the longest bar
+        let first_line = s.lines().next().unwrap();
+        assert!(first_line.contains(&"#".repeat(20)));
+    }
+
+    #[test]
+    fn empty_histogram_renders_without_bars() {
+        let h = Histogram::new(0.0, 1.0, 2);
+        let s = render_histogram(&h, 10);
+        assert!(s.contains("total: 0"));
+        assert!(!s.contains('#'));
+    }
+}

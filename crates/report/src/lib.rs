@@ -1,0 +1,22 @@
+//! # ftb-report
+//!
+//! Presentation utilities for the `ftb` bench harness: fixed-width ASCII
+//! tables (the paper's Tables 1–4), CSV series (the data behind Figures
+//! 3–5), per-group aggregation of per-site profiles (the paper groups 8
+//! consecutive dynamic instructions in CG, 147 in LU, 208 in FFT for its
+//! Figure 4), and terminal histogram rendering (Figure 3).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod grouping;
+pub mod histo;
+pub mod plot;
+pub mod series;
+pub mod table;
+
+pub use grouping::{group_means, group_sums};
+pub use histo::render_histogram;
+pub use plot::LinePlot;
+pub use series::Series;
+pub use table::Table;

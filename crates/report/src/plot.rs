@@ -1,0 +1,334 @@
+//! Dependency-free SVG line plots.
+//!
+//! The figure binaries emit their data as CSV for external tooling, but a
+//! reproduction artifact is nicer to inspect when the figures themselves
+//! are regenerated too. This is a deliberately small renderer: linear or
+//! log₁₀ x-axis, auto-scaled y, tick labels, polyline series with a fixed
+//! palette, and a legend — enough for every figure in the paper.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Palette applied to series in order (chosen for contrast on white).
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
+
+/// A multi-series line plot.
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+    log_x: bool,
+}
+
+impl LinePlot {
+    /// Start a plot with a title and axis labels.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        LinePlot {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+            log_x: false,
+        }
+    }
+
+    /// Use a log₁₀ x-axis (sampling-rate sweeps). Points with `x <= 0`
+    /// are dropped at render time.
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Add a named series. Non-finite points are dropped at render time.
+    pub fn series(&mut self, name: &str, points: &[(f64, f64)]) -> &mut Self {
+        self.series.push((name.to_string(), points.to_vec()));
+        self
+    }
+
+    /// Number of series added.
+    pub fn n_series(&self) -> usize {
+        self.series.len()
+    }
+
+    fn clean_points(&self, pts: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        pts.iter()
+            .copied()
+            .filter(|&(x, y)| x.is_finite() && y.is_finite() && (!self.log_x || x > 0.0))
+            .map(|(x, y)| (if self.log_x { x.log10() } else { x }, y))
+            .collect()
+    }
+
+    /// Render to an SVG document of the given pixel size.
+    pub fn to_svg(&self, width: usize, height: usize) -> String {
+        let (w, h) = (width as f64, height as f64);
+        let (ml, mr, mt, mb) = (64.0, 16.0, 36.0, 48.0); // margins
+        let (pw, ph) = (w - ml - mr, h - mt - mb); // plot area
+
+        // data ranges over cleaned points
+        let cleaned: Vec<(String, Vec<(f64, f64)>)> = self
+            .series
+            .iter()
+            .map(|(n, p)| (n.clone(), self.clean_points(p)))
+            .collect();
+        let all: Vec<(f64, f64)> = cleaned
+            .iter()
+            .flat_map(|(_, p)| p.iter().copied())
+            .collect();
+        let (mut x0, mut x1, mut y0, mut y1) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for &(x, y) in &all {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if all.is_empty() {
+            (x0, x1, y0, y1) = (0.0, 1.0, 0.0, 1.0);
+        }
+        if x0 == x1 {
+            x0 -= 0.5;
+            x1 += 0.5;
+        }
+        if y0 == y1 {
+            y0 -= 0.5;
+            y1 += 0.5;
+        }
+        // pad y a little
+        let ypad = (y1 - y0) * 0.05;
+        y0 -= ypad;
+        y1 += ypad;
+
+        let sx = |x: f64| ml + (x - x0) / (x1 - x0) * pw;
+        let sy = |y: f64| mt + (1.0 - (y - y0) / (y1 - y0)) * ph;
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="11">"#
+        );
+        let _ = writeln!(
+            svg,
+            r#"<rect width="{width}" height="{height}" fill="white"/>"#
+        );
+        // title
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="18" text-anchor="middle" font-size="13" font-weight="bold">{}</text>"#,
+            ml + pw / 2.0,
+            escape(&self.title)
+        );
+        // frame
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{ml:.1}" y="{mt:.1}" width="{pw:.1}" height="{ph:.1}" fill="none" stroke="#444"/>"##
+        );
+
+        // ticks: 5 per axis
+        for i in 0..=4 {
+            let fx = x0 + (x1 - x0) * f64::from(i) / 4.0;
+            let px = sx(fx);
+            let label = if self.log_x {
+                format_tick(10f64.powf(fx))
+            } else {
+                format_tick(fx)
+            };
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{px:.1}" y1="{:.1}" x2="{px:.1}" y2="{:.1}" stroke="#ccc"/>"##,
+                mt,
+                mt + ph
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{px:.1}" y="{:.1}" text-anchor="middle">{label}</text>"#,
+                mt + ph + 16.0
+            );
+
+            let fy = y0 + (y1 - y0) * f64::from(i) / 4.0;
+            let py = sy(fy);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{:.1}" y1="{py:.1}" x2="{:.1}" y2="{py:.1}" stroke="#ccc"/>"##,
+                ml,
+                ml + pw
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"#,
+                ml - 6.0,
+                py + 4.0,
+                format_tick(fy)
+            );
+        }
+        // axis labels
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-size="12">{}</text>"#,
+            ml + pw / 2.0,
+            h - 8.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="14" y="{:.1}" text-anchor="middle" font-size="12" transform="rotate(-90 14 {:.1})">{}</text>"#,
+            mt + ph / 2.0,
+            mt + ph / 2.0,
+            escape(&self.y_label)
+        );
+
+        // series
+        for (i, (name, pts)) in cleaned.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            if !pts.is_empty() {
+                let mut d = String::new();
+                for &(x, y) in pts {
+                    let _ = write!(d, "{:.1},{:.1} ", sx(x), sy(y));
+                }
+                let _ = writeln!(
+                    svg,
+                    r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                    d.trim_end()
+                );
+                for &(x, y) in pts {
+                    let _ = writeln!(
+                        svg,
+                        r#"<circle cx="{:.1}" cy="{:.1}" r="2.2" fill="{color}"/>"#,
+                        sx(x),
+                        sy(y)
+                    );
+                }
+            }
+            // legend entry
+            let ly = mt + 14.0 + 16.0 * i as f64;
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+                ml + pw - 120.0,
+                ml + pw - 100.0
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
+                ml + pw - 94.0,
+                ly + 4.0,
+                escape(name)
+            );
+        }
+
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Write the SVG to a file (parent directories created).
+    pub fn write_svg(&self, path: &Path, width: usize, height: usize) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_svg(width, height))
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Compact tick label: trims trailing noise, switches to scientific
+/// notation outside a comfortable range.
+fn format_tick(v: f64) -> String {
+    let a = v.abs();
+    if v == 0.0 {
+        "0".to_string()
+    } else if !(0.001..100_000.0).contains(&a) {
+        format!("{v:.0e}")
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.4}")
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_each_series_as_polyline_and_legend() {
+        let mut p = LinePlot::new("test", "x", "y");
+        p.series("golden", &[(0.0, 1.0), (1.0, 2.0), (2.0, 0.5)]);
+        p.series("predicted", &[(0.0, 1.5), (1.0, 1.5)]);
+        let svg = p.to_svg(640, 400);
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("golden"));
+        assert!(svg.contains("predicted"));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn empty_plot_still_renders_frame() {
+        let p = LinePlot::new("empty", "x", "y");
+        let svg = p.to_svg(320, 200);
+        assert!(svg.contains("<rect"));
+        assert_eq!(svg.matches("<polyline").count(), 0);
+    }
+
+    #[test]
+    fn log_axis_drops_nonpositive_points() {
+        let mut p = LinePlot::new("log", "rate", "recall").log_x();
+        p.series("r", &[(0.0, 0.1), (0.001, 0.2), (0.01, 0.5), (0.1, 0.9)]);
+        let svg = p.to_svg(640, 400);
+        // 3 positive points survive: one polyline, three circles
+        assert_eq!(svg.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn non_finite_points_dropped() {
+        let mut p = LinePlot::new("nan", "x", "y");
+        p.series("r", &[(0.0, f64::NAN), (1.0, 1.0), (f64::INFINITY, 2.0)]);
+        let svg = p.to_svg(640, 400);
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let p = LinePlot::new("a<b & c>d", "x", "y");
+        let svg = p.to_svg(320, 200);
+        assert!(svg.contains("a&lt;b &amp; c&gt;d"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn tick_formatting_is_compact() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(1.5), "1.5");
+        assert_eq!(format_tick(1000.0), "1000");
+        assert_eq!(format_tick(1e-6), "1e-6");
+        assert_eq!(format_tick(0.25), "0.25");
+    }
+
+    #[test]
+    fn write_svg_creates_dirs() {
+        let dir = std::env::temp_dir().join("ftb_plot_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/plot.svg");
+        let mut p = LinePlot::new("t", "x", "y");
+        p.series("s", &[(0.0, 0.0), (1.0, 1.0)]);
+        p.write_svg(&path, 320, 200).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,133 @@
+//! CSV series: the machine-readable data behind each figure.
+//!
+//! Every `figure*` binary prints (and optionally writes) its plot data as
+//! CSV so the paper's figures can be regenerated with any plotting tool.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A named multi-column series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    columns: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl Series {
+    /// Start a series with the given column names.
+    pub fn new(columns: &[&str]) -> Self {
+        Series {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row of values.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn push(&mut self, row: &[f64]) -> &mut Self {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row has {} values, series has {} columns",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the series has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Access a row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// Render as CSV (header + rows, `%.6g` formatting).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            let mut first = true;
+            for v in row {
+                if !first {
+                    out.push(',');
+                }
+                let _ = write!(out, "{v:.6e}");
+                first = false;
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV to a file (parent directories created).
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_shape() {
+        let mut s = Series::new(&["x", "golden", "predicted"]);
+        s.push(&[0.0, 0.5, 0.6]).push(&[1.0, 0.25, 0.25]);
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "x,golden,predicted");
+        assert_eq!(lines[1].split(',').count(), 3);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_values_parse() {
+        let mut s = Series::new(&["a"]);
+        s.push(&[0.1234567890123]);
+        let csv = s.to_csv();
+        let v: f64 = csv.lines().nth(1).unwrap().parse().unwrap();
+        assert!((v - 0.1234567890123).abs() < 1e-6);
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("ftb_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/series.csv");
+        let mut s = Series::new(&["x"]);
+        s.push(&[1.0]);
+        s.write_csv(&path).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut s = Series::new(&["a", "b"]);
+        s.push(&[1.0]);
+    }
+}

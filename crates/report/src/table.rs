@@ -1,0 +1,120 @@
+//! Fixed-width ASCII tables.
+
+/// A simple column-aligned table builder.
+///
+/// ```
+/// let mut t = ftb_report::Table::new(&["Name", "SDC"]);
+/// t.row(&["CG", "8.2%"]);
+/// let s = t.render();
+/// assert!(s.contains("| CG"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows
+            .push(cells.iter().map(|s| s.as_ref().to_string()).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with `|`-separated, width-aligned columns and a header rule.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push(' ');
+                line.push_str(cell);
+                for _ in cell.chars().count()..*w {
+                    line.push(' ');
+                }
+                line.push_str(" |");
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let mut rule = String::from("|");
+        for w in &widths {
+            rule.push_str(&"-".repeat(w + 2));
+            rule.push('|');
+        }
+        rule.push('\n');
+        out.push_str(&rule);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        let _ = ncols;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["Name", "Benchmark", "SDC"]);
+        t.row(&["CG", "MiniFE", "8.2%"]);
+        t.row(&["LU", "splash2", "35.89%"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all lines same width
+        let w = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == w));
+        assert!(lines[2].contains("| CG"));
+        assert!(lines[3].contains("35.89%"));
+    }
+
+    #[test]
+    fn n_rows_counts() {
+        let mut t = Table::new(&["a"]);
+        assert_eq!(t.n_rows(), 0);
+        t.row(&["1"]).row(&["2"]);
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_arity_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Descriptive statistics over slices of `f64`.
+//!
+//! Used throughout the bench harness to summarise repeated fault-injection
+//! trials (the paper reports `mean ± std` over 10 trials in Tables 2–4).
+
+/// Arithmetic mean of a slice. Returns `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (Bessel's correction, `n - 1` denominator).
+///
+/// Returns `0.0` when fewer than two observations are available.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Unbiased sample standard deviation.
+pub fn sample_std(xs: &[f64]) -> f64 {
+    sample_variance(xs).sqrt()
+}
+
+/// A five-field summary of a sample, convenient for table rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub std: f64,
+    /// Smallest observation (`0.0` if empty).
+    pub min: f64,
+    /// Largest observation (`0.0` if empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a slice of observations.
+    pub fn of(xs: &[f64]) -> Self {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in xs {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if xs.is_empty() {
+            lo = 0.0;
+            hi = 0.0;
+        }
+        Summary {
+            n: xs.len(),
+            mean: mean(xs),
+            std: sample_std(xs),
+            min: lo,
+            max: hi,
+        }
+    }
+
+    /// Render as `mean% ± std%` with the given number of decimals,
+    /// multiplying by 100 first (for ratio-valued metrics).
+    pub fn pct(&self, decimals: usize) -> String {
+        format!(
+            "{:.d$}% ± {:.d$}%",
+            self.mean * 100.0,
+            self.std * 100.0,
+            d = decimals
+        )
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6} ± {:.6} (n={})", self.mean, self.std, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_of_constants() {
+        assert_eq!(mean(&[3.0, 3.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // sample {1, 2, 3, 4}: mean 2.5, sample variance 5/3
+        let v = sample_variance(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((v - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_singleton_is_zero() {
+        assert_eq!(sample_variance(&[7.0]), 0.0);
+        assert_eq!(sample_std(&[7.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_min_max() {
+        let s = Summary::of(&[2.0, -1.0, 5.0]);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        let s = Summary::of(&[0.5, 0.5]);
+        assert_eq!(s.pct(1), "50.0% ± 0.0%");
+    }
+}

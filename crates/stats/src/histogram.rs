@@ -1,0 +1,227 @@
+//! Fixed-width binned histograms.
+//!
+//! Figure 3 of the paper summarises, per benchmark, the distribution of
+//! `ΔSDC = golden_SDC − approx_SDC` over all dynamic instructions as a
+//! histogram. This module provides the binning; rendering lives in
+//! `ftb-report`.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with equal-width bins.
+///
+/// Values outside the range are clamped into the first/last bin so that no
+/// observation is silently dropped (important when summarising prediction
+/// error, where a long tail is exactly what we want to see).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create an empty histogram over `[lo, hi)` with `bins` bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "histogram bounds must be finite"
+        );
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Create a histogram sized to cover `xs` exactly, then fill it.
+    /// Non-finite observations are ignored. If all values are equal the
+    /// range is widened symmetrically so the single value sits mid-bin.
+    pub fn auto(xs: &[f64], bins: usize) -> Self {
+        let finite: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in &finite {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if finite.is_empty() {
+            lo = 0.0;
+            hi = 1.0;
+        } else if lo == hi {
+            lo -= 0.5;
+            hi += 0.5;
+        } else {
+            // widen the top slightly so the max lands inside the half-open range
+            hi += (hi - lo) * 1e-9;
+        }
+        let mut h = Histogram::new(lo, hi, bins);
+        for &x in &finite {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Record one observation. Non-finite values are ignored.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = ((x - self.lo) / w).floor();
+        let idx = idx.clamp(0.0, (self.counts.len() - 1) as f64) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Record every value in `xs`.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Raw per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Lower bound of the histogram range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the histogram range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// `(lower, upper)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// Fraction of all observations landing in bin `i` (0 if empty).
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of observations with value strictly below `x`, using
+    /// whole-bin resolution (bins entirely below `x`).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut n = 0u64;
+        for i in 0..self.bins() {
+            let (_, hi) = self.bin_edges(i);
+            if hi <= x {
+                n += self.counts[i];
+            }
+        }
+        n as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.5);
+        h.add(9.5);
+        h.add(5.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn out_of_range_clamped() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-100.0);
+        h.add(100.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn non_finite_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(f64::NAN);
+        h.add(f64::INFINITY);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn auto_covers_all_values() {
+        let xs = [-3.0, 0.0, 7.0, 7.0, 2.0];
+        let h = Histogram::auto(&xs, 5);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts().iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn auto_constant_input() {
+        let h = Histogram::auto(&[4.0; 10], 3);
+        assert_eq!(h.total(), 10);
+        // all land in the middle bin of a widened range
+        assert_eq!(h.counts().iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn auto_empty_input() {
+        let h = Histogram::auto(&[], 3);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.bins(), 3);
+    }
+
+    #[test]
+    fn bin_centers_and_edges() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        assert_eq!(h.bin_center(0), 0.5);
+        assert_eq!(h.bin_edges(2), (2.0, 3.0));
+    }
+
+    #[test]
+    fn fraction_below() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.extend(&[0.5, 1.5, 2.5, 3.5]);
+        assert_eq!(h.fraction_below(2.0), 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

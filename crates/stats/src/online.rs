@@ -1,0 +1,171 @@
+//! Welford online mean/variance accumulator.
+//!
+//! Campaigns stream millions of experiment outcomes; the harness folds
+//! per-trial metrics into this accumulator instead of buffering every
+//! observation (the Performance Book's "avoid collecting when you only
+//! iterate once" rule applied to statistics).
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable single-pass mean/variance (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel reduction;
+    /// Chan et al. pairwise combination).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current mean (`0.0` if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`0.0` with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`0.0` if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (`0.0` if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::{mean, sample_variance};
+
+    #[test]
+    fn matches_batch_statistics() {
+        let xs = [1.5, -2.0, 3.25, 0.0, 10.0, 4.5];
+        let mut o = OnlineStats::new();
+        for &x in &xs {
+            o.push(x);
+        }
+        assert!((o.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((o.variance() - sample_variance(&xs)).abs() < 1e-12);
+        assert_eq!(o.min(), -2.0);
+        assert_eq!(o.max(), 10.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..3] {
+            a.push(x);
+        }
+        for &x in &xs[3..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-12);
+        assert_eq!(a.count(), whole.count());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.push(2.0);
+        let b = OnlineStats::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = OnlineStats::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 2.0);
+    }
+
+    #[test]
+    fn empty_accessors() {
+        let o = OnlineStats::new();
+        assert_eq!(o.mean(), 0.0);
+        assert_eq!(o.variance(), 0.0);
+        assert_eq!(o.min(), 0.0);
+        assert_eq!(o.max(), 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Seeded sampling primitives.
+//!
+//! The adaptive sampler of Section 3.4 draws dynamic-instruction indices
+//! with probability `p_i ∝ 1/S_i` *without replacement* within a round;
+//! the uniform Monte-Carlo campaign draws plain uniform subsets. Both are
+//! implemented here so the inference code stays free of RNG plumbing.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Build a deterministic small, fast RNG from a `u64` seed.
+///
+/// Every stochastic component in the workspace takes an explicit seed and
+/// derives its RNG through this function, so whole campaigns are exactly
+/// reproducible.
+pub fn seeded_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Uniformly sample `k` distinct indices from `0..n` (Floyd's algorithm,
+/// O(k) expected time and memory). Returns all of `0..n` if `k >= n`.
+/// The result is sorted for deterministic downstream iteration order.
+pub fn sample_without_replacement(n: usize, k: usize, rng: &mut impl Rng) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    // Robert Floyd's sampling: iterate j over the last k candidate values,
+    // inserting a uniform pick from 0..=j, replacing collisions with j.
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    let mut out: Vec<usize> = chosen.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Sample `k` distinct indices from `0..weights.len()` with probability
+/// proportional to `weights[i]`, via the Efraimidis–Spirakis exponential
+/// key method: draw `key_i = u_i^(1/w_i)` and keep the top `k` keys.
+///
+/// Zero or negative weights are treated as "never pick" (unless fewer than
+/// `k` positive weights exist, in which case only the positive-weight items
+/// are returned). The result is sorted.
+pub fn sample_weighted_without_replacement(
+    weights: &[f64],
+    k: usize,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    /// Min-heap entry ordered by key, so the heap root is the smallest
+    /// retained key and can be evicted by a larger one.
+    struct Entry {
+        key: f64,
+        idx: usize,
+    }
+    impl PartialEq for Entry {
+        fn eq(&self, other: &Self) -> bool {
+            self.key == other.key
+        }
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // reversed: BinaryHeap is a max-heap, we want min at the root
+            other.key.partial_cmp(&self.key).unwrap_or(Ordering::Equal)
+        }
+    }
+
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for (idx, &w) in weights.iter().enumerate() {
+        if w <= 0.0 || !w.is_finite() || w.is_nan() {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let key = u.powf(1.0 / w);
+        if heap.len() < k {
+            heap.push(Entry { key, idx });
+        } else if let Some(top) = heap.peek() {
+            if key > top.key {
+                heap.pop();
+                heap.push(Entry { key, idx });
+            }
+        }
+    }
+    let mut out: Vec<usize> = heap.into_iter().map(|e| e.idx).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sample_is_distinct_and_in_range() {
+        let mut rng = seeded_rng(7);
+        let s = sample_without_replacement(100, 10, &mut rng);
+        assert_eq!(s.len(), 10);
+        let mut dedup = s.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "indices must be distinct");
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn uniform_sample_k_ge_n_returns_all() {
+        let mut rng = seeded_rng(7);
+        let s = sample_without_replacement(5, 9, &mut rng);
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn uniform_sample_deterministic_per_seed() {
+        let a = sample_without_replacement(1000, 50, &mut seeded_rng(42));
+        let b = sample_without_replacement(1000, 50, &mut seeded_rng(42));
+        assert_eq!(a, b);
+        let c = sample_without_replacement(1000, 50, &mut seeded_rng(43));
+        assert_ne!(a, c, "different seeds should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn weighted_sample_respects_zero_weights() {
+        let weights = [0.0, 1.0, 0.0, 1.0, 0.0];
+        let mut rng = seeded_rng(3);
+        for _ in 0..20 {
+            let s = sample_weighted_without_replacement(&weights, 2, &mut rng);
+            assert_eq!(s, vec![1, 3]);
+        }
+    }
+
+    #[test]
+    fn weighted_sample_size_capped_by_positive_weights() {
+        let weights = [0.0, 2.0, 0.0];
+        let mut rng = seeded_rng(3);
+        let s = sample_weighted_without_replacement(&weights, 3, &mut rng);
+        assert_eq!(s, vec![1]);
+    }
+
+    #[test]
+    fn weighted_sample_biases_toward_heavy_items() {
+        // item 0 has weight 99, items 1..=99 weight ~0.01 each; over many
+        // draws of k=1, item 0 must dominate.
+        let mut weights = vec![0.01; 100];
+        weights[0] = 99.0;
+        let mut rng = seeded_rng(11);
+        let mut hits = 0;
+        for _ in 0..200 {
+            let s = sample_weighted_without_replacement(&weights, 1, &mut rng);
+            if s == [0] {
+                hits += 1;
+            }
+        }
+        assert!(hits > 150, "heavy item picked only {hits}/200 times");
+    }
+
+    #[test]
+    fn weighted_sample_k_zero() {
+        let mut rng = seeded_rng(1);
+        assert!(sample_weighted_without_replacement(&[1.0, 2.0], 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn weighted_sample_ignores_nan_weights() {
+        let weights = [f64::NAN, 1.0];
+        let mut rng = seeded_rng(5);
+        let s = sample_weighted_without_replacement(&weights, 2, &mut rng);
+        assert_eq!(s, vec![1]);
+    }
+}

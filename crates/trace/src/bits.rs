@@ -1,0 +1,195 @@
+//! The single-bit-flip fault model over IEEE-754 values.
+//!
+//! Section 3.2 of the paper observes that although the injected-error
+//! search space is conceptually `[0, ∞)`, IEEE-754 representation makes it
+//! discrete: a 64-bit value admits exactly 64 distinct single-bit-flip
+//! corruptions (32 for a 32-bit value). The exhaustive campaign of §4.1
+//! enumerates all of them; everything else in the library reasons about
+//! the *magnitude* of the perturbation each flip introduces.
+
+use serde::{Deserialize, Serialize};
+
+/// Floating-point width of a kernel's data elements.
+///
+/// The paper's benchmarks mix widths (its CG discussion analyses a 32-bit
+/// zero-initialised variable). Kernels declare their element width; the
+/// tracer quantises every produced value to that width so a bit flip is
+/// applied to exactly the representation the kernel computes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// IEEE-754 binary32 data elements; 32 flip candidates per site.
+    F32,
+    /// IEEE-754 binary64 data elements; 64 flip candidates per site.
+    F64,
+}
+
+impl Precision {
+    /// Number of corruptible bits per data element.
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        match self {
+            Precision::F32 => 32,
+            Precision::F64 => 64,
+        }
+    }
+
+    /// Quantise a value to this precision (identity for `F64`).
+    #[inline]
+    pub fn quantize(self, v: f64) -> f64 {
+        match self {
+            Precision::F32 => v as f32 as f64,
+            Precision::F64 => v,
+        }
+    }
+
+    /// Flip bit `bit` of `v` in this precision. The result is returned as
+    /// `f64` (exact: every binary32 value is representable in binary64).
+    ///
+    /// # Panics
+    /// Panics if `bit >= self.bits()`.
+    #[inline]
+    pub fn flip(self, v: f64, bit: u8) -> f64 {
+        match self {
+            Precision::F32 => flip_bit_f32(v as f32, bit) as f64,
+            Precision::F64 => flip_bit_f64(v, bit),
+        }
+    }
+}
+
+/// Flip bit `bit` (0 = least-significant mantissa bit, 63 = sign bit) of a
+/// binary64 value.
+///
+/// # Panics
+/// Panics if `bit >= 64`.
+#[inline]
+pub fn flip_bit_f64(v: f64, bit: u8) -> f64 {
+    assert!(bit < 64, "f64 has bits 0..=63, got {bit}");
+    f64::from_bits(v.to_bits() ^ (1u64 << bit))
+}
+
+/// Flip bit `bit` (0 = least-significant mantissa bit, 31 = sign bit) of a
+/// binary32 value.
+///
+/// # Panics
+/// Panics if `bit >= 32`.
+#[inline]
+pub fn flip_bit_f32(v: f32, bit: u8) -> f32 {
+    assert!(bit < 32, "f32 has bits 0..=31, got {bit}");
+    f32::from_bits(v.to_bits() ^ (1u32 << bit))
+}
+
+/// Magnitude of the error a bit flip introduces: `|flip(v, bit) − v|`.
+///
+/// When the flip produces a non-finite value (exponent-bit flips on large
+/// values) the error is reported as `+∞`; such experiments are the
+/// paper's Crash category under the NaN-exception model, and `+∞`
+/// correctly sorts them above every finite tolerance threshold.
+#[inline]
+pub fn injected_error(precision: Precision, v: f64, bit: u8) -> f64 {
+    let v = precision.quantize(v);
+    let flipped = precision.flip(v, bit);
+    if flipped.is_finite() {
+        (flipped - v).abs()
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_an_involution_f64() {
+        let v = 1.234567890123;
+        for bit in 0..64 {
+            assert_eq!(
+                flip_bit_f64(flip_bit_f64(v, bit), bit).to_bits(),
+                v.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn flip_is_an_involution_f32() {
+        let v = 1.2345678f32;
+        for bit in 0..32 {
+            assert_eq!(
+                flip_bit_f32(flip_bit_f32(v, bit), bit).to_bits(),
+                v.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sign_bit_flip_negates() {
+        assert_eq!(flip_bit_f64(1.5, 63), -1.5);
+        assert_eq!(flip_bit_f32(1.5, 31), -1.5);
+    }
+
+    #[test]
+    fn sign_flip_of_zero_is_free() {
+        // -0.0 == 0.0, so the injected error of a sign flip on zero is 0:
+        // the paper's "smallest threshold is zero" floor never triggers here.
+        assert_eq!(injected_error(Precision::F64, 0.0, 63), 0.0);
+        assert_eq!(injected_error(Precision::F32, 0.0, 31), 0.0);
+    }
+
+    #[test]
+    fn zero_value_top_exponent_flip_f32_is_two() {
+        // The paper (§4.2): "In a 32-bit float-point variable with a value
+        // of zero, a maximum perturbation of 2 occurs when there is a flip
+        // in the highest exponent bit."
+        let e = injected_error(Precision::F32, 0.0, 30);
+        assert_eq!(e, 2.0);
+    }
+
+    #[test]
+    fn zero_value_other_bits_are_tiny_f32() {
+        // Remaining non-sign bits on a 32-bit zero give at most ~1.08e-19
+        // (§4.2). Bit 29 yields 2^-63.
+        let mut max = 0.0f64;
+        for bit in 0..30 {
+            max = max.max(injected_error(Precision::F32, 0.0, bit));
+        }
+        assert!(max <= 1.09e-19, "max small-bit error {max}");
+        assert!(max > 1.07e-19);
+    }
+
+    #[test]
+    fn exponent_flip_can_overflow_to_infinity() {
+        // 1.0 has biased exponent 0b01111111111; setting bit 62 makes the
+        // exponent all-ones with a zero mantissa — exactly +Inf.
+        let e = injected_error(Precision::F64, 1.0, 62);
+        assert_eq!(e, f64::INFINITY);
+        assert!(flip_bit_f64(1.0, 62).is_infinite());
+    }
+
+    #[test]
+    fn mantissa_flip_error_is_small_relative() {
+        let v = 1024.0;
+        let e = injected_error(Precision::F64, v, 0);
+        assert!(e > 0.0 && e / v < 1e-12);
+    }
+
+    #[test]
+    fn quantize_f32_rounds() {
+        let v = 0.1f64;
+        let q = Precision::F32.quantize(v);
+        assert_ne!(v, q);
+        assert_eq!(q, 0.1f32 as f64);
+        assert_eq!(Precision::F64.quantize(v), v);
+    }
+
+    #[test]
+    fn bits_counts() {
+        assert_eq!(Precision::F32.bits(), 32);
+        assert_eq!(Precision::F64.bits(), 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn flip_out_of_range_panics() {
+        let _ = flip_bit_f32(1.0, 32);
+    }
+}

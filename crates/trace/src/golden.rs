@@ -1,0 +1,139 @@
+//! Recorded executions: the golden reference run and fault-injected runs.
+
+use crate::bits::Precision;
+use crate::site::StaticId;
+use crate::tracer::FaultSpec;
+use serde::{Deserialize, Serialize};
+
+/// The fault-free reference execution of a kernel.
+///
+/// Holds the full value stream (`8 bytes × n_dynamic` — the memory
+/// overhead discussed in the paper's §5), the static id of each dynamic
+/// instruction, the branch-outcome stream for divergence detection, and
+/// the program output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoldenRun {
+    /// Element precision of the traced kernel.
+    pub precision: Precision,
+    /// Value produced by each dynamic instruction, in program order.
+    pub values: Vec<f64>,
+    /// Static-instruction id of each dynamic instruction.
+    pub static_ids: Vec<u32>,
+    /// Branch events, encoded `(cursor << 1) | taken`.
+    pub branches: Vec<u64>,
+    /// Program output (what the domain user inspects for acceptability).
+    pub output: Vec<f64>,
+    /// Total dynamic instructions executed.
+    pub n_dynamic: usize,
+}
+
+impl GoldenRun {
+    /// Number of fault-injection sites (= dynamic instructions).
+    #[inline]
+    pub fn n_sites(&self) -> usize {
+        self.n_dynamic
+    }
+
+    /// Number of single-bit-flip experiments in the exhaustive sample
+    /// space: `n_sites × bits`.
+    pub fn n_experiments(&self) -> u64 {
+        self.n_sites() as u64 * u64::from(self.precision.bits())
+    }
+
+    /// Static id of dynamic instruction `site`.
+    #[inline]
+    pub fn static_id(&self, site: usize) -> StaticId {
+        StaticId(self.static_ids[site])
+    }
+
+    /// Golden value of dynamic instruction `site`.
+    #[inline]
+    pub fn value(&self, site: usize) -> f64 {
+        self.values[site]
+    }
+
+    /// The injected-error magnitude of every possible flip at `site`
+    /// (length = `precision.bits()`), straight from the golden value —
+    /// no execution needed. This is what makes boundary *prediction* free:
+    /// the only unknown is propagation, never the initial perturbation.
+    pub fn flip_errors(&self, site: usize) -> Vec<f64> {
+        let v = self.values[site];
+        (0..self.precision.bits())
+            .map(|b| crate::bits::injected_error(self.precision, v, b))
+            .collect()
+    }
+
+    /// Approximate heap footprint in bytes (the §5 overhead metric).
+    pub fn memory_bytes(&self) -> usize {
+        self.values.len() * 8
+            + self.static_ids.len() * 4
+            + self.branches.len() * 8
+            + self.output.len() * 8
+    }
+}
+
+/// A recorded (possibly fault-injected) execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Value stream, present only under [`RecordMode::Full`].
+    ///
+    /// [`RecordMode::Full`]: crate::tracer::RecordMode::Full
+    pub values: Option<Vec<f64>>,
+    /// Branch stream, present only under `RecordMode::Full`.
+    pub branches: Option<Vec<u64>>,
+    /// Program output.
+    pub output: Vec<f64>,
+    /// Total dynamic instructions executed.
+    pub n_dynamic: usize,
+    /// First dynamic instruction that produced a non-finite value, if any
+    /// (the NaN-exception crash model).
+    pub first_nonfinite: Option<usize>,
+    /// The fault this run was injected with, if any.
+    pub fault: Option<FaultSpec>,
+    /// Realised `|flipped − original|` at the fault site; `None` if the
+    /// site was never reached; `+∞` if the flip produced a non-finite
+    /// value.
+    pub injected_err: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::StaticId;
+    use crate::tracer::Tracer;
+
+    fn tiny_golden() -> GoldenRun {
+        let mut t = Tracer::golden(Precision::F64);
+        t.value(StaticId(0), 1.0);
+        t.value(StaticId(1), 2.0);
+        t.branch(true);
+        t.value(StaticId(0), 3.0);
+        t.finish_golden(vec![3.0])
+    }
+
+    #[test]
+    fn site_accessors() {
+        let g = tiny_golden();
+        assert_eq!(g.n_sites(), 3);
+        assert_eq!(g.n_experiments(), 3 * 64);
+        assert_eq!(g.static_id(2), StaticId(0));
+        assert_eq!(g.value(1), 2.0);
+    }
+
+    #[test]
+    fn flip_errors_cover_all_bits() {
+        let g = tiny_golden();
+        let errs = g.flip_errors(0);
+        assert_eq!(errs.len(), 64);
+        // sign flip of 1.0 has magnitude 2.0
+        assert_eq!(errs[63], 2.0);
+        // all errors are non-negative
+        assert!(errs.iter().all(|&e| e >= 0.0));
+    }
+
+    #[test]
+    fn memory_accounting_is_positive() {
+        let g = tiny_golden();
+        assert!(g.memory_bytes() >= 3 * 8 + 3 * 4 + 8 + 8);
+    }
+}

@@ -1,0 +1,148 @@
+//! Output-error metrics.
+//!
+//! The paper quantifies output error with the **L∞ norm** between the
+//! faulty and golden outputs ("although any other metric could be used as
+//! well" — so L2 and relative variants are provided too, and the outcome
+//! classifier in `ftb-inject` is generic over the choice).
+
+use serde::{Deserialize, Serialize};
+
+/// Which norm to compare outputs with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Norm {
+    /// `max_i |a_i − b_i|` — the paper's default.
+    LInf,
+    /// `sqrt(Σ (a_i − b_i)^2)`.
+    L2,
+    /// `max_i |a_i − b_i| / max(|a_i|, floor)` — scale-free variant for
+    /// outputs whose magnitude varies wildly across elements.
+    RelLInf {
+        /// Denominator floor preventing division blow-up near zero.
+        floor: f64,
+    },
+}
+
+impl Norm {
+    /// Distance between two outputs under this norm.
+    ///
+    /// Outputs of different lengths are "infinitely" different (a faulty
+    /// run that produced a structurally different output can never be
+    /// acceptable). Any non-finite element difference also yields `+∞`.
+    pub fn distance(self, a: &[f64], b: &[f64]) -> f64 {
+        if a.len() != b.len() {
+            return f64::INFINITY;
+        }
+        match self {
+            Norm::LInf => {
+                let mut m = 0.0f64;
+                for (&x, &y) in a.iter().zip(b) {
+                    let d = (x - y).abs();
+                    if d.is_nan() {
+                        return f64::INFINITY;
+                    }
+                    m = m.max(d);
+                }
+                m
+            }
+            Norm::L2 => {
+                let mut s = 0.0f64;
+                for (&x, &y) in a.iter().zip(b) {
+                    let d = x - y;
+                    if d.is_nan() {
+                        return f64::INFINITY;
+                    }
+                    s += d * d;
+                }
+                s.sqrt()
+            }
+            Norm::RelLInf { floor } => {
+                let mut m = 0.0f64;
+                for (&x, &y) in a.iter().zip(b) {
+                    let d = (x - y).abs() / x.abs().max(floor);
+                    if d.is_nan() {
+                        return f64::INFINITY;
+                    }
+                    m = m.max(d);
+                }
+                m
+            }
+        }
+    }
+}
+
+/// Relative error of `faulty` against `golden` with a denominator floor —
+/// the per-site significance test the paper uses for its "potential
+/// impact" metric (Figure 4, second row: relative error greater than
+/// `1e-8`).
+#[inline]
+pub fn relative_error(golden: f64, faulty: f64, floor: f64) -> f64 {
+    let d = (golden - faulty).abs();
+    if d == 0.0 {
+        return 0.0;
+    }
+    let r = d / golden.abs().max(floor);
+    if r.is_nan() {
+        f64::INFINITY
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linf_is_max_abs_difference() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.5, 2.0, 2.0];
+        assert_eq!(Norm::LInf.distance(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn l2_matches_hand_computation() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(Norm::L2.distance(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn rel_linf_scales_by_reference() {
+        let a = [100.0, 1e-30];
+        let b = [101.0, 2e-30];
+        let d = Norm::RelLInf { floor: 1e-12 }.distance(&a, &b);
+        // first element: 1/100 = 0.01; second: 1e-30/1e-12 = 1e-18
+        assert!((d - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn length_mismatch_is_infinite() {
+        assert_eq!(Norm::LInf.distance(&[1.0], &[1.0, 2.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn nan_difference_is_infinite() {
+        assert_eq!(Norm::LInf.distance(&[f64::NAN], &[1.0]), f64::INFINITY);
+        assert_eq!(Norm::L2.distance(&[f64::NAN], &[1.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn identical_outputs_have_zero_distance() {
+        let a = [1.0, -2.0, 3.5];
+        for n in [Norm::LInf, Norm::L2, Norm::RelLInf { floor: 1e-12 }] {
+            assert_eq!(n.distance(&a, &a), 0.0);
+        }
+    }
+
+    #[test]
+    fn relative_error_floor_prevents_blowup() {
+        let r = relative_error(0.0, 1e-20, 1e-12);
+        assert_eq!(r, 1e-8);
+        assert_eq!(relative_error(2.0, 2.0, 1e-12), 0.0);
+    }
+
+    #[test]
+    fn relative_error_nan_is_infinite() {
+        assert_eq!(relative_error(1.0, f64::NAN, 1e-12), f64::INFINITY);
+    }
+}

@@ -1,0 +1,115 @@
+//! JSON-safe `f64` (de)serialization.
+//!
+//! Error magnitudes in campaign artifacts are legitimately `+∞` (a bit
+//! flip that produced a non-finite value) but JSON has no infinity:
+//! `serde_json` writes `null` and then refuses to read it back. This
+//! module encodes non-finite values as the strings `"inf"`, `"-inf"` and
+//! `"nan"`; finite values stay plain numbers. Use with
+//! `#[serde(with = "ftb_trace::serde_float")]`.
+
+use serde::de::{self, Visitor};
+use serde::{Deserializer, Serializer};
+use std::fmt;
+
+/// Serialize a possibly non-finite `f64`.
+pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+    if v.is_finite() {
+        s.serialize_f64(*v)
+    } else if v.is_nan() {
+        s.serialize_str("nan")
+    } else if *v > 0.0 {
+        s.serialize_str("inf")
+    } else {
+        s.serialize_str("-inf")
+    }
+}
+
+struct F64Visitor;
+
+impl Visitor<'_> for F64Visitor {
+    type Value = f64;
+
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a number or one of \"inf\", \"-inf\", \"nan\"")
+    }
+
+    fn visit_f64<E: de::Error>(self, v: f64) -> Result<f64, E> {
+        Ok(v)
+    }
+
+    fn visit_i64<E: de::Error>(self, v: i64) -> Result<f64, E> {
+        Ok(v as f64)
+    }
+
+    fn visit_u64<E: de::Error>(self, v: u64) -> Result<f64, E> {
+        Ok(v as f64)
+    }
+
+    fn visit_str<E: de::Error>(self, v: &str) -> Result<f64, E> {
+        match v {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" => Ok(f64::NAN),
+            other => Err(E::custom(format!("not a float marker: {other:?}"))),
+        }
+    }
+}
+
+/// Deserialize a possibly non-finite `f64`.
+pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+    d.deserialize_any(F64Visitor)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Serialize, Deserialize, PartialEq)]
+    struct Holder {
+        #[serde(with = "super")]
+        v: f64,
+    }
+
+    fn roundtrip(v: f64) -> f64 {
+        let json = serde_json::to_string(&Holder { v }).unwrap();
+        let back: Holder = serde_json::from_str(&json).unwrap();
+        back.v
+    }
+
+    #[test]
+    fn finite_values_roundtrip_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            2.2737367544323206e-13,
+            1e308,
+            f64::MIN_POSITIVE,
+        ] {
+            assert_eq!(roundtrip(v).to_bits(), v.to_bits(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn infinities_roundtrip() {
+        assert_eq!(roundtrip(f64::INFINITY), f64::INFINITY);
+        assert_eq!(roundtrip(f64::NEG_INFINITY), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn nan_roundtrips_as_nan() {
+        assert!(roundtrip(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn integers_in_json_are_accepted() {
+        let back: super::tests::Holder = serde_json::from_str(r#"{"v": 3}"#).unwrap();
+        assert_eq!(back.v, 3.0);
+    }
+
+    #[test]
+    fn garbage_strings_rejected() {
+        let r: Result<Holder, _> = serde_json::from_str(r#"{"v": "banana"}"#);
+        assert!(r.is_err());
+    }
+}

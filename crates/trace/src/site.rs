@@ -1,0 +1,201 @@
+//! Static-instruction identity.
+//!
+//! A *static instruction* is a source-level site (an assignment inside a
+//! kernel loop); a *dynamic instruction* is one execution of a static
+//! instruction. The paper's analysis is per dynamic instruction, but its
+//! Figure 4 discussion interprets results in terms of source regions
+//! ("initialization instructions", "a new loop is started to process a
+//! block of the matrix"), so every dynamic instruction carries the id of
+//! its static site and every static site carries a region label.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a static instruction within one kernel's registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StaticId(pub u32);
+
+impl StaticId {
+    /// The raw index into the kernel's [`StaticRegistry`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A coarse source region a static instruction belongs to, used when
+/// interpreting per-region prediction quality (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// One-time setup: allocating/zeroing/filling inputs. The paper finds
+    /// errors injected elsewhere never propagate *into* these sites, which
+    /// is why their thresholds are under-informed at low sampling rates.
+    Init,
+    /// The main iterative/factorization/butterfly computation.
+    Compute,
+    /// Data-movement phases (e.g. the FFT six-step transposes).
+    DataMovement,
+    /// Reductions feeding convergence tests (CG dot products, norms).
+    Reduction,
+    /// Final output assembly.
+    Output,
+}
+
+impl Region {
+    /// Short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::Init => "init",
+            Region::Compute => "compute",
+            Region::DataMovement => "move",
+            Region::Reduction => "reduce",
+            Region::Output => "output",
+        }
+    }
+}
+
+/// Metadata for one static instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct StaticInstr {
+    /// Human-readable name, e.g. `"cg.axpy.x"`.
+    pub name: &'static str,
+    /// Source region.
+    pub region: Region,
+}
+
+/// The set of static instructions of one kernel.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct StaticRegistry {
+    entries: Vec<StaticInstr>,
+}
+
+impl StaticRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a static instruction and return its id. Ids are assigned
+    /// densely in registration order.
+    pub fn register(&mut self, name: &'static str, region: Region) -> StaticId {
+        let id = StaticId(self.entries.len() as u32);
+        self.entries.push(StaticInstr { name, region });
+        id
+    }
+
+    /// Look up a static instruction.
+    ///
+    /// # Panics
+    /// Panics if the id was not produced by this registry.
+    pub fn get(&self, id: StaticId) -> &StaticInstr {
+        &self.entries[id.index()]
+    }
+
+    /// Number of registered static instructions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(id, instr)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (StaticId, &StaticInstr)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (StaticId(i as u32), e))
+    }
+}
+
+/// Declare a kernel's static instructions as named constants plus a
+/// `registry()` constructor, keeping kernel bodies readable:
+///
+/// ```
+/// ftb_trace::static_instrs! {
+///     pub mod sid {
+///         INIT_X => ("cg.init.x", Init),
+///         AXPY   => ("cg.axpy", Compute),
+///     }
+/// }
+/// assert_eq!(sid::AXPY.index(), 1);
+/// assert_eq!(sid::registry().get(sid::INIT_X).name, "cg.init.x");
+/// ```
+#[macro_export]
+macro_rules! static_instrs {
+    ($vis:vis mod $m:ident { $($name:ident => ($label:expr, $region:ident)),+ $(,)? }) => {
+        $vis mod $m {
+            #![allow(missing_docs)]
+            use $crate::site::{Region, StaticId, StaticRegistry};
+
+            $crate::static_instrs!(@consts 0u32; $($name)+);
+
+            /// Build the registry matching the constants above.
+            pub fn registry() -> StaticRegistry {
+                let mut r = StaticRegistry::new();
+                $(
+                    let id = r.register($label, Region::$region);
+                    debug_assert_eq!(id, $name);
+                )+
+                r
+            }
+        }
+    };
+    (@consts $idx:expr; $head:ident $($rest:ident)*) => {
+        pub const $head: StaticId = StaticId($idx);
+        $crate::static_instrs!(@consts $idx + 1u32; $($rest)*);
+    };
+    (@consts $idx:expr;) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_dense_ids() {
+        let mut r = StaticRegistry::new();
+        let a = r.register("a", Region::Init);
+        let b = r.register("b", Region::Compute);
+        assert_eq!(a, StaticId(0));
+        assert_eq!(b, StaticId(1));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(a).name, "a");
+        assert_eq!(r.get(b).region, Region::Compute);
+    }
+
+    #[test]
+    fn iter_order_matches_registration() {
+        let mut r = StaticRegistry::new();
+        r.register("x", Region::Init);
+        r.register("y", Region::Output);
+        let names: Vec<_> = r.iter().map(|(_, e)| e.name).collect();
+        assert_eq!(names, ["x", "y"]);
+    }
+
+    crate::static_instrs! {
+        mod sid {
+            FIRST => ("k.first", Init),
+            SECOND => ("k.second", Compute),
+            THIRD => ("k.third", Output),
+        }
+    }
+
+    #[test]
+    fn macro_generates_consts_and_registry() {
+        assert_eq!(sid::FIRST, StaticId(0));
+        assert_eq!(sid::SECOND, StaticId(1));
+        assert_eq!(sid::THIRD, StaticId(2));
+        let r = sid::registry();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get(sid::THIRD).name, "k.third");
+        assert_eq!(r.get(sid::FIRST).region, Region::Init);
+    }
+
+    #[test]
+    fn region_labels_are_stable() {
+        assert_eq!(Region::Init.label(), "init");
+        assert_eq!(Region::Reduction.label(), "reduce");
+    }
+}

@@ -1,0 +1,437 @@
+//! The instrumentation handle kernels execute against.
+//!
+//! A kernel is written once against [`Tracer`] and then driven in three
+//! modes by the rest of the library:
+//!
+//! * **Golden recording** ([`Tracer::golden`]) — the fault-free run whose
+//!   full value stream and branch stream become the reference
+//!   ([`GoldenRun`]). The paper's §5 "Overhead" discussion notes this is
+//!   the memory cost of the whole approach: one `f64` per dynamic
+//!   instruction.
+//! * **Fault injection, full trace** ([`Tracer::inject`] with
+//!   [`RecordMode::Full`]) — used for *masked* experiments whose
+//!   propagation data feeds Algorithm 1.
+//! * **Fault injection, outcome only** ([`RecordMode::OutputOnly`]) — used
+//!   for campaign classification where only the final output matters;
+//!   nothing is buffered, keeping exhaustive campaigns cheap.
+
+use crate::bits::Precision;
+use crate::golden::{GoldenRun, RunTrace};
+use crate::site::StaticId;
+use crossbeam::channel::Sender;
+use serde::{Deserialize, Serialize};
+
+/// One event of a streamed execution (see [`Tracer::streaming`]):
+/// the produced value of a dynamic instruction, or a branch outcome in
+/// the golden encoding `(cursor << 1) | taken`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamEvent {
+    /// A dynamic instruction produced this value.
+    Value(f64),
+    /// A branch event, encoded `(cursor << 1) | taken`.
+    Branch(u64),
+}
+
+/// A single-bit-flip fault: flip bit `bit` of the value produced by
+/// dynamic instruction `site`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Dynamic-instruction index (position in the golden value stream).
+    pub site: usize,
+    /// Bit to flip, `0 ..< precision.bits()`.
+    pub bit: u8,
+}
+
+/// How much of a fault-injected run to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordMode {
+    /// Record the value stream and branch stream (needed to extract
+    /// propagation data for Algorithm 1).
+    Full,
+    /// Record nothing; only the returned output, dynamic-instruction count
+    /// and non-finite trap survive. The fast path for exhaustive
+    /// ground-truth campaigns.
+    OutputOnly,
+}
+
+/// Instrumentation handle. See the module docs for the three modes.
+#[derive(Debug)]
+pub struct Tracer {
+    precision: Precision,
+    /// `usize::MAX` = no fault; avoids an `Option` discriminant test in
+    /// the hot path.
+    fault_site: usize,
+    fault_bit: u8,
+    record_values: bool,
+    record_ids: bool,
+    record_branches: bool,
+    trap_nonfinite: bool,
+    cursor: usize,
+    branch_count: usize,
+    values: Vec<f64>,
+    static_ids: Vec<u32>,
+    branches: Vec<u64>,
+    first_nonfinite: Option<usize>,
+    injected_err: Option<f64>,
+    /// Streaming sink (lockstep propagation extraction); when the
+    /// receiver hangs up, streaming silently stops and the run completes.
+    stream: Option<Sender<StreamEvent>>,
+}
+
+impl Tracer {
+    fn with_flags(
+        precision: Precision,
+        fault: Option<FaultSpec>,
+        record_values: bool,
+        record_ids: bool,
+        record_branches: bool,
+    ) -> Self {
+        Tracer {
+            precision,
+            fault_site: fault.map_or(usize::MAX, |f| f.site),
+            fault_bit: fault.map_or(0, |f| f.bit),
+            record_values,
+            record_ids,
+            record_branches,
+            trap_nonfinite: true,
+            cursor: 0,
+            branch_count: 0,
+            values: Vec::new(),
+            static_ids: Vec::new(),
+            branches: Vec::new(),
+            first_nonfinite: None,
+            injected_err: None,
+            stream: None,
+        }
+    }
+
+    /// A golden (fault-free) recording tracer: values, static ids and
+    /// branches are all captured.
+    pub fn golden(precision: Precision) -> Self {
+        Self::with_flags(precision, None, true, true, true)
+    }
+
+    /// A fault-injecting tracer.
+    ///
+    /// # Panics
+    /// Panics if `fault.bit` is out of range for `precision`.
+    pub fn inject(precision: Precision, fault: FaultSpec, record: RecordMode) -> Self {
+        assert!(
+            fault.bit < precision.bits(),
+            "bit {} out of range for {:?}",
+            fault.bit,
+            precision
+        );
+        let full = record == RecordMode::Full;
+        Self::with_flags(precision, Some(fault), full, false, full)
+    }
+
+    /// An untraced, fault-free tracer (used to measure raw kernel cost and
+    /// instrumentation overhead in the benches).
+    pub fn untraced(precision: Precision) -> Self {
+        Self::with_flags(precision, None, false, false, false)
+    }
+
+    /// A *streaming* tracer: every produced value and branch event is
+    /// sent into `sink` instead of being buffered — the substrate for the
+    /// memory-bounded lockstep propagation extraction of `ftb-inject`
+    /// (the paper's §5 "computation duplication" direction). Nothing is
+    /// recorded locally; if the receiving side disconnects, streaming
+    /// stops and the run completes normally.
+    ///
+    /// # Panics
+    /// Panics if a fault is supplied whose bit is out of range.
+    pub fn streaming(
+        precision: Precision,
+        fault: Option<FaultSpec>,
+        sink: Sender<StreamEvent>,
+    ) -> Self {
+        if let Some(f) = fault {
+            assert!(
+                f.bit < precision.bits(),
+                "bit {} out of range for {:?}",
+                f.bit,
+                precision
+            );
+        }
+        let mut t = Self::with_flags(precision, fault, false, false, false);
+        t.stream = Some(sink);
+        t
+    }
+
+    /// Reserve capacity for an expected number of dynamic instructions
+    /// (avoids `Vec` growth reallocations in recording runs).
+    pub fn reserve(&mut self, n_sites: usize, n_branches: usize) {
+        if self.record_values {
+            self.values.reserve_exact(n_sites);
+        }
+        if self.record_ids {
+            self.static_ids.reserve_exact(n_sites);
+        }
+        if self.record_branches {
+            self.branches.reserve_exact(n_branches);
+        }
+    }
+
+    /// Register the production of one floating-point data element — one
+    /// *dynamic instruction*. Returns the value the kernel must continue
+    /// with (possibly bit-flipped, always quantised to the tracer's
+    /// precision).
+    #[inline]
+    pub fn value(&mut self, sid: StaticId, v: f64) -> f64 {
+        let mut v = self.precision.quantize(v);
+        let idx = self.cursor;
+        self.cursor = idx + 1;
+        if idx == self.fault_site {
+            let orig = v;
+            v = self.precision.flip(v, self.fault_bit);
+            self.injected_err = Some(if v.is_finite() {
+                (v - orig).abs()
+            } else {
+                f64::INFINITY
+            });
+        }
+        if self.trap_nonfinite && !v.is_finite() && self.first_nonfinite.is_none() {
+            self.first_nonfinite = Some(idx);
+        }
+        if self.record_values {
+            self.values.push(v);
+            if self.record_ids {
+                self.static_ids.push(sid.0);
+            }
+        }
+        if let Some(tx) = &self.stream {
+            if tx.send(StreamEvent::Value(v)).is_err() {
+                // receiver gone: stop streaming, keep computing
+                self.stream = None;
+            }
+        }
+        v
+    }
+
+    /// Register a data-dependent branch outcome. Returns `taken` so the
+    /// call can wrap the condition inline:
+    /// `while t.branch(residual > tol) { ... }`.
+    #[inline]
+    pub fn branch(&mut self, taken: bool) -> bool {
+        self.branch_count += 1;
+        let encoded = ((self.cursor as u64) << 1) | taken as u64;
+        if self.record_branches {
+            self.branches.push(encoded);
+        }
+        if let Some(tx) = &self.stream {
+            if tx.send(StreamEvent::Branch(encoded)).is_err() {
+                self.stream = None;
+            }
+        }
+        taken
+    }
+
+    /// Number of branch events observed so far (counted in every mode,
+    /// recorded only in `Full`/golden modes).
+    #[inline]
+    pub fn branch_count(&self) -> usize {
+        self.branch_count
+    }
+
+    /// Number of dynamic instructions executed so far.
+    #[inline]
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Whether the non-finite trap has fired. Kernels with unbounded
+    /// data-dependent loops may poll this to emulate the program dying at
+    /// the exception rather than spinning (the outcome classification is
+    /// identical either way).
+    #[inline]
+    pub fn trapped(&self) -> bool {
+        self.first_nonfinite.is_some()
+    }
+
+    /// Dynamic index at which the first non-finite value appeared.
+    pub fn first_nonfinite(&self) -> Option<usize> {
+        self.first_nonfinite
+    }
+
+    /// The realised injected-error magnitude, once the fault site has
+    /// executed (`None` before that, or if the site was never reached).
+    pub fn realized_injected_error(&self) -> Option<f64> {
+        self.injected_err
+    }
+
+    /// Consume the tracer, yielding the run record.
+    pub fn finish(self, output: Vec<f64>) -> RunTrace {
+        RunTrace {
+            values: if self.record_values {
+                Some(self.values)
+            } else {
+                None
+            },
+            branches: if self.record_branches {
+                Some(self.branches)
+            } else {
+                None
+            },
+            output,
+            n_dynamic: self.cursor,
+            first_nonfinite: self.first_nonfinite,
+            fault: if self.fault_site == usize::MAX {
+                None
+            } else {
+                Some(FaultSpec {
+                    site: self.fault_site,
+                    bit: self.fault_bit,
+                })
+            },
+            injected_err: self.injected_err,
+        }
+    }
+
+    /// Consume a golden-mode tracer, yielding the reference run.
+    ///
+    /// # Panics
+    /// Panics if the tracer was not constructed with [`Tracer::golden`]
+    /// (a fault or missing recording would poison every later comparison).
+    pub fn finish_golden(self, output: Vec<f64>) -> GoldenRun {
+        assert!(
+            self.fault_site == usize::MAX && self.record_values && self.record_ids,
+            "finish_golden requires a Tracer::golden tracer"
+        );
+        assert!(
+            self.first_nonfinite.is_none(),
+            "golden run produced a non-finite value at dynamic instruction {:?}; \
+             the kernel input is invalid as a reference",
+            self.first_nonfinite
+        );
+        GoldenRun {
+            precision: self.precision,
+            values: self.values,
+            static_ids: self.static_ids,
+            branches: self.branches,
+            output,
+            n_dynamic: self.cursor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::StaticId;
+
+    const SID: StaticId = StaticId(0);
+
+    /// A toy "kernel": y = sum of squares of 1..=4, each square traced.
+    fn toy(t: &mut Tracer) -> Vec<f64> {
+        let mut acc = 0.0;
+        for i in 1..=4 {
+            let sq = t.value(SID, (i as f64) * (i as f64));
+            acc = t.value(SID, acc + sq);
+        }
+        vec![acc]
+    }
+
+    #[test]
+    fn golden_records_everything() {
+        let mut t = Tracer::golden(Precision::F64);
+        let out = toy(&mut t);
+        let g = t.finish_golden(out);
+        assert_eq!(g.n_dynamic, 8);
+        assert_eq!(g.values.len(), 8);
+        assert_eq!(g.static_ids.len(), 8);
+        assert_eq!(g.output, vec![30.0]);
+    }
+
+    #[test]
+    fn untraced_matches_golden_output() {
+        let mut t = Tracer::untraced(Precision::F64);
+        let out = toy(&mut t);
+        let r = t.finish(out);
+        assert_eq!(r.output, vec![30.0]);
+        assert_eq!(r.n_dynamic, 8);
+        assert!(r.values.is_none());
+    }
+
+    #[test]
+    fn inject_flips_exactly_one_site() {
+        // flip the sign bit of the value produced by dynamic instr 2 (the
+        // square 4.0 -> -4.0), so acc becomes 1 - 4 + 9 + 16 = 22
+        let f = FaultSpec { site: 2, bit: 63 };
+        let mut t = Tracer::inject(Precision::F64, f, RecordMode::OutputOnly);
+        let out = toy(&mut t);
+        let r = t.finish(out);
+        assert_eq!(r.output, vec![22.0]);
+        assert_eq!(r.injected_err, Some(8.0));
+        assert_eq!(r.fault, Some(f));
+    }
+
+    #[test]
+    fn inject_full_records_values() {
+        let f = FaultSpec { site: 0, bit: 63 };
+        let mut t = Tracer::inject(Precision::F64, f, RecordMode::Full);
+        let out = toy(&mut t);
+        let r = t.finish(out);
+        let vals = r.values.unwrap();
+        assert_eq!(vals[0], -1.0);
+        assert_eq!(vals.len(), 8);
+    }
+
+    #[test]
+    fn fault_site_beyond_execution_is_benign() {
+        let f = FaultSpec { site: 1000, bit: 1 };
+        let mut t = Tracer::inject(Precision::F64, f, RecordMode::OutputOnly);
+        let out = toy(&mut t);
+        let r = t.finish(out);
+        assert_eq!(r.output, vec![30.0]);
+        assert_eq!(r.injected_err, None);
+    }
+
+    #[test]
+    fn nonfinite_trap_fires() {
+        let mut t = Tracer::golden(Precision::F64);
+        t.value(SID, 1.0);
+        assert!(!t.trapped());
+        t.value(SID, f64::NAN);
+        assert!(t.trapped());
+        assert_eq!(t.first_nonfinite(), Some(1));
+    }
+
+    #[test]
+    fn branch_recording_encodes_cursor_and_taken() {
+        let mut t = Tracer::golden(Precision::F64);
+        t.value(SID, 1.0);
+        assert!(t.branch(true));
+        assert!(!t.branch(false));
+        let g = t.finish_golden(vec![]);
+        assert_eq!(g.branches, vec![(1 << 1) | 1, 1 << 1]);
+    }
+
+    #[test]
+    fn f32_precision_quantizes_stream() {
+        let mut t = Tracer::golden(Precision::F32);
+        let v = t.value(SID, 0.1);
+        assert_eq!(v, 0.1f32 as f64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn finish_golden_rejects_injecting_tracer() {
+        let t = Tracer::inject(
+            Precision::F64,
+            FaultSpec { site: 0, bit: 0 },
+            RecordMode::Full,
+        );
+        let _ = t.finish_golden(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inject_rejects_out_of_range_bit() {
+        let _ = Tracer::inject(
+            Precision::F32,
+            FaultSpec { site: 0, bit: 40 },
+            RecordMode::Full,
+        );
+    }
+}

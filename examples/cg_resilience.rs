@@ -1,0 +1,62 @@
+//! Profile the resiliency of a conjugate gradient solver, region by
+//! region — the workflow of an HPC application programmer deciding where
+//! their code is vulnerable to silent data corruption.
+//!
+//! Uses the adaptive sampler (§3.4) to build the boundary, then reports
+//! per-static-instruction and per-region vulnerability, reproducing the
+//! paper's qualitative findings: zero-initialisation stores are nearly
+//! immune, the one-shot setup region is the most vulnerable, and the
+//! iterative solve is naturally resilient (CG re-converges around most
+//! perturbations).
+//!
+//! Run with: `cargo run --release -p ftb-examples --bin cg_resilience`
+
+use ftb_core::prelude::*;
+use ftb_kernels::{CgConfig, CgKernel, Kernel};
+use ftb_report::Table;
+
+fn main() {
+    let kernel = CgKernel::new(CgConfig::small());
+    let analysis = Analysis::new(&kernel, Classifier::new(1e-1));
+    let n = analysis.n_sites();
+    println!(
+        "CG on a {0}x{0} Poisson mesh: {1} dynamic instructions",
+        kernel.config().grid,
+        n
+    );
+
+    // adaptive sampling: spends experiments where information is scarce
+    let result = analysis.adaptive(&AdaptiveConfig::default());
+    println!(
+        "adaptive sampling ran {} experiments ({:.1}% of an exhaustive campaign) in {} rounds",
+        result.samples.len(),
+        result.samples.len() as f64 / analysis.golden().n_experiments() as f64 * 100.0,
+        result.rounds.len()
+    );
+
+    // per-site predicted SDC ratio from the boundary (+ known outcomes)
+    let predictor = analysis.predictor(&result.inference.boundary);
+    let per_site = predictor.sdc_ratio_per_site(Some(&result.samples));
+
+    // aggregate by static instruction via the region API
+    let registry = kernel.registry();
+    let rows = by_static_instruction(analysis.golden(), &registry, &per_site);
+
+    let mut table = Table::new(&["static instruction", "region", "dyn sites", "predicted SDC"]);
+    for r in &rows {
+        table.row(&[
+            r.name.to_string(),
+            r.region.label().to_string(),
+            r.dynamic_sites.to_string(),
+            format!("{:.2}%", r.mean * 100.0),
+        ]);
+    }
+    println!("\nper-static-instruction vulnerability (most vulnerable first):\n");
+    print!("{}", table.render());
+
+    println!(
+        "\nreading: '{}' is the code to protect first; the zero-init stores tolerate \
+         almost anything",
+        rows[0].name
+    );
+}

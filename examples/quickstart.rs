@@ -1,0 +1,73 @@
+//! Quickstart: the whole fault-tolerance-boundary workflow in ~60 lines.
+//!
+//! 1. build an instrumented kernel (a 2-D Jacobi stencil);
+//! 2. record its golden run;
+//! 3. run a *small* sampled fault-injection campaign;
+//! 4. infer the fault tolerance boundary from the masked experiments'
+//!    error propagation (Algorithm 1 + filter);
+//! 5. predict the outcome of bit flips that were never tested, and
+//!    self-verify the boundary with the §3.6 uncertainty metric.
+//!
+//! Run with: `cargo run --release -p ftb-examples --bin quickstart`
+
+use ftb_core::prelude::*;
+use ftb_kernels::{StencilConfig, StencilKernel};
+
+fn main() {
+    // 1. an instrumented kernel: every store is a fault-injection site
+    let kernel = StencilKernel::new(StencilConfig::small());
+
+    // 2. the analysis session records the golden (fault-free) run and
+    //    classifies outcomes against an output tolerance T (L∞ norm)
+    let analysis = Analysis::new(&kernel, Classifier::new(1e-6));
+    println!(
+        "kernel: {} dynamic instructions = {} single-bit-flip experiments",
+        analysis.n_sites(),
+        analysis.golden().n_experiments()
+    );
+
+    // 3. sample 5% of the dynamic instructions (all bits of each)
+    let samples = analysis.sample_uniform(0.05, 42);
+    let (masked, sdc, crash) = samples.counts();
+    println!(
+        "sampled {} experiments at {} sites: {masked} masked, {sdc} SDC, {crash} crash",
+        samples.len(),
+        samples.distinct_sites()
+    );
+
+    // 4. infer the boundary from masked-run error propagation
+    let inference = analysis.infer(&samples, FilterMode::PerSite);
+    println!(
+        "boundary covers {:.1}% of all sites with a positive threshold",
+        inference.boundary.coverage() * 100.0
+    );
+
+    // 5. predict an untested experiment — no execution needed
+    let predictor = analysis.predictor(&inference.boundary);
+    let site = analysis.n_sites() / 2;
+    for bit in [0u8, 30, 52, 62, 63] {
+        println!(
+            "  site {site} bit {bit:2}: predicted {:?}",
+            predictor.predict(site, bit)
+        );
+    }
+
+    // self-verification (§3.6): precision of the boundary over its own
+    // sample set — no exhaustive campaign required
+    let uncertainty = analysis.uncertainty(&inference.boundary, &samples);
+    println!(
+        "self-verified uncertainty (≈ precision): {:.2}%",
+        uncertainty * 100.0
+    );
+
+    // because this kernel is small, we can afford the ground truth and
+    // check that the self-verification was honest
+    let truth = analysis.exhaustive();
+    let eval = analysis.evaluate(&inference.boundary, &truth);
+    println!(
+        "ground truth: precision {:.2}%, recall {:.2}% over {} experiments",
+        eval.precision * 100.0,
+        eval.recall * 100.0,
+        eval.n_evaluated
+    );
+}

@@ -1,0 +1,78 @@
+//! Selective protection: the downstream use case motivating the paper.
+//!
+//! Full instruction duplication / triple modular redundancy is too
+//! expensive for HPC; the economic alternative is *partial* protection of
+//! only the vulnerable instructions. This example uses the fault
+//! tolerance boundary to rank dynamic instructions by predicted
+//! vulnerability, "protects" the top K% (a protected site's flips are
+//! assumed corrected by duplication), and measures the real SDC reduction
+//! against ground truth — compared with protecting the same budget of
+//! randomly chosen sites.
+//!
+//! Run with: `cargo run --release -p ftb-examples --bin selective_protection`
+
+use ftb_core::prelude::*;
+use ftb_kernels::{CgConfig, CgKernel};
+use ftb_report::Table;
+use ftb_stats::sampling::{sample_without_replacement, seeded_rng};
+
+fn main() {
+    // CG has strongly heterogeneous vulnerability (the right-hand-side
+    // setup is ~10x more fragile than the iterative updates), which is
+    // exactly when guided placement pays off
+    let kernel = CgKernel::new(CgConfig::small());
+    let analysis = Analysis::new(&kernel, Classifier::new(1e-1));
+    let n = analysis.n_sites();
+
+    // boundary from a 5% uniform sample
+    let samples = analysis.sample_uniform(0.05, 7);
+    let inference = analysis.infer(&samples, FilterMode::PerSite);
+    let predictor = analysis.predictor(&inference.boundary);
+
+    // ground truth for the evaluation only
+    let truth = analysis.exhaustive();
+    let base = truth.overall_sdc_ratio();
+    println!(
+        "CG {} sites, baseline SDC ratio {:.2}% (boundary built from {} experiments)",
+        n,
+        base * 100.0,
+        samples.len()
+    );
+
+    let mut table = Table::new(&[
+        "budget",
+        "boundary-guided residual SDC",
+        "random-placement residual SDC",
+    ]);
+    let mut rng = seeded_rng(99);
+    for budget_pct in [5usize, 10, 20, 40] {
+        let k = n * budget_pct / 100;
+
+        let guided = ProtectionPlan::rank(&predictor, Some(&samples), k);
+        let random = ProtectionPlan {
+            sites: sample_without_replacement(n, k, &mut rng),
+            predicted_sdc: guided.predicted_sdc.clone(),
+            predicted_sdc_removed: 0.0,
+        };
+
+        table.row(&[
+            format!("{budget_pct}% of sites"),
+            format!(
+                "{:.2}% (-{:.0}%)",
+                guided.residual_sdc(&truth) * 100.0,
+                guided.sdc_reduction(&truth) * 100.0
+            ),
+            format!(
+                "{:.2}% (-{:.0}%)",
+                random.residual_sdc(&truth) * 100.0,
+                random.sdc_reduction(&truth) * 100.0
+            ),
+        ]);
+    }
+    println!("\nresidual SDC after protecting a budget of sites:\n");
+    print!("{}", table.render());
+    println!(
+        "\nthe boundary concentrates the protection budget on genuinely vulnerable \
+         instructions; random placement wastes most of it on naturally resilient ones"
+    );
+}

@@ -1,0 +1,91 @@
+//! Shared fixtures for the `ftb` integration test suite.
+//!
+//! The integration tests exercise whole pipelines across crates — kernel
+//! → injector → sampler → inference → prediction → metrics — on kernels
+//! small enough that even exhaustive ground truth is cheap in a debug
+//! test run.
+
+use ftb_core::prelude::*;
+use ftb_kernels::{
+    CgConfig, FftConfig, GemmConfig, JacobiConfig, Kernel, KernelConfig, LuConfig, MatvecConfig,
+    SpmvConfig, StencilConfig,
+};
+
+/// Tiny variants of every kernel, with tolerances that give a non-trivial
+/// masked/SDC mix.
+pub fn tiny_suite() -> Vec<(KernelConfig, f64)> {
+    vec![
+        (
+            KernelConfig::Cg(CgConfig {
+                grid: 4,
+                max_iters: 100,
+                ..CgConfig::small()
+            }),
+            1e-1,
+        ),
+        (
+            KernelConfig::Lu(LuConfig {
+                n: 8,
+                block: 4,
+                ..LuConfig::small()
+            }),
+            3e-5,
+        ),
+        (
+            KernelConfig::Fft(FftConfig {
+                n1: 4,
+                n2: 4,
+                ..FftConfig::small()
+            }),
+            1.0,
+        ),
+        (
+            KernelConfig::Stencil(StencilConfig {
+                grid: 6,
+                sweeps: 3,
+                ..StencilConfig::small()
+            }),
+            1e-6,
+        ),
+        (
+            KernelConfig::Matvec(MatvecConfig {
+                n: 6,
+                ..MatvecConfig::small()
+            }),
+            1e-6,
+        ),
+        (
+            KernelConfig::Gemm(GemmConfig {
+                n: 5,
+                ..GemmConfig::small()
+            }),
+            1e-6,
+        ),
+        (
+            KernelConfig::Spmv(SpmvConfig {
+                grid: 5,
+                ..SpmvConfig::small()
+            }),
+            1e-6,
+        ),
+        (
+            KernelConfig::Jacobi(JacobiConfig {
+                grid: 4,
+                sweeps: 10,
+                ..JacobiConfig::small()
+            }),
+            1e-4,
+        ),
+    ]
+}
+
+/// Build a kernel and run `f` with an analysis session over it.
+pub fn with_analysis<R>(
+    config: &KernelConfig,
+    tolerance: f64,
+    f: impl FnOnce(&dyn Kernel, &Analysis<'_>) -> R,
+) -> R {
+    let kernel = config.build();
+    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(tolerance));
+    f(kernel.as_ref(), &analysis)
+}

@@ -1,0 +1,113 @@
+//! Behavioural guarantees of the §3.4 adaptive sampler, cross-crate.
+
+use ftb_core::prelude::*;
+use ftb_integration::{tiny_suite, with_analysis};
+
+#[test]
+fn adaptive_uses_far_fewer_experiments_than_exhaustive() {
+    for (config, tol) in tiny_suite() {
+        with_analysis(&config, tol, |kernel, analysis| {
+            let res = analysis.adaptive(&AdaptiveConfig::default());
+            let full = analysis.golden().n_experiments();
+            assert!(
+                (res.samples.len() as u64) < full / 2,
+                "{}: adaptive used {} of {} experiments",
+                kernel.name(),
+                res.samples.len(),
+                full
+            );
+        });
+    }
+}
+
+#[test]
+fn adaptive_prediction_tracks_golden_ratio() {
+    for (config, tol) in tiny_suite() {
+        with_analysis(&config, tol, |kernel, analysis| {
+            let truth = analysis.exhaustive();
+            let res = analysis.adaptive(&AdaptiveConfig::default());
+            let predicted = analysis
+                .profile(&res.inference.boundary, &truth, Some(&res.samples))
+                .overall()
+                .1;
+            let golden = truth.overall_sdc_ratio();
+            assert!(
+                (predicted - golden).abs() < 0.12,
+                "{}: adaptive predicted {predicted:.3} vs golden {golden:.3}",
+                kernel.name()
+            );
+        });
+    }
+}
+
+#[test]
+fn candidate_space_shrinks_monotonically() {
+    let (config, tol) = &tiny_suite()[2]; // fft
+    with_analysis(config, *tol, |_, analysis| {
+        let res = analysis.adaptive(&AdaptiveConfig {
+            stop_sdc_fraction: 2.0, // only stop via dry rounds / exhaustion
+            max_rounds: 12,
+            ..Default::default()
+        });
+        for w in res.rounds.windows(2) {
+            assert!(w[1].candidates_left <= w[0].candidates_left);
+        }
+    });
+}
+
+#[test]
+fn adaptive_beats_uniform_at_equal_budget_on_prediction_error() {
+    // the paper's efficiency claim, in miniature: for the same number of
+    // experiments, adaptive sampling predicts the overall SDC ratio at
+    // least as well as uniform sampling (almost always strictly better,
+    // since it stops spending on already-predicted regions)
+    let (config, tol) = &tiny_suite()[0]; // CG
+    with_analysis(config, *tol, |_, analysis| {
+        let truth = analysis.exhaustive();
+        let golden = truth.overall_sdc_ratio();
+
+        let adaptive = analysis.adaptive(&AdaptiveConfig {
+            seed: 41,
+            ..Default::default()
+        });
+        let adaptive_pred = analysis
+            .profile(
+                &adaptive.inference.boundary,
+                &truth,
+                Some(&adaptive.samples),
+            )
+            .overall()
+            .1;
+
+        // uniform with the same experiment count
+        let bits = usize::from(analysis.golden().precision.bits());
+        let sites = (adaptive.samples.len() / bits).max(1);
+        let uniform = SampleSet::sample_sites(analysis.injector(), sites, 41);
+        let uniform_inf = analysis.infer(&uniform, FilterMode::PerSite);
+        let uniform_pred = analysis
+            .profile(&uniform_inf.boundary, &truth, Some(&uniform))
+            .overall()
+            .1;
+
+        let adaptive_err = (adaptive_pred - golden).abs();
+        let uniform_err = (uniform_pred - golden).abs();
+        assert!(
+            adaptive_err <= uniform_err + 0.02,
+            "adaptive err {adaptive_err:.4} worse than uniform err {uniform_err:.4}"
+        );
+    });
+}
+
+#[test]
+fn rounds_report_consistent_counts() {
+    let (config, tol) = &tiny_suite()[1]; // lu
+    with_analysis(config, *tol, |_, analysis| {
+        let res = analysis.adaptive(&AdaptiveConfig::default());
+        let mut total = 0;
+        for r in &res.rounds {
+            assert_eq!(r.n_run, r.n_masked + r.n_sdc + r.n_crash);
+            total += r.n_run;
+        }
+        assert_eq!(total, res.samples.len());
+    });
+}

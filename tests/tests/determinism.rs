@@ -1,0 +1,85 @@
+//! Reproducibility: identical seeds give identical campaigns, boundaries
+//! and adaptive trajectories — including under different Rayon pool
+//! sizes, since the parallel reductions are order-independent.
+
+use ftb_core::prelude::*;
+use ftb_integration::{tiny_suite, with_analysis};
+
+#[test]
+fn sampled_campaigns_are_reproducible() {
+    let (config, tol) = &tiny_suite()[4]; // matvec
+    with_analysis(config, *tol, |_, analysis| {
+        let a = analysis.sample_uniform(0.2, 7);
+        let b = analysis.sample_uniform(0.2, 7);
+        assert_eq!(a.experiments(), b.experiments());
+        let c = analysis.sample_uniform(0.2, 8);
+        assert_ne!(a.experiments(), c.experiments());
+    });
+}
+
+#[test]
+fn inference_identical_across_thread_counts() {
+    let (config, tol) = &tiny_suite()[3]; // stencil
+    let kernel = config.build();
+
+    let run_with_pool = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let analysis = Analysis::new(kernel.as_ref(), Classifier::new(*tol));
+            let samples = analysis.sample_uniform(0.2, 5);
+            let inference = analysis.infer(&samples, FilterMode::PerSite);
+            (samples, inference)
+        })
+    };
+
+    let (s1, i1) = run_with_pool(1);
+    let (s4, i4) = run_with_pool(4);
+    assert_eq!(s1.experiments(), s4.experiments());
+    assert_eq!(i1.boundary, i4.boundary);
+    assert_eq!(i1.prop_hits, i4.prop_hits);
+    assert_eq!(i1.sig_injections, i4.sig_injections);
+}
+
+#[test]
+fn exhaustive_campaign_identical_across_thread_counts() {
+    let (config, tol) = &tiny_suite()[5]; // gemm
+    let kernel = config.build();
+    let run_with_pool = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| Analysis::new(kernel.as_ref(), Classifier::new(*tol)).exhaustive())
+    };
+    assert_eq!(run_with_pool(1), run_with_pool(3));
+}
+
+#[test]
+fn adaptive_trajectory_is_reproducible() {
+    let (config, tol) = &tiny_suite()[4];
+    with_analysis(config, *tol, |_, analysis| {
+        let cfg = AdaptiveConfig {
+            seed: 9,
+            ..Default::default()
+        };
+        let a = analysis.adaptive(&cfg);
+        let b = analysis.adaptive(&cfg);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.samples.experiments(), b.samples.experiments());
+        assert_eq!(a.inference.boundary, b.inference.boundary);
+    });
+}
+
+#[test]
+fn golden_runs_identical_across_rebuilds() {
+    for (config, _) in tiny_suite() {
+        let g1 = config.build().golden();
+        let g2 = config.build().golden();
+        assert_eq!(g1.values, g2.values);
+        assert_eq!(g1.branches, g2.branches);
+        assert_eq!(g1.output, g2.output);
+    }
+}

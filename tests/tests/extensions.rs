@@ -1,0 +1,101 @@
+//! Integration tests for the extension features: lockstep propagation,
+//! the pilot-grouping baseline, and compact golden storage — exercised
+//! across kernels rather than on a single fixture.
+
+use ftb_core::prelude::*;
+use ftb_inject::fold_propagation_lockstep;
+use ftb_integration::{tiny_suite, with_analysis};
+use ftb_trace::{CompactGolden, FaultSpec};
+
+#[test]
+fn lockstep_equals_buffered_on_every_kernel() {
+    for (config, tol) in tiny_suite() {
+        with_analysis(&config, tol, |kernel, analysis| {
+            let injector = analysis.injector();
+            let site = analysis.n_sites() / 2;
+            let bit = 20;
+            let (exp, prop) = injector.run_one_traced(site, bit);
+            let buffered: Vec<(usize, f64)> = prop.iter().filter(|&(_, d)| d > 0.0).collect();
+
+            let mut streamed = Vec::new();
+            let report = fold_propagation_lockstep(
+                kernel,
+                FaultSpec { site, bit },
+                injector.classifier(),
+                32,
+                |s, d| streamed.push((s, d)),
+            );
+            assert_eq!(
+                streamed,
+                buffered,
+                "{}: lockstep fold differs",
+                kernel.name()
+            );
+            assert_eq!(
+                report.outcome,
+                exp.outcome,
+                "{}: outcome differs",
+                kernel.name()
+            );
+        });
+    }
+}
+
+#[test]
+fn pilot_baseline_runs_on_every_kernel() {
+    for (config, tol) in tiny_suite() {
+        with_analysis(&config, tol, |kernel, analysis| {
+            let est = pilot_estimate(analysis.injector(), &PilotConfig::default());
+            assert_eq!(est.per_site.len(), analysis.n_sites());
+            assert!(
+                (est.samples.len() as u64) <= analysis.golden().n_experiments(),
+                "{}: pilot cost exceeds exhaustive",
+                kernel.name()
+            );
+            let truth = analysis.exhaustive();
+            // pilot overall estimate is in the ballpark of the truth for
+            // these small kernels (grouping assumption approximately holds)
+            let err = (est.overall_sdc_ratio() - truth.overall_sdc_ratio()).abs();
+            assert!(err < 0.20, "{}: pilot overall err {err}", kernel.name());
+        });
+    }
+}
+
+#[test]
+fn compact_golden_roundtrips_every_kernel() {
+    for (config, _) in tiny_suite() {
+        let kernel = config.build();
+        let golden = kernel.golden();
+        let compact = CompactGolden::from_golden(&golden);
+        assert_eq!(compact.to_golden(), golden, "{}", kernel.name());
+        assert!(
+            compact.memory_bytes() <= golden.memory_bytes(),
+            "{}: compaction grew the trace",
+            kernel.name()
+        );
+    }
+}
+
+#[test]
+fn streaming_inference_matches_buffered_on_every_kernel() {
+    use ftb_core::infer_boundary_streaming;
+    for (config, tol) in tiny_suite() {
+        with_analysis(&config, tol, |kernel, analysis| {
+            let samples = analysis.sample_uniform(0.1, 77);
+            let buffered = analysis.infer(&samples, FilterMode::PerSite);
+            let streamed = infer_boundary_streaming(
+                kernel,
+                analysis.injector(),
+                &samples,
+                FilterMode::PerSite,
+                16,
+            );
+            assert_eq!(
+                buffered.boundary,
+                streamed.boundary,
+                "{}: streaming inference differs",
+                kernel.name()
+            );
+        });
+    }
+}

@@ -1,0 +1,133 @@
+//! End-to-end pipeline invariants across every kernel.
+
+use ftb_core::prelude::*;
+use ftb_integration::{tiny_suite, with_analysis};
+
+#[test]
+fn every_kernel_survives_the_full_pipeline() {
+    for (config, tol) in tiny_suite() {
+        with_analysis(&config, tol, |kernel, analysis| {
+            let truth = analysis.exhaustive();
+            let samples = analysis.sample_uniform(0.15, 3);
+            let inference = analysis.infer(&samples, FilterMode::PerSite);
+            let eval = analysis.evaluate(&inference.boundary, &truth);
+            let unc = analysis.uncertainty(&inference.boundary, &samples);
+
+            assert!(
+                (0.0..=1.0).contains(&eval.precision),
+                "{}: precision {}",
+                kernel.name(),
+                eval.precision
+            );
+            assert!((0.0..=1.0).contains(&eval.recall));
+            assert!((0.0..=1.0).contains(&unc));
+            assert!(
+                eval.m_positive <= eval.m_predict && eval.m_positive <= eval.m_total,
+                "{}: counting identity broken",
+                kernel.name()
+            );
+            assert_eq!(eval.n_evaluated, truth.n_experiments());
+        });
+    }
+}
+
+#[test]
+fn precision_stays_high_for_every_kernel() {
+    for (config, tol) in tiny_suite() {
+        with_analysis(&config, tol, |kernel, analysis| {
+            let truth = analysis.exhaustive();
+            let samples = analysis.sample_uniform(0.25, 11);
+            let inference = analysis.infer(&samples, FilterMode::PerSite);
+            let eval = analysis.evaluate(&inference.boundary, &truth);
+            assert!(
+                eval.precision > 0.90,
+                "{}: precision {} below 90%",
+                kernel.name(),
+                eval.precision
+            );
+        });
+    }
+}
+
+#[test]
+fn uncertainty_tracks_precision() {
+    // §4.3's headline: the self-verified uncertainty approximates the
+    // true precision without any ground truth.
+    for (config, tol) in tiny_suite() {
+        with_analysis(&config, tol, |kernel, analysis| {
+            let truth = analysis.exhaustive();
+            let samples = analysis.sample_uniform(0.25, 13);
+            let inference = analysis.infer(&samples, FilterMode::PerSite);
+            let eval = analysis.evaluate(&inference.boundary, &truth);
+            let unc = analysis.uncertainty(&inference.boundary, &samples);
+            assert!(
+                (unc - eval.precision).abs() < 0.10,
+                "{}: uncertainty {unc} vs precision {} diverged",
+                kernel.name(),
+                eval.precision
+            );
+        });
+    }
+}
+
+#[test]
+fn more_samples_never_hurt_recall_much() {
+    let (config, tol) = &tiny_suite()[3]; // stencil
+    with_analysis(config, *tol, |_, analysis| {
+        let truth = analysis.exhaustive();
+        let mut last_recall = 0.0;
+        for rate in [0.05, 0.15, 0.4] {
+            let samples = analysis.sample_uniform(rate, 17);
+            let inference = analysis.infer(&samples, FilterMode::PerSite);
+            let eval = analysis.evaluate(&inference.boundary, &truth);
+            assert!(
+                eval.recall >= last_recall - 0.05,
+                "recall regressed badly: {} after {last_recall}",
+                eval.recall
+            );
+            last_recall = eval.recall;
+        }
+        assert!(last_recall > 0.3, "final recall {last_recall} too low");
+    });
+}
+
+#[test]
+fn golden_boundary_has_perfect_precision_on_monotone_kernels() {
+    // stencil/matvec/gemm are §5-monotone: the exhaustive boundary should
+    // classify their masked/SDC split essentially perfectly
+    for idx in [3usize, 4, 5] {
+        let (config, tol) = &tiny_suite()[idx];
+        with_analysis(config, *tol, |kernel, analysis| {
+            let truth = analysis.exhaustive();
+            let gb = analysis.golden_boundary(&truth);
+            let eval = analysis.evaluate(&gb, &truth);
+            assert!(
+                eval.precision > 0.999,
+                "{}: golden-boundary precision {}",
+                kernel.name(),
+                eval.precision
+            );
+        });
+    }
+}
+
+#[test]
+fn overall_prediction_never_underestimates_sdc_materially() {
+    // unknown cases are assumed SDC, so the predicted overall ratio sits
+    // at or above the golden ratio (up to crash-prediction wobble)
+    for (config, tol) in tiny_suite() {
+        with_analysis(&config, tol, |kernel, analysis| {
+            let truth = analysis.exhaustive();
+            let samples = analysis.sample_uniform(0.10, 29);
+            let inference = analysis.infer(&samples, FilterMode::PerSite);
+            let predictor = analysis.predictor(&inference.boundary);
+            let predicted = predictor.overall_sdc_ratio(Some(&samples));
+            let golden = truth.overall_sdc_ratio();
+            assert!(
+                predicted >= golden - 0.03,
+                "{}: predicted {predicted} < golden {golden}",
+                kernel.name()
+            );
+        });
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates.
+
+use ftb_core::prelude::*;
+use ftb_inject::{Experiment, Outcome};
+use ftb_stats::Histogram;
+use ftb_trace::bits::{flip_bit_f32, flip_bit_f64, injected_error, Precision};
+use ftb_trace::divergence_cursor;
+use proptest::prelude::*;
+
+proptest! {
+    /// Flipping any bit twice restores the exact bit pattern.
+    #[test]
+    fn flip_f64_is_involution(bits in any::<u64>(), bit in 0u8..64) {
+        let v = f64::from_bits(bits);
+        let back = flip_bit_f64(flip_bit_f64(v, bit), bit);
+        prop_assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    /// Same for f32.
+    #[test]
+    fn flip_f32_is_involution(bits in any::<u32>(), bit in 0u8..32) {
+        let v = f32::from_bits(bits);
+        let back = flip_bit_f32(flip_bit_f32(v, bit), bit);
+        prop_assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    /// A flip never leaves the value unchanged as a bit pattern, and the
+    /// injected error is non-negative (possibly +inf, possibly 0 only for
+    /// the sign flip of a zero or flips involving NaN payloads).
+    #[test]
+    fn injected_error_is_nonnegative(v in -1e30f64..1e30, bit in 0u8..64) {
+        let e = injected_error(Precision::F64, v, bit);
+        prop_assert!(e >= 0.0);
+    }
+
+    /// Boundary merge is commutative: max-fold order cannot matter.
+    #[test]
+    fn boundary_merge_commutes(
+        a in proptest::collection::vec(0.0f64..1e6, 1..40),
+        b in proptest::collection::vec(0.0f64..1e6, 1..40),
+    ) {
+        let n = a.len().min(b.len());
+        let mut x = Boundary::zero(n);
+        let mut y = Boundary::zero(n);
+        for (i, &v) in a.iter().take(n).enumerate() {
+            x.observe(i, v);
+        }
+        for (i, &v) in b.iter().take(n).enumerate() {
+            y.observe(i, v);
+        }
+        let mut xy = x.clone();
+        xy.merge(&y);
+        let mut yx = y.clone();
+        yx.merge(&x);
+        prop_assert_eq!(xy, yx);
+    }
+
+    /// Observing extra propagation data never lowers any threshold
+    /// (Algorithm 1 is a running max).
+    #[test]
+    fn observe_is_monotone(
+        base in proptest::collection::vec((0usize..20, 0.0f64..1e9), 0..50),
+        extra in proptest::collection::vec((0usize..20, 0.0f64..1e9), 0..50),
+    ) {
+        let mut b1 = Boundary::zero(20);
+        for &(s, v) in &base {
+            b1.observe(s, v);
+        }
+        let mut b2 = b1.clone();
+        for &(s, v) in &extra {
+            b2.observe(s, v);
+        }
+        for s in 0..20 {
+            prop_assert!(b2.threshold(s) >= b1.threshold(s));
+        }
+    }
+
+    /// Identical branch streams never diverge; an injected mismatch is
+    /// found at (or before) its position.
+    #[test]
+    fn divergence_detects_mutation(
+        stream in proptest::collection::vec(0u64..1000, 1..100),
+        idx in 0usize..100,
+    ) {
+        let idx = idx % stream.len();
+        let encoded: Vec<u64> = stream
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ((c + i as u64) << 1) | 1)
+            .collect();
+        prop_assert_eq!(divergence_cursor(&encoded, &encoded), None);
+        let mut mutated = encoded.clone();
+        mutated[idx] ^= 1; // flip the taken bit
+        let d = divergence_cursor(&encoded, &mutated);
+        prop_assert!(d.is_some());
+        prop_assert!(d.unwrap() <= ((encoded[idx] >> 1) as usize));
+    }
+
+    /// Histograms never lose finite observations.
+    #[test]
+    fn histogram_conserves_mass(xs in proptest::collection::vec(-1e12f64..1e12, 0..200)) {
+        let h = Histogram::auto(&xs, 16);
+        prop_assert_eq!(h.total() as usize, xs.len());
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), h.total());
+    }
+
+    /// SampleSet statistics are consistent with its contents for any
+    /// experiment soup.
+    #[test]
+    fn sample_set_counting_identities(
+        exps in proptest::collection::vec(
+            (0usize..30, 0u8..64, 0u8..3, 0.0f64..1e3),
+            0..120,
+        )
+    ) {
+        let mut set = SampleSet::new();
+        for (site, bit, kind, err) in exps {
+            let outcome = match kind {
+                0 => Outcome::Masked,
+                1 => Outcome::Sdc,
+                _ => Outcome::Crash(ftb_inject::CrashKind::NonFinite),
+            };
+            set.insert(Experiment {
+                site,
+                bit,
+                injected_err: err,
+                output_err: 0.0,
+                outcome,
+            });
+        }
+        let (m, s, c) = set.counts();
+        prop_assert_eq!(m + s + c, set.len());
+        let mins = set.min_sdc_injected(30);
+        for e in set.sdc() {
+            prop_assert!(mins[e.site] <= e.injected_err);
+        }
+        let global = set.min_sdc_injected_global();
+        for &site_min in &mins {
+            prop_assert!(global <= site_min);
+        }
+        let inj = set.injection_counts(30);
+        prop_assert_eq!(inj.iter().map(|&x| x as usize).sum::<usize>(), set.len());
+        prop_assert!(set.distinct_sites() <= set.len());
+    }
+}

@@ -1,0 +1,76 @@
+//! Persistence: every campaign artifact survives a JSON round trip
+//! unchanged (the disk cache and the CLI's `--json` output rely on this).
+
+use ftb_core::prelude::*;
+use ftb_integration::{tiny_suite, with_analysis};
+
+#[test]
+fn exhaustive_result_roundtrips() {
+    let (config, tol) = &tiny_suite()[4];
+    with_analysis(config, *tol, |_, analysis| {
+        let ex = analysis.exhaustive();
+        let json = serde_json::to_string(&ex).unwrap();
+        let back: ftb_inject::ExhaustiveResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(ex, back);
+    });
+}
+
+#[test]
+fn sample_set_roundtrips_with_rebuilt_index() {
+    let (config, tol) = &tiny_suite()[4];
+    with_analysis(config, *tol, |_, analysis| {
+        let samples = analysis.sample_uniform(0.2, 3);
+        let json = serde_json::to_string(&samples).unwrap();
+        let back: SampleSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(samples.experiments(), back.experiments());
+        // the lookup index must be rebuilt, not silently dropped
+        let e = &samples.experiments()[0];
+        assert!(back.contains(e.site, e.bit));
+        assert_eq!(back.get(e.site, e.bit).unwrap(), e);
+    });
+}
+
+#[test]
+fn boundary_and_inference_roundtrip() {
+    let (config, tol) = &tiny_suite()[3];
+    with_analysis(config, *tol, |_, analysis| {
+        let samples = analysis.sample_uniform(0.2, 5);
+        let inf = analysis.infer(&samples, FilterMode::PerSite);
+        let json = serde_json::to_string(&inf).unwrap();
+        let back: Inference = serde_json::from_str(&json).unwrap();
+        assert_eq!(inf.boundary, back.boundary);
+        assert_eq!(inf.prop_hits, back.prop_hits);
+        assert_eq!(inf.sig_injections, back.sig_injections);
+    });
+}
+
+#[test]
+fn adaptive_result_roundtrips() {
+    let (config, tol) = &tiny_suite()[5];
+    with_analysis(config, *tol, |_, analysis| {
+        let res = analysis.adaptive(&AdaptiveConfig::default());
+        let json = serde_json::to_string(&res).unwrap();
+        let back: AdaptiveResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(res.rounds, back.rounds);
+        assert_eq!(res.samples.experiments(), back.samples.experiments());
+        assert_eq!(res.inference.boundary, back.inference.boundary);
+    });
+}
+
+#[test]
+fn golden_run_roundtrips() {
+    let (config, _) = &tiny_suite()[2];
+    let golden = config.build().golden();
+    let json = serde_json::to_string(&golden).unwrap();
+    let back: ftb_trace::GoldenRun = serde_json::from_str(&json).unwrap();
+    assert_eq!(golden, back);
+}
+
+#[test]
+fn kernel_configs_roundtrip() {
+    for (config, _) in tiny_suite() {
+        let json = serde_json::to_string(&config).unwrap();
+        let back: ftb_kernels::KernelConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config, back);
+    }
+}
