@@ -8,7 +8,7 @@
 
 use crate::suite::Benchmark;
 use ftb_core::SampleSet;
-use ftb_inject::{ExhaustiveResult, Injector};
+use ftb_inject::{exhaustive_plan, CampaignBinding, ChunkedCampaign, ExhaustiveResult, Injector};
 use ftb_kernels::Kernel;
 use serde::{de::DeserializeOwned, Serialize};
 use std::collections::hash_map::DefaultHasher;
@@ -50,6 +50,12 @@ fn store<T: Serialize>(path: &PathBuf, value: &T) {
 
 /// The exhaustive ground truth for a suite kernel, computed once and
 /// cached on disk.
+///
+/// The campaign itself streams into a crash-safe experiment ledger next
+/// to the cache entry, so a ground-truth computation killed partway
+/// (a laptop lid close mid-suite) resumes from the completed prefix
+/// instead of starting over. The ledger is deleted once the dense
+/// result is cached.
 pub fn exhaustive_cached(bench: &Benchmark, injector: &Injector<'_>) -> ExhaustiveResult {
     let path = key_of(bench, "exhaustive", "");
     if let Some(cached) = load::<ExhaustiveResult>(&path) {
@@ -62,8 +68,40 @@ pub fn exhaustive_cached(bench: &Benchmark, injector: &Injector<'_>) -> Exhausti
         bench.name,
         injector.n_sites() as u64 * u64::from(injector.bits())
     );
-    let ex = injector.exhaustive();
+    let ledger_path = path.with_extension("ledger.jsonl");
+    if let Some(parent) = ledger_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let binding = CampaignBinding {
+        kernel: bench.config.clone(),
+        classifier: *injector.classifier(),
+        n_sites: injector.n_sites(),
+        bits: injector.bits(),
+        plan: "exhaustive".to_string(),
+    };
+    let plan = exhaustive_plan(injector.n_sites(), injector.bits());
+    let ex =
+        match ChunkedCampaign::new(injector, plan, 1024).with_ledger(&ledger_path, binding, true) {
+            Ok(mut cc) => {
+                if cc.metrics().resumed > 0 {
+                    eprintln!(
+                        "[cache] resuming {} from ledger: {} of {} experiments done",
+                        bench.name,
+                        cc.metrics().resumed,
+                        cc.metrics().total
+                    );
+                }
+                match cc.run_to_completion() {
+                    Ok(()) => cc.into_exhaustive(),
+                    Err(_) => injector.exhaustive(),
+                }
+            }
+            // an unusable ledger (foreign binding, mid-file damage) must not
+            // block the suite — recompute directly
+            Err(_) => injector.exhaustive(),
+        };
     store(&path, &ex);
+    let _ = std::fs::remove_file(&ledger_path);
     ex
 }
 

@@ -46,6 +46,16 @@ ANALYSIS OPTIONS:
     --samples N            experiment count for campaign (1000)
     --filter MODE          off | per-site | global (per-site)
     --json PATH            also write results as JSON
+
+CHECKPOINT / OBSERVABILITY OPTIONS (campaign, exhaustive, adaptive):
+    --checkpoint PATH      stream progress to a crash-safe checkpoint: a
+                           JSONL experiment ledger (campaign/exhaustive)
+                           or a per-round sampler state file (adaptive)
+    --resume               continue from an existing checkpoint, running
+                           only the experiments it does not already hold
+    --metrics-out PATH     write a machine-readable metrics summary JSON
+                           (counts, throughput, chunk timings)
+    --chunk N              experiments per ledger chunk (256)
 ";
 
 /// Parsed command line.
@@ -67,6 +77,14 @@ pub struct Args {
     pub seed: u64,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Optional checkpoint path (experiment ledger / adaptive state).
+    pub checkpoint: Option<String>,
+    /// Resume from an existing checkpoint instead of starting over.
+    pub resume: bool,
+    /// Optional metrics-summary JSON output path.
+    pub metrics_out: Option<String>,
+    /// Experiments per ledger chunk.
+    pub chunk: usize,
 }
 
 /// Parse failure.
@@ -114,7 +132,7 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
         let key = raw[i]
             .strip_prefix("--")
             .ok_or_else(|| err(format!("expected a --flag, got '{}'", raw[i])))?;
-        let boolean = matches!(key, "f32" | "f64" | "csr");
+        let boolean = matches!(key, "f32" | "f64" | "csr" | "resume");
         if boolean {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
@@ -228,6 +246,16 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
             .unwrap_or_else(|| "per-site".into()),
         seed,
         json: flags.get("json").cloned(),
+        checkpoint: flags.get("checkpoint").cloned(),
+        resume: flags.contains_key("resume"),
+        metrics_out: flags.get("metrics-out").cloned(),
+        chunk: {
+            let chunk = get_usize("chunk", 256)?;
+            if chunk == 0 {
+                return Err(err("--chunk must be at least 1"));
+            }
+            chunk
+        },
     })
 }
 
@@ -301,6 +329,41 @@ mod tests {
         assert!(parse(&v(&["golden", "--kernel", "quantum"])).is_err());
         assert!(parse(&v(&["golden"])).is_err());
         assert!(parse(&v(&[])).is_err());
+    }
+
+    #[test]
+    fn parses_checkpoint_flags() {
+        let a = parse(&v(&[
+            "campaign",
+            "--kernel",
+            "matvec",
+            "--checkpoint",
+            "ledger.jsonl",
+            "--resume",
+            "--metrics-out",
+            "metrics.json",
+            "--chunk",
+            "64",
+        ]))
+        .unwrap();
+        assert_eq!(a.checkpoint.as_deref(), Some("ledger.jsonl"));
+        assert!(a.resume);
+        assert_eq!(a.metrics_out.as_deref(), Some("metrics.json"));
+        assert_eq!(a.chunk, 64);
+    }
+
+    #[test]
+    fn checkpoint_flags_default_off() {
+        let a = parse(&v(&["campaign", "--kernel", "matvec"])).unwrap();
+        assert!(a.checkpoint.is_none());
+        assert!(!a.resume);
+        assert!(a.metrics_out.is_none());
+        assert_eq!(a.chunk, 256);
+    }
+
+    #[test]
+    fn zero_chunk_rejected() {
+        assert!(parse(&v(&["campaign", "--kernel", "matvec", "--chunk", "0"])).is_err());
     }
 
     #[test]

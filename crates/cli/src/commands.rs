@@ -3,8 +3,17 @@
 
 use crate::args::{Args, CliError};
 use ftb_core::prelude::*;
+use ftb_core::AdaptiveState;
+use ftb_inject::{
+    exhaustive_plan, monte_carlo_plan, CampaignBinding, CampaignMetrics, ChunkedCampaign,
+    MetricsSnapshot,
+};
 use ftb_report::Table;
+use ftb_trace::FaultSpec;
+use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
 
 fn filter_mode(name: &str) -> Result<FilterMode, CliError> {
     match name {
@@ -22,6 +31,48 @@ fn maybe_write_json<T: serde::Serialize>(args: &Args, value: &T) -> Result<(), C
         std::fs::write(path, data).map_err(|e| CliError(format!("writing {path}: {e}")))?;
     }
     Ok(())
+}
+
+fn maybe_write_metrics(args: &Args, metrics: &MetricsSnapshot) -> Result<(), CliError> {
+    if let Some(path) = &args.metrics_out {
+        let data = serde_json::to_vec_pretty(metrics)
+            .map_err(|e| CliError(format!("serialising metrics: {e}")))?;
+        std::fs::write(path, data).map_err(|e| CliError(format!("writing {path}: {e}")))?;
+    }
+    Ok(())
+}
+
+/// The identity a checkpoint file is bound to for this invocation.
+fn campaign_binding(args: &Args, injector: &Injector<'_>, plan: &str) -> CampaignBinding {
+    CampaignBinding {
+        kernel: args.kernel.clone(),
+        classifier: *injector.classifier(),
+        n_sites: injector.n_sites(),
+        bits: injector.bits(),
+        plan: plan.to_string(),
+    }
+}
+
+/// Run a fixed fault plan through the chunked campaign runtime, with the
+/// ledger, resume, progress, and metrics behavior selected by the flags.
+fn run_chunked<'k>(
+    args: &Args,
+    injector: &'k Injector<'k>,
+    plan_desc: &str,
+    plan: Vec<FaultSpec>,
+) -> Result<ChunkedCampaign<'k>, CliError> {
+    let mut cc = ChunkedCampaign::new(injector, plan, args.chunk)
+        .with_reporter(format!("ftb {}", args.command), Duration::from_secs(2));
+    if let Some(path) = &args.checkpoint {
+        let binding = campaign_binding(args, injector, plan_desc);
+        cc = cc
+            .with_ledger(Path::new(path), binding, args.resume)
+            .map_err(|e| CliError(format!("checkpoint {path}: {e}")))?;
+    }
+    cc.run_to_completion()
+        .map_err(|e| CliError(format!("campaign: {e}")))?;
+    maybe_write_metrics(args, &cc.metrics())?;
+    Ok(cc)
 }
 
 /// Run the selected command.
@@ -74,7 +125,11 @@ fn golden(args: &Args) -> Result<String, CliError> {
 fn campaign(args: &Args) -> Result<String, CliError> {
     let kernel = args.kernel.build();
     let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance));
-    let est = analysis.monte_carlo(args.samples, 0.95, args.seed);
+    let injector = analysis.injector();
+    let plan_desc = format!("monte-carlo n={} seed={}", args.samples, args.seed);
+    let plan = monte_carlo_plan(injector.n_sites(), injector.bits(), args.samples, args.seed);
+    let cc = run_chunked(args, injector, &plan_desc, plan)?;
+    let est = ftb_inject::monte_carlo::summarize(cc.experiments(), 0.95);
     maybe_write_json(args, &est)?;
     let mut out = String::new();
     let _ = writeln!(out, "experiments:     {}", est.n);
@@ -102,7 +157,10 @@ fn campaign(args: &Args) -> Result<String, CliError> {
 fn exhaustive(args: &Args) -> Result<String, CliError> {
     let kernel = args.kernel.build();
     let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance));
-    let ex = analysis.exhaustive();
+    let injector = analysis.injector();
+    let plan = exhaustive_plan(injector.n_sites(), injector.bits());
+    let cc = run_chunked(args, injector, "exhaustive", plan)?;
+    let ex = cc.into_exhaustive();
     maybe_write_json(args, &ex)?;
     let (m, s, c) = ex.counts();
     let mut out = String::new();
@@ -149,16 +207,117 @@ fn analyze(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// On-disk format of an adaptive `--checkpoint` file: the complete
+/// sampler state (including the per-site information counts) plus the
+/// campaign binding a resume must agree with.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AdaptiveCheckpoint {
+    format: String,
+    binding: CampaignBinding,
+    state: AdaptiveState,
+}
+
+const ADAPTIVE_FORMAT: &str = "ftb-adaptive-v1";
+
+/// Atomically replace the checkpoint (write-to-temp + rename), so a
+/// crash mid-write leaves the previous round's state intact.
+fn write_adaptive_checkpoint(
+    path: &str,
+    binding: &CampaignBinding,
+    state: &AdaptiveState,
+) -> Result<(), CliError> {
+    let cp = AdaptiveCheckpoint {
+        format: ADAPTIVE_FORMAT.to_string(),
+        binding: binding.clone(),
+        state: state.clone(),
+    };
+    let data =
+        serde_json::to_vec(&cp).map_err(|e| CliError(format!("serialising checkpoint: {e}")))?;
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, data).map_err(|e| CliError(format!("writing {tmp}: {e}")))?;
+    std::fs::rename(&tmp, path).map_err(|e| CliError(format!("replacing {path}: {e}")))?;
+    Ok(())
+}
+
+fn load_adaptive_checkpoint(
+    path: &str,
+    expected: &CampaignBinding,
+    injector: &Injector<'_>,
+) -> Result<AdaptiveState, CliError> {
+    let data =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("reading {path}: {e}")))?;
+    let cp: AdaptiveCheckpoint =
+        serde_json::from_str(&data).map_err(|e| CliError(format!("parsing {path}: {e}")))?;
+    if cp.format != ADAPTIVE_FORMAT {
+        return Err(CliError(format!(
+            "{path}: unsupported checkpoint format {:?} (expected {ADAPTIVE_FORMAT:?})",
+            cp.format
+        )));
+    }
+    if !cp.binding.matches(expected) {
+        return Err(CliError(format!(
+            "{path}: checkpoint belongs to a different campaign (recorded plan: {:?})",
+            cp.binding.plan
+        )));
+    }
+    if !cp.state.matches(injector) {
+        return Err(CliError(format!(
+            "{path}: checkpoint fault space ({} sites × {} bits) does not match the kernel",
+            cp.state.n_sites, cp.state.bits
+        )));
+    }
+    Ok(cp.state)
+}
+
 fn adaptive(args: &Args) -> Result<String, CliError> {
     let filter = filter_mode(&args.filter)?;
     let kernel = args.kernel.build();
     let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance));
+    let injector = analysis.injector();
     let cfg = AdaptiveConfig {
         filter,
         seed: args.seed,
         ..AdaptiveConfig::default()
     };
-    let result = analysis.adaptive(&cfg);
+    let plan_desc = format!("adaptive seed={} filter={}", args.seed, args.filter);
+    let binding = campaign_binding(args, injector, &plan_desc);
+
+    let mut state = match &args.checkpoint {
+        Some(path) if args.resume && Path::new(path).exists() => {
+            let state = load_adaptive_checkpoint(path, &binding, injector)?;
+            eprintln!(
+                "[ftb adaptive] resuming from {path}: {} rounds, {} experiments done",
+                state.round,
+                state.samples.len()
+            );
+            state
+        }
+        _ => AdaptiveState::new(injector, &cfg),
+    };
+
+    let total_space = injector.n_sites() as u64 * u64::from(injector.bits());
+    let mut metrics = CampaignMetrics::new(total_space);
+    metrics.note_resumed(state.samples.experiments());
+    let mut reporter = ftb_inject::ProgressReporter::new("ftb adaptive", Duration::from_secs(2));
+
+    loop {
+        let before = state.samples.len();
+        let started = Instant::now();
+        let stepped = state.step(injector).is_some();
+        if stepped {
+            metrics.record_chunk(&state.samples.experiments()[before..], started.elapsed());
+        }
+        if let Some(path) = &args.checkpoint {
+            write_adaptive_checkpoint(path, &binding, &state)?;
+        }
+        if !stepped {
+            break;
+        }
+        reporter.report(&metrics, state.is_done());
+    }
+    maybe_write_metrics(args, &metrics.snapshot())?;
+
+    let result = state.finish(injector);
     let predictor = analysis.predictor(&result.inference.boundary);
     let overall = predictor.overall_sdc_ratio(Some(&result.samples));
     let uncertainty = analysis.uncertainty(&result.inference.boundary, &result.samples);

@@ -114,6 +114,7 @@ impl AdaptiveResult {
 
 /// Remaining-candidate bookkeeping: one bitmask of untested, unpruned
 /// bits per site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct CandidateSpace {
     masks: Vec<u64>,
 }
@@ -186,44 +187,106 @@ fn nth_set_bit(mut m: u64, mut rank: u32) -> u8 {
     }
 }
 
-/// Run the adaptive sampling loop. See the module docs.
+/// Mix a round index into the campaign seed (SplitMix64 finalizer).
 ///
-/// Between rounds the boundary is maintained *incrementally*: each new
-/// masked experiment's propagation is folded in once (filtered against
-/// the SDC minima known at that moment), and a later SDC observation
-/// clamps the affected site's threshold below its injected error
-/// ([`crate::Boundary::clamp_below`]). This keeps the whole loop linear
-/// in the number of experiments; a final exact
-/// [`infer_boundary`] rebuild produces the returned inference.
-pub fn adaptive_boundary(injector: &Injector<'_>, cfg: &AdaptiveConfig) -> AdaptiveResult {
-    assert!(cfg.round_fraction > 0.0, "round_fraction must be positive");
-    assert!(cfg.max_rounds > 0, "need at least one round");
-    let n_sites = injector.n_sites();
-    let bits = injector.bits();
-    let golden = injector.golden();
-    let mut rng = seeded_rng(cfg.seed);
-    let mut space = CandidateSpace::full(n_sites, bits);
-    let mut samples = SampleSet::new();
-    let mut rounds = Vec::new();
+/// Each round draws from its own RNG derived from `(seed, round)` so a
+/// checkpointed run resumed from a serialized [`AdaptiveState`] replays
+/// the exact experiment sequence an uninterrupted run would produce —
+/// no RNG stream needs to survive serialization.
+fn round_seed(seed: u64, round: usize) -> u64 {
+    let mut z = seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
-    // incremental state
-    let mut boundary = crate::boundary::Boundary::zero(n_sites);
-    let mut min_sdc = vec![f64::INFINITY; n_sites];
-    let mut information = vec![1u32; n_sites]; // the §3.4 S_i counts
+/// The complete resumable state of an adaptive sampling run.
+///
+/// Everything the §3.4 loop carries between rounds lives here — the
+/// candidate space, the incremental boundary, the per-site information
+/// counts and SDC minima, the collected samples, and the stop-criterion
+/// bookkeeping — and all of it serializes, so a campaign can be
+/// checkpointed after any round and resumed bit-for-bit later (the CLI's
+/// `--checkpoint`/`--resume` flags).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptiveState {
+    /// Configuration the run was started with.
+    pub cfg: AdaptiveConfig,
+    /// Number of injection sites (resume must agree with the injector).
+    pub n_sites: usize,
+    /// Bits per site (resume must agree with the injector).
+    pub bits: u8,
+    /// Rounds completed so far.
+    pub round: usize,
+    consecutive_dry: usize,
+    space: CandidateSpace,
+    information: Vec<u32>,
+    #[serde(with = "ftb_trace::serde_float::vec")]
+    min_sdc: Vec<f64>,
+    boundary: crate::boundary::Boundary,
+    /// All experiments run so far.
+    pub samples: SampleSet,
+    /// Per-round progress.
+    pub rounds: Vec<RoundStats>,
+    done: bool,
+}
 
-    let round_size = ((cfg.round_fraction * n_sites as f64).ceil() as usize)
-        .max(cfg.min_round_size)
-        .max(1);
-    let mut consecutive_dry = 0usize;
+impl AdaptiveState {
+    /// Fresh state for an adaptive run against `injector`.
+    ///
+    /// # Panics
+    /// Panics on non-positive `round_fraction` or a zero `max_rounds`.
+    pub fn new(injector: &Injector<'_>, cfg: &AdaptiveConfig) -> Self {
+        assert!(cfg.round_fraction > 0.0, "round_fraction must be positive");
+        assert!(cfg.max_rounds > 0, "need at least one round");
+        let n_sites = injector.n_sites();
+        AdaptiveState {
+            cfg: cfg.clone(),
+            n_sites,
+            bits: injector.bits(),
+            round: 0,
+            consecutive_dry: 0,
+            space: CandidateSpace::full(n_sites, injector.bits()),
+            information: vec![1u32; n_sites], // the §3.4 S_i counts
+            min_sdc: vec![f64::INFINITY; n_sites],
+            boundary: crate::boundary::Boundary::zero(n_sites),
+            samples: SampleSet::new(),
+            rounds: Vec::new(),
+            done: false,
+        }
+    }
 
-    for round in 0..cfg.max_rounds {
+    /// Whether this (possibly deserialized) state belongs to the same
+    /// fault space as `injector`.
+    pub fn matches(&self, injector: &Injector<'_>) -> bool {
+        self.n_sites == injector.n_sites() && self.bits == injector.bits()
+    }
+
+    /// Whether the stop criteria have fired.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Run one sampling round. Returns the round's stats, or `None` if
+    /// the run is (now) complete.
+    pub fn step(&mut self, injector: &Injector<'_>) -> Option<RoundStats> {
+        if self.done || self.round >= self.cfg.max_rounds {
+            self.done = true;
+            return None;
+        }
+        let cfg = &self.cfg;
+        let round_size = ((cfg.round_fraction * self.n_sites as f64).ceil() as usize)
+            .max(cfg.min_round_size)
+            .max(1);
+        let mut rng = seeded_rng(round_seed(cfg.seed, self.round));
+
         // 1. choose sites: weight 1/S_i among sites with candidates left
-        let weights: Vec<f64> = (0..n_sites)
+        let weights: Vec<f64> = (0..self.n_sites)
             .map(|site| {
-                if !space.site_has_candidates(site) {
+                if !self.space.site_has_candidates(site) {
                     0.0
                 } else if cfg.bias {
-                    1.0 / f64::from(information[site])
+                    1.0 / f64::from(self.information[site])
                 } else {
                     1.0
                 }
@@ -231,12 +294,13 @@ pub fn adaptive_boundary(injector: &Injector<'_>, cfg: &AdaptiveConfig) -> Adapt
             .collect();
         let chosen = sample_weighted_without_replacement(&weights, round_size, &mut rng);
         if chosen.is_empty() {
-            break; // space exhausted
+            self.done = true; // space exhausted
+            return None;
         }
         let faults: Vec<FaultSpec> = chosen
             .iter()
             .map(|&site| {
-                let bit = space.random_bit(site, &mut rng);
+                let bit = self.space.random_bit(site, &mut rng);
                 FaultSpec { site, bit }
             })
             .collect();
@@ -245,7 +309,7 @@ pub fn adaptive_boundary(injector: &Injector<'_>, cfg: &AdaptiveConfig) -> Adapt
         let results = injector.run_many(&faults);
         let (mut n_masked, mut n_sdc, mut n_crash) = (0, 0, 0);
         for e in results {
-            information[e.site] = information[e.site].saturating_add(1);
+            self.information[e.site] = self.information[e.site].saturating_add(1);
             match e.outcome {
                 o if o.is_masked() => {
                     n_masked += 1;
@@ -258,66 +322,83 @@ pub fn adaptive_boundary(injector: &Injector<'_>, cfg: &AdaptiveConfig) -> Adapt
                         }
                         let passes = match cfg.filter {
                             FilterMode::Off => true,
-                            _ => err < min_sdc[site],
+                            _ => err < self.min_sdc[site],
                         };
                         if passes {
-                            boundary.observe(site, err);
+                            self.boundary.observe(site, err);
                         }
-                        information[site] = information[site].saturating_add(1);
+                        self.information[site] = self.information[site].saturating_add(1);
                     }
                 }
                 o if o.is_sdc() => {
                     n_sdc += 1;
-                    if cfg.filter != FilterMode::Off && e.injected_err < min_sdc[e.site] {
-                        min_sdc[e.site] = e.injected_err;
+                    if cfg.filter != FilterMode::Off && e.injected_err < self.min_sdc[e.site] {
+                        self.min_sdc[e.site] = e.injected_err;
                         // retroactive filter: never certify ≥ a known SDC error
-                        boundary.clamp_below(e.site, e.injected_err);
+                        self.boundary.clamp_below(e.site, e.injected_err);
                     }
                 }
                 _ => n_crash += 1,
             }
-            space.remove(e.site, e.bit);
-            samples.insert(e);
+            self.space.remove(e.site, e.bit);
+            self.samples.insert(e);
         }
 
         // 3. shrink the candidate space with the current boundary
-        let predictor = Predictor::new(golden, &boundary);
-        space.prune(&predictor, cfg.crash_aware);
+        let predictor = Predictor::new(injector.golden(), &self.boundary);
+        self.space.prune(&predictor, cfg.crash_aware);
 
         let n_run = n_masked + n_sdc + n_crash;
-        rounds.push(RoundStats {
-            round,
+        let stats = RoundStats {
+            round: self.round,
             n_run,
             n_masked,
             n_sdc,
             n_crash,
-            candidates_left: space.remaining(),
-        });
+            candidates_left: self.space.remaining(),
+        };
+        self.rounds.push(stats);
+        self.round += 1;
 
         // 4. stop criteria (paper §3.4): no new masked cases, or the
         // round was ≥95% SDC — sustained for `dry_rounds` rounds
         let sdc_frac = n_sdc as f64 / n_run.max(1) as f64;
-        if n_masked == 0 || sdc_frac >= cfg.stop_sdc_fraction {
-            consecutive_dry += 1;
+        if n_masked == 0 || sdc_frac >= self.cfg.stop_sdc_fraction {
+            self.consecutive_dry += 1;
         } else {
-            consecutive_dry = 0;
+            self.consecutive_dry = 0;
         }
-        if consecutive_dry >= cfg.dry_rounds && round + 1 >= cfg.min_rounds {
-            break;
+        if self.consecutive_dry >= self.cfg.dry_rounds && self.round >= self.cfg.min_rounds {
+            self.done = true;
         }
-        if space.remaining() == 0 {
-            break;
+        if self.space.remaining() == 0 {
+            self.done = true;
         }
+        Some(stats)
     }
 
-    // exact final rebuild (the incremental fold is order-dependent in
-    // what the filter discards; the returned boundary is canonical)
-    let inference = infer_boundary(injector, &samples, cfg.filter);
-    AdaptiveResult {
-        samples,
-        inference,
-        rounds,
+    /// Final exact boundary rebuild (the incremental fold is
+    /// order-dependent in what the filter discards; the returned
+    /// boundary is canonical).
+    pub fn finish(&self, injector: &Injector<'_>) -> AdaptiveResult {
+        let inference = infer_boundary(injector, &self.samples, self.cfg.filter);
+        AdaptiveResult {
+            samples: self.samples.clone(),
+            inference,
+            rounds: self.rounds.clone(),
+        }
     }
+}
+
+/// Run the adaptive sampling loop to completion. See the module docs.
+///
+/// Equivalent to driving [`AdaptiveState`] round-by-round — which is
+/// what the checkpointing CLI does — followed by
+/// [`AdaptiveState::finish`].
+pub fn adaptive_boundary(injector: &Injector<'_>, cfg: &AdaptiveConfig) -> AdaptiveResult {
+    let mut state = AdaptiveState::new(injector, cfg);
+    while state.step(injector).is_some() {}
+    state.finish(injector)
 }
 
 #[cfg(test)]
@@ -418,6 +499,59 @@ mod tests {
         };
         let res = adaptive_boundary(&inj, &cfg);
         assert!(!res.rounds.is_empty());
+    }
+
+    #[test]
+    fn checkpointed_run_replays_identically() {
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 6,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let cfg = AdaptiveConfig {
+            round_fraction: 0.02,
+            ..AdaptiveConfig::default()
+        };
+
+        let uninterrupted = adaptive_boundary(&inj, &cfg);
+
+        // serialize the state after *every* round, as the CLI's
+        // --checkpoint does, and continue from the deserialized copy
+        let mut state = AdaptiveState::new(&inj, &cfg);
+        while state.step(&inj).is_some() {
+            let json = serde_json::to_string(&state).unwrap();
+            state = serde_json::from_str(&json).unwrap();
+            assert!(state.matches(&inj));
+        }
+        let resumed = state.finish(&inj);
+
+        assert_eq!(
+            uninterrupted.samples.experiments(),
+            resumed.samples.experiments()
+        );
+        assert_eq!(uninterrupted.rounds, resumed.rounds);
+        assert_eq!(
+            serde_json::to_string(&uninterrupted.inference.boundary).unwrap(),
+            serde_json::to_string(&resumed.inference.boundary).unwrap(),
+            "inferred boundaries must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn state_rejects_foreign_fault_space() {
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 6,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let state = AdaptiveState::new(&inj, &AdaptiveConfig::default());
+        let k2 = MatvecKernel::new(MatvecConfig {
+            n: 4,
+            ..MatvecConfig::small()
+        });
+        let inj2 = Injector::new(&k2, Classifier::new(1e-6));
+        assert!(state.matches(&inj));
+        assert!(!state.matches(&inj2));
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub mod protection;
 pub mod region;
 pub mod sample;
 
-pub use adaptive::{adaptive_boundary, AdaptiveConfig, AdaptiveResult, RoundStats};
+pub use adaptive::{adaptive_boundary, AdaptiveConfig, AdaptiveResult, AdaptiveState, RoundStats};
 pub use analysis::Analysis;
 pub use boundary::{golden_boundary, Boundary};
 pub use infer::{infer_boundary, infer_boundary_streaming, FilterMode, Inference};
@@ -77,7 +77,7 @@ pub use sample::SampleSet;
 
 /// Convenient single-import surface.
 pub mod prelude {
-    pub use crate::adaptive::{adaptive_boundary, AdaptiveConfig, AdaptiveResult};
+    pub use crate::adaptive::{adaptive_boundary, AdaptiveConfig, AdaptiveResult, AdaptiveState};
     pub use crate::analysis::Analysis;
     pub use crate::boundary::{golden_boundary, Boundary};
     pub use crate::infer::{infer_boundary, FilterMode, Inference};

@@ -1,0 +1,450 @@
+//! Crash-safe streaming experiment ledger.
+//!
+//! A campaign ledger is an append-only JSONL file: the first line is a
+//! [`LedgerHeader`] binding the file to a specific kernel configuration,
+//! classifier, fault space, and campaign plan; every following line is
+//! one completed [`Experiment`]. Records are appended and flushed one
+//! chunk at a time, so a campaign killed at any point leaves a ledger
+//! whose intact prefix is an exact record of the work already done.
+//!
+//! Recovery ([`read_ledger`]) tolerates exactly the damage a crash can
+//! cause: a truncated or garbled *final* line (a torn write). Garbage
+//! followed by further valid records means the file was corrupted by
+//! something other than a crash mid-append and is rejected outright.
+
+use crate::experiment::Experiment;
+use crate::outcome::Classifier;
+use ftb_kernels::KernelConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Format tag written into every ledger header.
+pub const LEDGER_FORMAT: &str = "ftb-ledger-v1";
+
+/// Everything a ledger (or adaptive checkpoint) must agree on before a
+/// resume is allowed to skip already-completed work.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignBinding {
+    /// Kernel configuration the campaign runs against.
+    pub kernel: KernelConfig,
+    /// Outcome classifier in use.
+    pub classifier: Classifier,
+    /// Number of injection sites in the golden run.
+    pub n_sites: usize,
+    /// Bits per site.
+    pub bits: u8,
+    /// Human-readable plan description, e.g. `"exhaustive"` or
+    /// `"monte-carlo n=1000 seed=42"`. Part of the binding: resuming an
+    /// exhaustive ledger under a Monte-Carlo plan must fail.
+    pub plan: String,
+}
+
+impl CampaignBinding {
+    /// Structural equality via canonical JSON (avoids requiring
+    /// `PartialEq` on every nested config type).
+    pub fn matches(&self, other: &CampaignBinding) -> bool {
+        serde_json::to_string(self).ok() == serde_json::to_string(other).ok()
+    }
+}
+
+/// First line of every ledger file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LedgerHeader {
+    /// Format tag ([`LEDGER_FORMAT`]).
+    pub format: String,
+    /// Campaign identity this ledger belongs to.
+    pub binding: CampaignBinding,
+}
+
+impl LedgerHeader {
+    /// Header for a binding, stamped with the current format tag.
+    pub fn new(binding: CampaignBinding) -> Self {
+        LedgerHeader {
+            format: LEDGER_FORMAT.to_string(),
+            binding,
+        }
+    }
+}
+
+/// Ledger I/O failure.
+#[derive(Debug)]
+pub enum LedgerError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Structural damage beyond what a crash can explain (bad header,
+    /// garbage followed by valid records, wrong format tag).
+    Format {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The ledger belongs to a different campaign configuration.
+    BindingMismatch {
+        /// What the existing ledger was recorded under.
+        found: Box<CampaignBinding>,
+    },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::Io(e) => write!(f, "ledger I/O error: {e}"),
+            LedgerError::Format { line, msg } => {
+                write!(f, "ledger format error at line {line}: {msg}")
+            }
+            LedgerError::BindingMismatch { found } => write!(
+                f,
+                "ledger belongs to a different campaign (recorded plan: {:?})",
+                found.plan
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+impl From<std::io::Error> for LedgerError {
+    fn from(e: std::io::Error) -> Self {
+        LedgerError::Io(e)
+    }
+}
+
+/// What [`read_ledger`] recovered from disk.
+#[derive(Debug)]
+pub struct LedgerRecovery {
+    /// The parsed header line.
+    pub header: LedgerHeader,
+    /// All intact experiment records, in ledger (= execution) order.
+    pub experiments: Vec<Experiment>,
+    /// Byte length of the intact prefix; resuming truncates the file to
+    /// this length before appending.
+    pub valid_len: u64,
+    /// Whether a truncated/garbled trailing line was dropped.
+    pub dropped_trailing: bool,
+}
+
+/// Read and validate a ledger, tolerating a torn final line.
+pub fn read_ledger(path: &Path) -> Result<LedgerRecovery, LedgerError> {
+    let data = std::fs::read(path)?;
+    let mut lines: Vec<(usize, &[u8])> = Vec::new(); // (start offset, bytes)
+    let mut start = 0;
+    for (i, &b) in data.iter().enumerate() {
+        if b == b'\n' {
+            lines.push((start, &data[start..i]));
+            start = i + 1;
+        }
+    }
+    if start < data.len() {
+        lines.push((start, &data[start..]));
+    }
+
+    let (_, header_bytes) = *lines.first().ok_or(LedgerError::Format {
+        line: 1,
+        msg: "empty ledger file".into(),
+    })?;
+    let header: LedgerHeader =
+        serde_json::from_slice(header_bytes).map_err(|e| LedgerError::Format {
+            line: 1,
+            msg: format!("unreadable header: {e}"),
+        })?;
+    if header.format != LEDGER_FORMAT {
+        return Err(LedgerError::Format {
+            line: 1,
+            msg: format!(
+                "unsupported format tag {:?} (expected {LEDGER_FORMAT:?})",
+                header.format
+            ),
+        });
+    }
+
+    let mut experiments = Vec::new();
+    let mut valid_len = lines
+        .get(1)
+        .map_or(data.len() as u64, |&(off, _)| off as u64);
+    let mut dropped_trailing = false;
+    for (idx, &(off, bytes)) in lines.iter().enumerate().skip(1) {
+        if bytes.is_empty() {
+            // A blank line can only be the torn remnant of a write that
+            // got exactly the newline out; anything after it is damage.
+            if idx + 1 != lines.len() {
+                return Err(LedgerError::Format {
+                    line: idx + 1,
+                    msg: "blank line in the middle of the record stream".into(),
+                });
+            }
+            valid_len = off as u64;
+            break;
+        }
+        match serde_json::from_slice::<Experiment>(bytes) {
+            Ok(e) => {
+                experiments.push(e);
+                let end = off + bytes.len();
+                // include the newline if one followed
+                valid_len = if data.get(end) == Some(&b'\n') {
+                    (end + 1) as u64
+                } else {
+                    end as u64
+                };
+            }
+            Err(parse_err) => {
+                if idx + 1 == lines.len() {
+                    // torn final write — drop it, keep the intact prefix
+                    valid_len = off as u64;
+                    dropped_trailing = true;
+                } else {
+                    return Err(LedgerError::Format {
+                        line: idx + 1,
+                        msg: format!(
+                            "unreadable record followed by later records \
+                             (not a torn tail): {parse_err}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(LedgerRecovery {
+        header,
+        experiments,
+        valid_len,
+        dropped_trailing,
+    })
+}
+
+/// Append-only ledger writer. Each [`append_chunk`](Self::append_chunk)
+/// issues a single write followed by a flush, so a crash can tear at
+/// most the final line.
+#[derive(Debug)]
+pub struct LedgerWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl LedgerWriter {
+    /// Create (or truncate) a ledger at `path` and write its header.
+    pub fn create(path: &Path, header: &LedgerHeader) -> Result<Self, LedgerError> {
+        let mut file = File::create(path)?;
+        let mut line = serde_json::to_string(header).map_err(|e| LedgerError::Format {
+            line: 1,
+            msg: format!("unserializable header: {e}"),
+        })?;
+        line.push('\n');
+        file.write_all(line.as_bytes())?;
+        file.flush()?;
+        Ok(LedgerWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Reopen an existing ledger for appending, first truncating it to
+    /// the intact prefix reported by [`read_ledger`].
+    pub fn resume(path: &Path, valid_len: u64) -> Result<Self, LedgerError> {
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(LedgerWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Append one chunk of completed experiments: one JSON line per
+    /// record, one write, one flush.
+    pub fn append_chunk(&mut self, experiments: &[Experiment]) -> Result<(), LedgerError> {
+        let mut buf = String::new();
+        for e in experiments {
+            buf.push_str(
+                &serde_json::to_string(e).map_err(|err| LedgerError::Format {
+                    line: 0,
+                    msg: format!("unserializable record: {err}"),
+                })?,
+            );
+            buf.push('\n');
+        }
+        self.file.write_all(buf.as_bytes())?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Path this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Outcome;
+    use ftb_kernels::{KernelConfig, MatvecConfig};
+
+    fn binding(plan: &str) -> CampaignBinding {
+        CampaignBinding {
+            kernel: KernelConfig::Matvec(MatvecConfig {
+                n: 4,
+                ..MatvecConfig::small()
+            }),
+            classifier: Classifier::new(1e-6),
+            n_sites: 20,
+            bits: 64,
+            plan: plan.to_string(),
+        }
+    }
+
+    fn exp(site: usize, bit: u8) -> Experiment {
+        Experiment {
+            site,
+            bit,
+            injected_err: 1.5,
+            output_err: 0.25,
+            outcome: Outcome::Sdc,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ftb-ledger-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_header_and_records() {
+        let path = tmp("roundtrip.jsonl");
+        let header = LedgerHeader::new(binding("exhaustive"));
+        let mut w = LedgerWriter::create(&path, &header).unwrap();
+        w.append_chunk(&[exp(0, 1), exp(0, 2)]).unwrap();
+        w.append_chunk(&[exp(1, 0)]).unwrap();
+        drop(w);
+
+        let rec = read_ledger(&path).unwrap();
+        assert!(rec.header.binding.matches(&header.binding));
+        assert_eq!(rec.experiments.len(), 3);
+        assert_eq!(rec.experiments[2].key(), (1, 0));
+        assert!(!rec.dropped_trailing);
+        assert_eq!(rec.valid_len, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn truncated_trailing_line_is_dropped() {
+        let path = tmp("torn.jsonl");
+        let header = LedgerHeader::new(binding("exhaustive"));
+        let mut w = LedgerWriter::create(&path, &header).unwrap();
+        w.append_chunk(&[exp(0, 1), exp(0, 2)]).unwrap();
+        drop(w);
+        let intact = std::fs::metadata(&path).unwrap().len();
+
+        // simulate a torn write: half a JSON record, no newline
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"site\":7,\"bit\":").unwrap();
+        drop(f);
+
+        let rec = read_ledger(&path).unwrap();
+        assert!(rec.dropped_trailing);
+        assert_eq!(rec.experiments.len(), 2);
+        assert_eq!(rec.valid_len, intact);
+
+        // resuming truncates the torn tail away
+        let mut w = LedgerWriter::resume(&path, rec.valid_len).unwrap();
+        w.append_chunk(&[exp(0, 3)]).unwrap();
+        drop(w);
+        let rec = read_ledger(&path).unwrap();
+        assert!(!rec.dropped_trailing);
+        assert_eq!(rec.experiments.len(), 3);
+        assert_eq!(rec.experiments[2].key(), (0, 3));
+    }
+
+    #[test]
+    fn garbled_trailing_line_is_dropped() {
+        let path = tmp("garbled.jsonl");
+        let header = LedgerHeader::new(binding("exhaustive"));
+        let mut w = LedgerWriter::create(&path, &header).unwrap();
+        w.append_chunk(&[exp(0, 1)]).unwrap();
+        drop(w);
+        let intact = std::fs::metadata(&path).unwrap().len();
+
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"site\": 3, \"bit\": \"not-a-bit\"}\n")
+            .unwrap();
+        drop(f);
+
+        let rec = read_ledger(&path).unwrap();
+        assert!(rec.dropped_trailing);
+        assert_eq!(rec.experiments.len(), 1);
+        assert_eq!(rec.valid_len, intact);
+    }
+
+    #[test]
+    fn garbage_followed_by_valid_records_is_rejected() {
+        let path = tmp("midfile.jsonl");
+        let header = LedgerHeader::new(binding("exhaustive"));
+        let mut w = LedgerWriter::create(&path, &header).unwrap();
+        w.append_chunk(&[exp(0, 1)]).unwrap();
+        drop(w);
+
+        let good = serde_json::to_string(&exp(0, 2)).unwrap();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(format!("NOT JSON\n{good}\n").as_bytes())
+            .unwrap();
+        drop(f);
+
+        match read_ledger(&path) {
+            Err(LedgerError::Format { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected mid-file Format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_and_headerless_files_are_format_errors() {
+        let path = tmp("empty.jsonl");
+        std::fs::write(&path, b"").unwrap();
+        assert!(matches!(
+            read_ledger(&path),
+            Err(LedgerError::Format { line: 1, .. })
+        ));
+
+        std::fs::write(&path, b"{\"half\": ").unwrap();
+        assert!(matches!(
+            read_ledger(&path),
+            Err(LedgerError::Format { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_format_tag_is_rejected() {
+        let path = tmp("tag.jsonl");
+        let mut header = LedgerHeader::new(binding("exhaustive"));
+        header.format = "ftb-ledger-v0".into();
+        LedgerWriter::create(&path, &header).unwrap();
+        assert!(matches!(
+            read_ledger(&path),
+            Err(LedgerError::Format { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn binding_match_is_sensitive_to_plan_and_config() {
+        let a = binding("exhaustive");
+        assert!(a.matches(&binding("exhaustive")));
+        assert!(!a.matches(&binding("monte-carlo n=10 seed=1")));
+        let mut c = binding("exhaustive");
+        c.n_sites = 21;
+        assert!(!a.matches(&c));
+    }
+
+    #[test]
+    fn header_only_ledger_recovers_empty() {
+        let path = tmp("header-only.jsonl");
+        let header = LedgerHeader::new(binding("exhaustive"));
+        LedgerWriter::create(&path, &header).unwrap();
+        let rec = read_ledger(&path).unwrap();
+        assert!(rec.experiments.is_empty());
+        assert!(!rec.dropped_trailing);
+        assert_eq!(rec.valid_len, std::fs::metadata(&path).unwrap().len());
+    }
+}

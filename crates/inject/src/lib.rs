@@ -19,19 +19,28 @@
 //!   (used by the boundary samplers);
 //! * [`monte_carlo()`] — the uniform statistical-fault-injection baseline
 //!   (Leveugle et al., reference 18 of the paper) that reports an overall SDC
-//!   ratio with a binomial confidence interval.
+//!   ratio with a binomial confidence interval;
+//! * [`ChunkedCampaign`] — any fixed fault plan run chunk-at-a-time with
+//!   a crash-safe streaming [`ledger`], live [`obs`] metrics, and
+//!   kill-and-resume recovery.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod campaign;
 pub mod experiment;
+pub mod ledger;
 pub mod lockstep;
 pub mod monte_carlo;
+pub mod obs;
 pub mod outcome;
+pub mod runner;
 
 pub use campaign::{ExhaustiveResult, Injector};
 pub use experiment::Experiment;
+pub use ledger::{read_ledger, CampaignBinding, LedgerError, LedgerHeader, LedgerWriter};
 pub use lockstep::{fold_propagation_lockstep, LockstepReport};
 pub use monte_carlo::{monte_carlo, MonteCarloEstimate};
+pub use obs::{CampaignMetrics, MetricsSnapshot, ProgressReporter};
 pub use outcome::{Classifier, CrashKind, Outcome};
+pub use runner::{exhaustive_plan, monte_carlo_plan, ChunkedCampaign, DEFAULT_CHUNK};

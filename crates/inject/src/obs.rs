@@ -1,0 +1,295 @@
+//! Campaign observability: live metrics and throttled progress lines.
+//!
+//! [`CampaignMetrics`] accumulates per-outcome counters, chunk timings
+//! (Welford, via [`ftb_stats::online::OnlineStats`]), throughput and an
+//! ETA while a campaign runs. [`MetricsSnapshot`] is the serializable
+//! summary written by `--metrics-out`; every float in it is finite so
+//! the JSON stays plainly machine-readable. [`ProgressReporter`] prints
+//! rate-limited single-line progress to stderr.
+
+use crate::experiment::Experiment;
+use ftb_stats::online::OnlineStats;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Live counters and timings for a running campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignMetrics {
+    total: u64,
+    resumed: u64,
+    masked: u64,
+    sdc: u64,
+    crash: u64,
+    chunk_secs: OnlineStats,
+    started: Instant,
+}
+
+impl CampaignMetrics {
+    /// Metrics for a campaign of `total` planned experiments.
+    pub fn new(total: u64) -> Self {
+        CampaignMetrics {
+            total,
+            resumed: 0,
+            masked: 0,
+            sdc: 0,
+            crash: 0,
+            chunk_secs: OnlineStats::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Record `n` experiments recovered from a ledger (counted as
+    /// completed but excluded from throughput).
+    pub fn note_resumed(&mut self, experiments: &[Experiment]) {
+        self.resumed += experiments.len() as u64;
+        for e in experiments {
+            self.tally(e);
+        }
+    }
+
+    /// Record one executed chunk and how long it took.
+    pub fn record_chunk(&mut self, experiments: &[Experiment], elapsed: Duration) {
+        for e in experiments {
+            self.tally(e);
+        }
+        self.chunk_secs.push(elapsed.as_secs_f64());
+    }
+
+    fn tally(&mut self, e: &Experiment) {
+        match e.outcome.code() {
+            0 => self.masked += 1,
+            1 => self.sdc += 1,
+            _ => self.crash += 1,
+        }
+    }
+
+    /// Experiments completed so far (resumed + executed).
+    pub fn completed(&self) -> u64 {
+        self.masked + self.sdc + self.crash
+    }
+
+    /// Experiments executed in this process (excludes resumed records).
+    pub fn executed(&self) -> u64 {
+        self.completed() - self.resumed
+    }
+
+    /// Experiments still to run.
+    pub fn remaining(&self) -> u64 {
+        self.total.saturating_sub(self.completed())
+    }
+
+    /// Wall-clock since construction.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Executed experiments per second (0 until work has happened).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs > 0.0 && self.executed() > 0 {
+            self.executed() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimated seconds to completion, if a rate is established yet.
+    pub fn eta_secs(&self) -> Option<f64> {
+        let rate = self.throughput();
+        if rate > 0.0 {
+            Some(self.remaining() as f64 / rate)
+        } else {
+            None
+        }
+    }
+
+    /// Freeze the current state into a serializable summary.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let chunks = self.chunk_secs.count();
+        MetricsSnapshot {
+            total: self.total,
+            completed: self.completed(),
+            resumed: self.resumed,
+            executed: self.executed(),
+            masked: self.masked,
+            sdc: self.sdc,
+            crash: self.crash,
+            elapsed_secs: self.elapsed().as_secs_f64(),
+            experiments_per_sec: self.throughput(),
+            eta_secs: self.eta_secs(),
+            chunks,
+            chunk_mean_secs: if chunks > 0 {
+                self.chunk_secs.mean()
+            } else {
+                0.0
+            },
+            chunk_max_secs: if chunks > 0 {
+                self.chunk_secs.max()
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Machine-readable campaign summary (the `--metrics-out` payload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Planned experiment count.
+    pub total: u64,
+    /// Completed so far (resumed + executed).
+    pub completed: u64,
+    /// Recovered from a ledger rather than executed here.
+    pub resumed: u64,
+    /// Executed in this process.
+    pub executed: u64,
+    /// Masked outcomes among completed experiments.
+    pub masked: u64,
+    /// SDC outcomes among completed experiments.
+    pub sdc: u64,
+    /// Crash outcomes among completed experiments.
+    pub crash: u64,
+    /// Wall-clock seconds since the campaign (re)started.
+    pub elapsed_secs: f64,
+    /// Executed experiments per second.
+    pub experiments_per_sec: f64,
+    /// Estimated seconds remaining (`None` until a rate exists).
+    pub eta_secs: Option<f64>,
+    /// Chunks executed.
+    pub chunks: u64,
+    /// Mean chunk wall-clock seconds.
+    pub chunk_mean_secs: f64,
+    /// Slowest chunk wall-clock seconds.
+    pub chunk_max_secs: f64,
+}
+
+/// Throttled stderr progress printer.
+#[derive(Debug)]
+pub struct ProgressReporter {
+    every: Duration,
+    last: Option<Instant>,
+    label: String,
+}
+
+impl ProgressReporter {
+    /// Reporter printing at most once per `every`.
+    pub fn new(label: impl Into<String>, every: Duration) -> Self {
+        ProgressReporter {
+            every,
+            last: None,
+            label: label.into(),
+        }
+    }
+
+    /// Print a progress line if the throttle interval has elapsed (or
+    /// `force` is set — used for the first and final lines).
+    pub fn report(&mut self, metrics: &CampaignMetrics, force: bool) {
+        let due = match self.last {
+            None => true,
+            Some(t) => t.elapsed() >= self.every,
+        };
+        if !(due || force) {
+            return;
+        }
+        self.last = Some(Instant::now());
+        let s = metrics.snapshot();
+        let pct = if s.total > 0 {
+            100.0 * s.completed as f64 / s.total as f64
+        } else {
+            100.0
+        };
+        let eta = match s.eta_secs {
+            Some(e) => format!("{e:.1}s"),
+            None => "—".to_string(),
+        };
+        eprintln!(
+            "[{}] {}/{} ({pct:.1}%) | {:.1} exp/s | ETA {eta} | \
+             masked {} sdc {} crash {}",
+            self.label, s.completed, s.total, s.experiments_per_sec, s.masked, s.sdc, s.crash,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Outcome;
+
+    fn exp(outcome: Outcome) -> Experiment {
+        Experiment {
+            site: 0,
+            bit: 0,
+            injected_err: 1.0,
+            output_err: 0.0,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn counters_split_by_outcome() {
+        let mut m = CampaignMetrics::new(10);
+        m.record_chunk(
+            &[
+                exp(Outcome::Masked),
+                exp(Outcome::Sdc),
+                exp(Outcome::Sdc),
+                exp(Outcome::from_code(2)),
+            ],
+            Duration::from_millis(5),
+        );
+        let s = m.snapshot();
+        assert_eq!((s.masked, s.sdc, s.crash), (1, 2, 1));
+        assert_eq!(s.completed, 4);
+        assert_eq!(s.executed, 4);
+        assert_eq!(s.resumed, 0);
+        assert_eq!(m.remaining(), 6);
+        assert_eq!(s.chunks, 1);
+        assert!(s.chunk_mean_secs > 0.0);
+    }
+
+    #[test]
+    fn resumed_records_count_as_completed_not_executed() {
+        let mut m = CampaignMetrics::new(8);
+        m.note_resumed(&[exp(Outcome::Masked), exp(Outcome::Sdc)]);
+        assert_eq!(m.completed(), 2);
+        assert_eq!(m.executed(), 0);
+        assert_eq!(m.remaining(), 6);
+        // no executed work yet → no rate, no ETA
+        assert_eq!(m.throughput(), 0.0);
+        assert!(m.eta_secs().is_none());
+    }
+
+    #[test]
+    fn snapshot_floats_are_finite_and_json_clean() {
+        let m = CampaignMetrics::new(0);
+        let s = m.snapshot();
+        assert!(s.elapsed_secs.is_finite());
+        assert!(s.experiments_per_sec.is_finite());
+        assert!(s.chunk_mean_secs.is_finite());
+        assert!(s.chunk_max_secs.is_finite());
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn eta_appears_once_rate_exists() {
+        let mut m = CampaignMetrics::new(100);
+        m.record_chunk(&[exp(Outcome::Masked)], Duration::from_millis(1));
+        // elapsed > 0 and executed > 0 ⇒ throughput > 0 ⇒ ETA present
+        assert!(m.throughput() > 0.0);
+        assert!(m.eta_secs().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn reporter_throttles() {
+        let mut r = ProgressReporter::new("test", Duration::from_secs(3600));
+        let m = CampaignMetrics::new(10);
+        r.report(&m, false); // first call always prints
+        let before = r.last.unwrap();
+        r.report(&m, false); // throttled: timestamp unchanged
+        assert_eq!(r.last.unwrap(), before);
+        r.report(&m, true); // forced: timestamp advances
+        assert!(r.last.unwrap() >= before);
+    }
+}

@@ -60,6 +60,63 @@ pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
     d.deserialize_any(F64Visitor)
 }
 
+/// The same non-finite-safe encoding for `Vec<f64>` fields. Use with
+/// `#[serde(with = "ftb_trace::serde_float::vec")]`.
+pub mod vec {
+    use serde::de::{SeqAccess, Visitor};
+    use serde::ser::SerializeSeq;
+    use serde::{Deserializer, Serializer};
+    use std::fmt;
+
+    struct Elem(f64);
+
+    impl serde::Serialize for Elem {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            super::serialize(&self.0, s)
+        }
+    }
+
+    struct ElemDe(f64);
+
+    impl<'de> serde::Deserialize<'de> for ElemDe {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            super::deserialize(d).map(ElemDe)
+        }
+    }
+
+    /// Serialize a slice of possibly non-finite `f64`s.
+    pub fn serialize<S: Serializer>(v: &[f64], s: S) -> Result<S::Ok, S::Error> {
+        let mut seq = s.serialize_seq(Some(v.len()))?;
+        for &x in v {
+            seq.serialize_element(&Elem(x))?;
+        }
+        seq.end()
+    }
+
+    struct VecVisitor;
+
+    impl<'de> Visitor<'de> for VecVisitor {
+        type Value = Vec<f64>;
+
+        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("a sequence of numbers or float markers")
+        }
+
+        fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<f64>, A::Error> {
+            let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0));
+            while let Some(ElemDe(x)) = seq.next_element()? {
+                out.push(x);
+            }
+            Ok(out)
+        }
+    }
+
+    /// Deserialize a vector of possibly non-finite `f64`s.
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<f64>, D::Error> {
+        d.deserialize_any(VecVisitor)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use serde::{Deserialize, Serialize};
@@ -111,5 +168,29 @@ mod tests {
     fn garbage_strings_rejected() {
         let r: Result<Holder, _> = serde_json::from_str(r#"{"v": "banana"}"#);
         assert!(r.is_err());
+    }
+
+    #[derive(Debug, Serialize, Deserialize, PartialEq)]
+    struct VecHolder {
+        #[serde(with = "super::vec")]
+        v: Vec<f64>,
+    }
+
+    #[test]
+    fn vectors_with_infinities_roundtrip() {
+        let h = VecHolder {
+            v: vec![0.5, f64::INFINITY, -2.0, f64::NEG_INFINITY],
+        };
+        let json = serde_json::to_string(&h).unwrap();
+        let back: VecHolder = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn empty_vector_roundtrips() {
+        let h = VecHolder { v: vec![] };
+        let json = serde_json::to_string(&h).unwrap();
+        let back: VecHolder = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
     }
 }

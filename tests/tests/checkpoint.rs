@@ -1,0 +1,322 @@
+//! Checkpoint/resume equivalence: a campaign killed after N chunks and
+//! resumed from its ledger must be indistinguishable from one that was
+//! never interrupted — identical experiment sets, byte-identical
+//! inferred boundaries — while re-executing only the remaining pairs.
+
+use ftb_core::prelude::*;
+use ftb_inject::{
+    exhaustive_plan, monte_carlo_plan, read_ledger, CampaignBinding, ChunkedCampaign, Experiment,
+    MetricsSnapshot,
+};
+use ftb_kernels::{KernelConfig, MatvecConfig, MatvecKernel};
+use ftb_trace::FaultSpec;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tiny_kernel() -> MatvecKernel {
+    MatvecKernel::new(MatvecConfig {
+        n: 4,
+        ..MatvecConfig::small()
+    })
+}
+
+fn binding(inj: &Injector<'_>, plan: &str) -> CampaignBinding {
+    CampaignBinding {
+        kernel: KernelConfig::Matvec(MatvecConfig {
+            n: 4,
+            ..MatvecConfig::small()
+        }),
+        classifier: *inj.classifier(),
+        n_sites: inj.n_sites(),
+        bits: inj.bits(),
+        plan: plan.to_string(),
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ftb-checkpoint-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn boundary_json(inj: &Injector<'_>, experiments: &[Experiment]) -> String {
+    let mut samples = SampleSet::new();
+    for &e in experiments {
+        samples.insert(e);
+    }
+    let inference = infer_boundary(inj, &samples, FilterMode::PerSite);
+    serde_json::to_string(&inference.boundary).unwrap()
+}
+
+/// Run `plan` with a ledger, dropping the campaign after `chunks_before_kill`
+/// chunks, then resume from the ledger and run to completion.
+fn run_with_kill(
+    inj: &Injector<'_>,
+    plan: Vec<FaultSpec>,
+    plan_desc: &str,
+    path: &PathBuf,
+    chunk: usize,
+    chunks_before_kill: usize,
+) -> (Vec<Experiment>, MetricsSnapshot) {
+    let _ = std::fs::remove_file(path);
+    let mut first = ChunkedCampaign::new(inj, plan.clone(), chunk)
+        .with_ledger(path, binding(inj, plan_desc), false)
+        .unwrap();
+    for _ in 0..chunks_before_kill {
+        if first.step().unwrap() == 0 {
+            break;
+        }
+    }
+    drop(first); // the "kill": no graceful shutdown, the ledger is all that survives
+
+    let mut resumed = ChunkedCampaign::new(inj, plan, chunk)
+        .with_ledger(path, binding(inj, plan_desc), true)
+        .unwrap();
+    resumed.run_to_completion().unwrap();
+    let metrics = resumed.metrics();
+    (resumed.into_experiments(), metrics)
+}
+
+#[test]
+fn dropped_and_resumed_exhaustive_matches_uninterrupted() {
+    let k = tiny_kernel();
+    let inj = Injector::new(&k, Classifier::new(1e-6));
+    let plan = exhaustive_plan(inj.n_sites(), inj.bits());
+    let total = plan.len();
+
+    // uninterrupted reference
+    let mut full = ChunkedCampaign::new(&inj, plan.clone(), 64);
+    full.run_to_completion().unwrap();
+    let reference = full.into_experiments();
+
+    // killed after 3 chunks of 64, then resumed
+    let path = tmp("acceptance.jsonl");
+    let (resumed, metrics) = run_with_kill(&inj, plan, "exhaustive", &path, 64, 3);
+
+    // identical experiment sets…
+    assert_eq!(reference, resumed);
+    // …byte-identical inferred boundaries…
+    assert_eq!(
+        boundary_json(&inj, &reference),
+        boundary_json(&inj, &resumed)
+    );
+    // …and the resumed run re-executed only the remaining pairs
+    assert_eq!(metrics.resumed, 3 * 64);
+    assert_eq!(metrics.executed, (total - 3 * 64) as u64);
+    assert_eq!(metrics.completed, total as u64);
+
+    // the finished ledger holds the full campaign
+    let rec = read_ledger(&path).unwrap();
+    assert_eq!(rec.experiments, reference);
+}
+
+#[test]
+fn resume_tolerates_torn_final_record() {
+    let k = tiny_kernel();
+    let inj = Injector::new(&k, Classifier::new(1e-6));
+    let plan = exhaustive_plan(inj.n_sites(), inj.bits());
+    let path = tmp("torn-resume.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let mut first = ChunkedCampaign::new(&inj, plan.clone(), 100)
+        .with_ledger(&path, binding(&inj, "exhaustive"), false)
+        .unwrap();
+    first.step().unwrap();
+    first.step().unwrap();
+    drop(first);
+
+    // a crash mid-write leaves half a record with no newline
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    f.write_all(b"{\"site\":3,\"bit\":9,\"inj").unwrap();
+    drop(f);
+
+    let mut resumed = ChunkedCampaign::new(&inj, plan, 100)
+        .with_ledger(&path, binding(&inj, "exhaustive"), true)
+        .unwrap();
+    assert_eq!(resumed.metrics().resumed, 200, "torn record must not count");
+    resumed.run_to_completion().unwrap();
+    assert_eq!(resumed.into_exhaustive(), inj.exhaustive());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any seed, sample count, chunk size, and kill point, the
+    /// dropped-and-resumed Monte-Carlo campaign equals the uninterrupted
+    /// one: same experiments, same inferred boundary bytes, and only the
+    /// tail is re-executed.
+    #[test]
+    fn resumed_campaign_equals_uninterrupted(
+        seed in 0u64..10_000,
+        n in 120u64..260,
+        chunk in 16usize..64,
+        kill_after in 1usize..5,
+    ) {
+        let k = tiny_kernel();
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let plan = monte_carlo_plan(inj.n_sites(), inj.bits(), n, seed);
+        let desc = format!("monte-carlo n={n} seed={seed}");
+
+        let mut full = ChunkedCampaign::new(&inj, plan.clone(), chunk);
+        full.run_to_completion().unwrap();
+        let reference = full.into_experiments();
+
+        let path = tmp(&format!("prop-{seed}-{n}-{chunk}-{kill_after}.jsonl"));
+        let (resumed, metrics) = run_with_kill(&inj, plan, &desc, &path, chunk, kill_after);
+        let _ = std::fs::remove_file(&path);
+
+        prop_assert_eq!(&reference, &resumed);
+        prop_assert_eq!(
+            boundary_json(&inj, &reference),
+            boundary_json(&inj, &resumed)
+        );
+        let expected_resumed = (chunk * kill_after).min(n as usize) as u64;
+        prop_assert_eq!(metrics.resumed, expected_resumed);
+        prop_assert_eq!(metrics.executed, n - expected_resumed);
+    }
+}
+
+// ---------------------------------------------------------------- CLI level
+
+fn cli(args: &[&str]) -> String {
+    let raw: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let parsed = ftb_cli::parse(&raw).unwrap();
+    ftb_cli::commands::dispatch(&parsed).unwrap()
+}
+
+#[test]
+fn cli_campaign_resume_after_simulated_crash_matches_full_run() {
+    let ledger = tmp("cli-ledger.jsonl");
+    let metrics_path = tmp("cli-metrics.json");
+    let _ = std::fs::remove_file(&ledger);
+    let lp = ledger.to_str().unwrap();
+    let mp = metrics_path.to_str().unwrap();
+
+    let base = [
+        "campaign",
+        "--kernel",
+        "matvec",
+        "--n",
+        "4",
+        "--samples",
+        "200",
+        "--seed",
+        "9",
+    ];
+
+    // full run with a ledger
+    let mut with_ledger = base.to_vec();
+    with_ledger.extend(["--checkpoint", lp]);
+    let full_out = cli(&with_ledger);
+
+    // simulate a crash at 100 records: header + 100 lines + a torn tail
+    let text = std::fs::read_to_string(&ledger).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 201, "header + 200 records");
+    let mut crashed = lines[..101].join("\n");
+    crashed.push_str("\n{\"site\":2,\"bit\"");
+    std::fs::write(&ledger, crashed).unwrap();
+
+    // resume; stdout must match the uninterrupted run exactly
+    let mut resume = base.to_vec();
+    resume.extend(["--checkpoint", lp, "--resume", "--metrics-out", mp]);
+    let resumed_out = cli(&resume);
+    assert_eq!(full_out, resumed_out);
+
+    let metrics: MetricsSnapshot =
+        serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+    assert_eq!(metrics.resumed, 100);
+    assert_eq!(metrics.executed, 100);
+    assert_eq!(metrics.total, 200);
+    assert_eq!(metrics.masked + metrics.sdc + metrics.crash, 200);
+
+    let _ = std::fs::remove_file(&ledger);
+    let _ = std::fs::remove_file(&metrics_path);
+}
+
+#[test]
+fn cli_resume_rejects_different_campaign() {
+    let ledger = tmp("cli-mismatch.jsonl");
+    let _ = std::fs::remove_file(&ledger);
+    let lp = ledger.to_str().unwrap();
+
+    cli(&[
+        "campaign",
+        "--kernel",
+        "matvec",
+        "--n",
+        "4",
+        "--samples",
+        "50",
+        "--checkpoint",
+        lp,
+    ]);
+
+    // same ledger, different seed ⇒ different plan ⇒ must be refused
+    let raw: Vec<String> = [
+        "campaign",
+        "--kernel",
+        "matvec",
+        "--n",
+        "4",
+        "--samples",
+        "50",
+        "--seed",
+        "77",
+        "--checkpoint",
+        lp,
+        "--resume",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let parsed = ftb_cli::parse(&raw).unwrap();
+    let err = ftb_cli::commands::dispatch(&parsed).unwrap_err();
+    assert!(
+        err.0.contains("different campaign"),
+        "unexpected error: {}",
+        err.0
+    );
+    let _ = std::fs::remove_file(&ledger);
+}
+
+#[test]
+fn cli_adaptive_checkpoint_roundtrips() {
+    let cp = tmp("cli-adaptive.json");
+    let metrics_path = tmp("cli-adaptive-metrics.json");
+    let _ = std::fs::remove_file(&cp);
+    let cpp = cp.to_str().unwrap();
+    let mp = metrics_path.to_str().unwrap();
+
+    let base = ["adaptive", "--kernel", "matvec", "--n", "6", "--seed", "11"];
+    let reference = cli(&base);
+
+    // run with per-round checkpointing, then resume from the final state:
+    // the sampler must recognise the run as complete and reproduce the
+    // same report without new experiments
+    let mut with_cp = base.to_vec();
+    with_cp.extend(["--checkpoint", cpp]);
+    let first = cli(&with_cp);
+    assert_eq!(reference, first);
+    assert!(cp.exists(), "per-round checkpoint must be written");
+
+    let mut resume = base.to_vec();
+    resume.extend(["--checkpoint", cpp, "--resume", "--metrics-out", mp]);
+    let resumed = cli(&resume);
+    assert_eq!(reference, resumed);
+
+    let metrics: MetricsSnapshot =
+        serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+    assert_eq!(
+        metrics.executed, 0,
+        "resuming a finished adaptive run must re-execute nothing"
+    );
+    assert!(metrics.resumed > 0);
+
+    let _ = std::fs::remove_file(&cp);
+    let _ = std::fs::remove_file(&metrics_path);
+}

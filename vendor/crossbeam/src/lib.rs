@@ -1,0 +1,83 @@
+//! Offline shim for the `crossbeam::channel` surface used by this
+//! workspace: bounded MPSC channels with disconnect-on-drop, layered over
+//! `std::sync::mpsc::sync_channel` (identical blocking semantics for a
+//! single consumer).
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until there is capacity; errors when the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives; errors when all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Channel holding at most `cap` values in flight (`cap == 0` is a
+    /// rendezvous channel).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_blocks_at_capacity_and_disconnects_on_drop() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            drop(rx);
+            // receiver gone: further sends fail instead of blocking forever
+            assert!(tx.send(3).is_err() || tx.send(4).is_err());
+        }
+
+        #[test]
+        fn senders_dropping_ends_the_stream() {
+            let (tx, rx) = bounded::<u32>(4);
+            std::thread::spawn(move || {
+                for i in 0..3 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            assert_eq!(got, vec![0, 1, 2]);
+        }
+    }
+}

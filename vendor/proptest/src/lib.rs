@@ -1,0 +1,237 @@
+//! Offline shim for the subset of the `proptest` API used by this
+//! workspace: the `proptest!` macro with `arg in strategy` bindings,
+//! `prop_assert!`/`prop_assert_eq!`, `ProptestConfig::with_cases`,
+//! `any::<T>()`, numeric range strategies, tuple strategies, and
+//! `proptest::collection::vec`.
+//!
+//! Unlike upstream proptest there is no shrinking and no persisted
+//! failure file: each test runs `cases` deterministic random cases (the
+//! RNG is seeded from the test's module path and name), and on a failing
+//! case the sampled inputs are printed so the failure can be reproduced
+//! by reading them off the panic output.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+
+use rand::{RngCore, SeedableRng, SmallRng};
+
+/// Per-test runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic RNG for a named test: FNV-1a of the name, SplitMix64
+/// expanded by the generator itself.
+pub fn test_rng(name: &str) -> SmallRng {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    SmallRng::seed_from_u64(hash)
+}
+
+/// Prints the failing case's inputs if the test body panics.
+pub struct CaseGuard {
+    case: u32,
+    inputs: String,
+    armed: bool,
+}
+
+impl CaseGuard {
+    pub fn new(case: u32, inputs: String) -> Self {
+        CaseGuard {
+            case,
+            inputs,
+            armed: true,
+        }
+    }
+
+    /// Disarm after the body completed without panicking.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!("proptest case {} failed with inputs:", self.case);
+            eprintln!("  {}", self.inputs);
+        }
+    }
+}
+
+/// Uniform "any value of this type" strategy, mirroring
+/// `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Types with a full-domain uniform distribution.
+pub trait Arbitrary: std::fmt::Debug {
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+impl<T: Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($ty:ty),+) => {
+        $(impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut SmallRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        })+
+    };
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),+) => {
+        $(impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut SmallRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        })+
+    };
+}
+
+arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The usual glob import: config, `any`, and the macros.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, Any, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Entry macro: a block of property tests, each taking `arg in strategy`
+/// bindings. An optional leading `#![proptest_config(expr)]` sets the
+/// case count for every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands one `fn` item per recursion step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let mut __guard = $crate::CaseGuard::new(__case, __inputs);
+                { $body }
+                __guard.disarm();
+            }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// Property assertion; identical to `assert!` here (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)+) => { assert!($($tt)+) };
+}
+
+/// Property equality assertion; identical to `assert_eq!` here.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)+) => { assert_eq!($($tt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use rand::RngCore;
+        let a = crate::test_rng("x").next_u64();
+        let b = crate::test_rng("x").next_u64();
+        let c = crate::test_rng("y").next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay inside their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u8..17, y in -5i64..5, z in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&z), "z = {z}");
+        }
+
+        /// Vec strategy honours its length range; tuple strategies nest.
+        #[test]
+        fn vec_and_tuples(
+            v in crate::collection::vec((0usize..10, 0.0f64..1.0), 2..9),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((2..9).contains(&v.len()));
+            for &(i, f) in &v {
+                prop_assert!(i < 10);
+                prop_assert!((0.0..1.0).contains(&f));
+            }
+            let _ = flag;
+        }
+    }
+}

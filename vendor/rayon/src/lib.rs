@@ -1,0 +1,419 @@
+//! Offline shim for the subset of `rayon` used by this workspace.
+//!
+//! Pipelines (`par_iter`/`into_par_iter` + `map`/`flat_map_iter`) are
+//! evaluated over an index space that is split into contiguous chunks, one
+//! per worker, executed on `std::thread::scope` threads, and re-assembled
+//! in order — so `collect` preserves sequential order exactly like rayon.
+//! `fold`/`reduce` produce one partial accumulator per chunk; as with real
+//! rayon, the final result is deterministic for associative, commutative
+//! reductions regardless of the worker count.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::fmt;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Worker count used by parallel operations started from this thread.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` (worker-count hint only).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker count (`0` means "automatic", as in rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Scoped worker-count override; threads are spawned per operation.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's worker count as the ambient parallelism.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        let out = f();
+        POOL_THREADS.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// Error type kept for API compatibility; building cannot actually fail.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A parallel pipeline over an indexed input space.
+pub trait ParallelIterator: Sized + Sync {
+    type Item: Send;
+
+    /// Size of the *input* index space (not the output length —
+    /// `flat_map_iter` may expand each index to many items).
+    #[doc(hidden)]
+    fn pi_len(&self) -> usize;
+
+    /// Evaluate the pipeline over input indices `start..end`, in order.
+    #[doc(hidden)]
+    fn pi_eval(&self, start: usize, end: usize) -> Vec<Self::Item>;
+
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_vec(execute(&self))
+    }
+
+    /// Chunked fold: returns one partial accumulator per chunk, to be
+    /// combined with [`Partials::reduce`].
+    fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Partials<T>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, Self::Item) -> T + Sync,
+    {
+        let len = self.pi_len();
+        let parts = run_chunks(len, &|start, end| {
+            self.pi_eval(start, end)
+                .into_iter()
+                .fold(identity(), &fold_op)
+        });
+        Partials { parts }
+    }
+
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        execute(&self).into_iter().fold(identity(), op)
+    }
+
+    fn count(self) -> usize {
+        execute(&self).len()
+    }
+}
+
+/// Per-chunk partial accumulators produced by [`ParallelIterator::fold`].
+#[derive(Debug)]
+pub struct Partials<T> {
+    parts: Vec<T>,
+}
+
+impl<T> Partials<T> {
+    /// Combine the partials (mirrors `ParallelIterator::reduce` applied to
+    /// a `fold` result in real rayon).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.parts.into_iter().fold(identity(), op)
+    }
+}
+
+/// Split `0..len` into one contiguous chunk per worker and evaluate `f`
+/// on scoped threads; results come back in chunk order.
+fn run_chunks<T: Send>(len: usize, f: &(dyn Fn(usize, usize) -> T + Sync)) -> Vec<T> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().clamp(1, len);
+    if workers == 1 {
+        return vec![f(0, len)];
+    }
+    let chunk = len.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let start = w * chunk;
+                let end = ((w + 1) * chunk).min(len);
+                scope.spawn(move || f(start, end))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    })
+}
+
+fn execute<P: ParallelIterator>(pipeline: &P) -> Vec<P::Item> {
+    let len = pipeline.pi_len();
+    let chunks = run_chunks(len, &|start, end| pipeline.pi_eval(start, end));
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Collection types buildable from an ordered parallel pipeline.
+pub trait FromParallelIterator<T> {
+    fn from_par_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+/// `map` adapter.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    F: Fn(P::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_eval(&self, start: usize, end: usize) -> Vec<U> {
+        self.base
+            .pi_eval(start, end)
+            .into_iter()
+            .map(&self.f)
+            .collect()
+    }
+}
+
+/// `flat_map_iter` adapter.
+pub struct FlatMapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(P::Item) -> U + Sync,
+{
+    type Item = U::Item;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_eval(&self, start: usize, end: usize) -> Vec<U::Item> {
+        self.base
+            .pi_eval(start, end)
+            .into_iter()
+            .flat_map(&self.f)
+            .collect()
+    }
+}
+
+/// Borrowing source over a slice.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_eval(&self, start: usize, end: usize) -> Vec<&'a T> {
+        self.slice[start..end].iter().collect()
+    }
+}
+
+/// Owning source over a `usize` range.
+pub struct RangeIter {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn pi_len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    fn pi_eval(&self, start: usize, end: usize) -> Vec<usize> {
+        (self.start + start..self.start + end).collect()
+    }
+}
+
+/// Conversion into an owning parallel pipeline.
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+impl<T: Send + Sync + Clone> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { data: self }
+    }
+}
+
+/// Owning source over a `Vec` (items are cloned into per-chunk output;
+/// fine for the cheap item types this workspace parallelises over).
+pub struct VecIter<T> {
+    data: Vec<T>,
+}
+
+impl<T: Send + Sync + Clone> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn pi_len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn pi_eval(&self, start: usize, end: usize) -> Vec<T> {
+        self.data[start..end].to_vec()
+    }
+}
+
+/// Conversion into a borrowing parallel pipeline (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_iter_matches_sequential() {
+        let out: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .flat_map_iter(|i| (0..i % 3).map(move |j| i * 10 + j))
+            .collect();
+        let expected: Vec<usize> = (0..100usize)
+            .flat_map(|i| (0..i % 3).map(move |j| i * 10 + j))
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn fold_reduce_sums_correctly() {
+        let v: Vec<u64> = (1..=10_000u64).collect();
+        let total = v
+            .par_iter()
+            .fold(|| 0u64, |acc, x| acc + *x)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn install_overrides_worker_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let single: Vec<usize> = pool.install(|| (0..50usize).into_par_iter().collect());
+        let multi: Vec<usize> = (0..50usize).into_par_iter().collect();
+        assert_eq!(single, multi);
+    }
+}

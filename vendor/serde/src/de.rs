@@ -1,0 +1,344 @@
+//! Deserialization half of the data model (visitor-based, as in serde).
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Error constraint for deserializers.
+pub trait Error: Sized + std::error::Error {
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value constructible from a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Values deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A data format producing the serde data model.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    /// Drive `visitor` with whatever the input contains.
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Distinguish null/absent from present (for `Option`).
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+}
+
+/// Receiver for deserialized shapes. Unimplemented hooks reject the input
+/// with a type-mismatch error mentioning [`Visitor::expecting`].
+pub trait Visitor<'de>: Sized {
+    type Value;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        Err(invalid_type(&self, format_args!("boolean `{v}`")))
+    }
+
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        Err(invalid_type(&self, format_args!("integer `{v}`")))
+    }
+
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        Err(invalid_type(&self, format_args!("integer `{v}`")))
+    }
+
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        Err(invalid_type(&self, format_args!("float `{v}`")))
+    }
+
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        Err(invalid_type(&self, format_args!("string {v:?}")))
+    }
+
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(invalid_type(&self, format_args!("null")))
+    }
+
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(invalid_type(&self, format_args!("none")))
+    }
+
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::custom("unexpected optional value"))
+    }
+
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(invalid_type(&self, format_args!("sequence")))
+    }
+
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(invalid_type(&self, format_args!("map")))
+    }
+}
+
+struct Expecting<'a, 'de, V: Visitor<'de>>(&'a V, PhantomData<&'de ()>);
+
+impl<'de, V: Visitor<'de>> Display for Expecting<'_, 'de, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.expecting(f)
+    }
+}
+
+fn invalid_type<'de, V: Visitor<'de>, E: Error>(visitor: &V, got: fmt::Arguments<'_>) -> E {
+    E::custom(format!(
+        "invalid type: found {got}, expected {}",
+        Expecting(visitor, PhantomData)
+    ))
+}
+
+/// Streaming access to sequence elements.
+pub trait SeqAccess<'de> {
+    type Error: Error;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Streaming access to map entries. Keys are strings (the only key type in
+/// the supported formats); values are surfaced as sub-deserializers so
+/// `with`-modules can be applied per field.
+pub trait MapAccess<'de> {
+    type Error: Error;
+    type ValueDeserializer: Deserializer<'de, Error = Self::Error>;
+
+    fn next_key(&mut self) -> Result<Option<String>, Self::Error>;
+
+    /// Deserializer for the value of the key just returned.
+    fn next_value_de(&mut self) -> Result<Self::ValueDeserializer, Self::Error>;
+
+    fn next_value<T: Deserialize<'de>>(&mut self) -> Result<T, Self::Error> {
+        T::deserialize(self.next_value_de()?)
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $t;
+
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        write!(f, concat!("an integer fitting ", stringify!($t)))
+                    }
+
+                    fn visit_u64<E: Error>(self, v: u64) -> Result<$t, E> {
+                        <$t>::try_from(v).map_err(|_| {
+                            E::custom(format!(concat!("{} out of range for ", stringify!($t)), v))
+                        })
+                    }
+
+                    fn visit_i64<E: Error>(self, v: i64) -> Result<$t, E> {
+                        <$t>::try_from(v).map_err(|_| {
+                            E::custom(format!(concat!("{} out of range for ", stringify!($t)), v))
+                        })
+                    }
+                }
+                deserializer.deserialize_any(V)
+            }
+        }
+    )*};
+}
+
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! deserialize_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $t;
+
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        write!(f, concat!("a ", stringify!($t), " number"))
+                    }
+
+                    fn visit_f64<E: Error>(self, v: f64) -> Result<$t, E> {
+                        Ok(v as $t)
+                    }
+
+                    fn visit_i64<E: Error>(self, v: i64) -> Result<$t, E> {
+                        Ok(v as $t)
+                    }
+
+                    fn visit_u64<E: Error>(self, v: u64) -> Result<$t, E> {
+                        Ok(v as $t)
+                    }
+                }
+                deserializer.deserialize_any(V)
+            }
+        }
+    )*};
+}
+
+deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = bool;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a boolean")
+            }
+
+            fn visit_bool<E: Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = String;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_any(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an optional value")
+            }
+
+            fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+
+            fn visit_unit<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+
+            fn visit_some<D2: Deserializer<'de>>(
+                self,
+                deserializer: D2,
+            ) -> Result<Option<T>, D2::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(V(PhantomData))
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<A, B>(PhantomData<(A, B)>);
+        impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Visitor<'de> for V<A, B> {
+            type Value = (A, B);
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a 2-element sequence")
+            }
+
+            fn visit_seq<S: SeqAccess<'de>>(self, mut seq: S) -> Result<(A, B), S::Error> {
+                let a = seq
+                    .next_element()?
+                    .ok_or_else(|| Error::custom("missing tuple element 0"))?;
+                let b = seq
+                    .next_element()?
+                    .ok_or_else(|| Error::custom("missing tuple element 1"))?;
+                Ok((a, b))
+            }
+        }
+        deserializer.deserialize_any(V(PhantomData))
+    }
+}
+
+impl<'de, A, B, C> Deserialize<'de> for (A, B, C)
+where
+    A: Deserialize<'de>,
+    B: Deserialize<'de>,
+    C: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<A, B, C>(PhantomData<(A, B, C)>);
+        impl<'de, A, B, C> Visitor<'de> for V<A, B, C>
+        where
+            A: Deserialize<'de>,
+            B: Deserialize<'de>,
+            C: Deserialize<'de>,
+        {
+            type Value = (A, B, C);
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a 3-element sequence")
+            }
+
+            fn visit_seq<S: SeqAccess<'de>>(self, mut seq: S) -> Result<(A, B, C), S::Error> {
+                let a = seq
+                    .next_element()?
+                    .ok_or_else(|| Error::custom("missing tuple element 0"))?;
+                let b = seq
+                    .next_element()?
+                    .ok_or_else(|| Error::custom("missing tuple element 1"))?;
+                let c = seq
+                    .next_element()?
+                    .ok_or_else(|| Error::custom("missing tuple element 2"))?;
+                Ok((a, b, c))
+            }
+        }
+        deserializer.deserialize_any(V(PhantomData))
+    }
+}

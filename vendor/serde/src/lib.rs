@@ -1,0 +1,19 @@
+//! Offline shim for the `serde` data model, covering the surface this
+//! workspace uses: derived struct/enum (de)serialization with the `with`,
+//! `default`, `from` and `into` attributes, visitor-based deserialization
+//! (for custom `with`-modules such as `ftb_trace::serde_float`), and the
+//! primitive/`Vec`/`Option`/tuple impls those derives lean on.
+//!
+//! Format crates implement [`Serializer`]/[`Deserializer`]; the only one in
+//! this tree is the vendored `serde_json`.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

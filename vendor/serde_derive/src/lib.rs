@@ -1,0 +1,673 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim. Instead of a full `syn` parse, the item tokens are
+//! walked directly; code is generated as text and re-parsed. Supported
+//! shapes are exactly what this workspace contains:
+//!
+//! - structs with named fields (attrs: `#[serde(with = "path")]`,
+//!   `#[serde(default)]`, container `#[serde(from = "T", into = "T")]`)
+//! - newtype structs
+//! - enums whose variants are unit, single-field tuples, or structs with
+//!   plain named fields
+//!
+//! Anything else (generics, unions, multi-field tuple variants, unknown
+//! serde attributes) fails with an explicit `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let generated = match parse(input).and_then(|ast| match mode {
+        Mode::Serialize => gen_serialize(&ast),
+        Mode::Deserialize => gen_deserialize(&ast),
+    }) {
+        Ok(code) => code,
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    generated
+        .parse()
+        .unwrap_or_else(|e| panic!("serde_derive shim produced unparseable code: {e}"))
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Ast {
+    name: String,
+    data: Data,
+    from: Option<String>,
+    into: Option<String>,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    with: Option<String>,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+enum SerdeAttr {
+    With(String),
+    Default,
+    From(String),
+    Into(String),
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consume a leading run of `#[...]` attributes, returning serde ones.
+    fn eat_attrs(&mut self) -> Result<Vec<SerdeAttr>, String> {
+        let mut out = Vec::new();
+        while self.eat_punct('#') {
+            match self.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let mut inner = Cursor::new(g.stream());
+                    if inner.eat_ident("serde") {
+                        match inner.bump() {
+                            Some(TokenTree::Group(args))
+                                if args.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                out.extend(parse_serde_args(args.stream())?);
+                            }
+                            _ => return Err("malformed #[serde(...)] attribute".into()),
+                        }
+                    }
+                }
+                other => return Err(format!("expected attribute body, found {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn eat_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Collect type tokens until a top-level comma (angle-bracket aware).
+    fn take_type(&mut self) -> String {
+        let mut depth = 0i32;
+        let mut ts = TokenStream::new();
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            ts.extend([self.bump().expect("peeked token vanished")]);
+        }
+        ts.to_string()
+    }
+}
+
+fn strip_quotes(lit: &str) -> Result<String, String> {
+    let s = lit.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        Ok(s[1..s.len() - 1].to_string())
+    } else {
+        Err(format!("expected string literal, found `{s}`"))
+    }
+}
+
+fn parse_serde_args(ts: TokenStream) -> Result<Vec<SerdeAttr>, String> {
+    let mut cur = Cursor::new(ts);
+    let mut out = Vec::new();
+    while !cur.at_end() {
+        let key = cur.expect_ident()?;
+        match key.as_str() {
+            "default" => out.push(SerdeAttr::Default),
+            "with" | "from" | "into" => {
+                if !cur.eat_punct('=') {
+                    return Err(format!("#[serde({key})] expects `= \"...\"`"));
+                }
+                let lit = match cur.bump() {
+                    Some(TokenTree::Literal(l)) => strip_quotes(&l.to_string())?,
+                    other => return Err(format!("expected string after {key} =, got {other:?}")),
+                };
+                out.push(match key.as_str() {
+                    "with" => SerdeAttr::With(lit),
+                    "from" => SerdeAttr::From(lit),
+                    _ => SerdeAttr::Into(lit),
+                });
+            }
+            other => {
+                return Err(format!(
+                    "unsupported serde attribute `{other}` (shim supports with/default/from/into)"
+                ))
+            }
+        }
+        cur.eat_punct(',');
+    }
+    Ok(out)
+}
+
+fn parse(input: TokenStream) -> Result<Ast, String> {
+    let mut cur = Cursor::new(input);
+    let container_attrs = cur.eat_attrs()?;
+    let mut from = None;
+    let mut into = None;
+    for attr in container_attrs {
+        match attr {
+            SerdeAttr::From(t) => from = Some(t),
+            SerdeAttr::Into(t) => into = Some(t),
+            SerdeAttr::With(_) | SerdeAttr::Default => {
+                return Err("with/default are field attributes, not container attributes".into())
+            }
+        }
+    }
+    cur.eat_visibility();
+
+    let kind = cur.expect_ident()?;
+    let name = cur.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` not supported by serde shim"));
+        }
+    }
+
+    let data = match kind.as_str() {
+        "struct" => match cur.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let mut inner = Cursor::new(g.stream());
+                inner.eat_attrs()?;
+                inner.eat_visibility();
+                let ty = inner.take_type();
+                if !inner.at_end() {
+                    inner.eat_punct(',');
+                }
+                if !inner.at_end() {
+                    return Err(format!(
+                        "tuple struct `{name}` has more than one field; only newtypes supported"
+                    ));
+                }
+                let _ = ty;
+                Data::NewtypeStruct
+            }
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match cur.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive serde for `{other}` items")),
+    };
+
+    Ok(Ast {
+        name,
+        data,
+        from,
+        into,
+    })
+}
+
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let attrs = cur.eat_attrs()?;
+        let mut with = None;
+        let mut default = false;
+        for attr in attrs {
+            match attr {
+                SerdeAttr::With(p) => with = Some(p),
+                SerdeAttr::Default => default = true,
+                _ => return Err("from/into are container attributes, not field attributes".into()),
+            }
+        }
+        cur.eat_visibility();
+        let name = cur.expect_ident()?;
+        if !cur.eat_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        let ty = cur.take_type();
+        cur.eat_punct(',');
+        fields.push(Field {
+            name,
+            ty,
+            with,
+            default,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.eat_attrs()?;
+        let name = cur.expect_ident()?;
+        let mut kind = VariantKind::Unit;
+        match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let mut inner = Cursor::new(g.stream());
+                let _ty = inner.take_type();
+                if !inner.at_end() {
+                    inner.eat_punct(',');
+                }
+                if !inner.at_end() {
+                    return Err(format!(
+                        "variant `{name}` has multiple fields; only newtype variants supported"
+                    ));
+                }
+                kind = VariantKind::Newtype;
+                cur.pos += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                for f in &fields {
+                    if f.with.is_some() || f.default {
+                        return Err(format!(
+                            "serde field attributes inside struct variant `{name}` not supported"
+                        ));
+                    }
+                }
+                kind = VariantKind::Struct(fields);
+                cur.pos += 1;
+            }
+            _ => {}
+        }
+        // skip explicit discriminants
+        if cur.eat_punct('=') {
+            while let Some(t) = cur.peek() {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                cur.bump();
+            }
+        }
+        cur.eat_punct(',');
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(ast: &Ast) -> Result<String, String> {
+    let name = &ast.name;
+    let body = if let Some(into_ty) = &ast.into {
+        format!(
+            "let __conv: {into_ty} = core::convert::Into::into(core::clone::Clone::clone(self));\n\
+             serde::Serialize::serialize(&__conv, __serializer)"
+        )
+    } else {
+        match &ast.data {
+            Data::NamedStruct(fields) => {
+                let mut b = String::new();
+                let _ = writeln!(
+                    b,
+                    "let mut __st = serde::Serializer::serialize_struct(__serializer, \"{name}\", {})?;",
+                    fields.len()
+                );
+                for f in fields {
+                    let fname = &f.name;
+                    if let Some(with) = &f.with {
+                        let ty = &f.ty;
+                        let _ = writeln!(
+                            b,
+                            "{{\n\
+                             struct __SerdeWith<'__a>(&'__a {ty});\n\
+                             impl serde::Serialize for __SerdeWith<'_> {{\n\
+                                 fn serialize<__S2: serde::Serializer>(&self, __s2: __S2) -> core::result::Result<__S2::Ok, __S2::Error> {{\n\
+                                     {with}::serialize(self.0, __s2)\n\
+                                 }}\n\
+                             }}\n\
+                             serde::ser::SerializeStruct::serialize_field(&mut __st, \"{fname}\", &__SerdeWith(&self.{fname}))?;\n\
+                             }}"
+                        );
+                    } else {
+                        let _ = writeln!(
+                            b,
+                            "serde::ser::SerializeStruct::serialize_field(&mut __st, \"{fname}\", &self.{fname})?;"
+                        );
+                    }
+                }
+                b.push_str("serde::ser::SerializeStruct::end(__st)");
+                b
+            }
+            Data::NewtypeStruct => {
+                format!("serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)")
+            }
+            Data::Enum(variants) => {
+                let mut arms = String::new();
+                for (i, v) in variants.iter().enumerate() {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Newtype => {
+                            let _ = writeln!(
+                                arms,
+                                "{name}::{vname}(__f0) => serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {i}u32, \"{vname}\", __f0),"
+                            );
+                        }
+                        VariantKind::Unit => {
+                            let _ = writeln!(
+                                arms,
+                                "{name}::{vname} => serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {i}u32, \"{vname}\"),"
+                            );
+                        }
+                        VariantKind::Struct(fields) => {
+                            let bindings = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let mut helper_fields = String::new();
+                            let mut helper_body = String::new();
+                            for f in fields {
+                                let fname = &f.name;
+                                let ty = &f.ty;
+                                let _ = writeln!(helper_fields, "{fname}: &'__a {ty},");
+                                let _ = writeln!(
+                                    helper_body,
+                                    "serde::ser::SerializeStruct::serialize_field(&mut __st, \"{fname}\", self.{fname})?;"
+                                );
+                            }
+                            let _ = writeln!(
+                                arms,
+                                "{name}::{vname} {{ {bindings} }} => {{\n\
+                                 struct __SV{i}<'__a> {{ {helper_fields} }}\n\
+                                 impl serde::Serialize for __SV{i}<'_> {{\n\
+                                     fn serialize<__S2: serde::Serializer>(&self, __s2: __S2) -> core::result::Result<__S2::Ok, __S2::Error> {{\n\
+                                         let mut __st = serde::Serializer::serialize_struct(__s2, \"{vname}\", {len})?;\n\
+                                         {helper_body}\n\
+                                         serde::ser::SerializeStruct::end(__st)\n\
+                                     }}\n\
+                                 }}\n\
+                                 serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {i}u32, \"{vname}\", &__SV{i} {{ {bindings} }})\n\
+                                 }},",
+                                len = fields.len()
+                            );
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn serialize<__S: serde::Serializer>(&self, __serializer: __S) -> core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    ))
+}
+
+fn gen_deserialize(ast: &Ast) -> Result<String, String> {
+    let name = &ast.name;
+    let body = if let Some(from_ty) = &ast.from {
+        format!(
+            "let __inner: {from_ty} = serde::Deserialize::deserialize(__deserializer)?;\n\
+             core::result::Result::Ok(core::convert::From::from(__inner))"
+        )
+    } else {
+        match &ast.data {
+            Data::NamedStruct(fields) => gen_deserialize_struct(name, fields),
+            Data::NewtypeStruct => format!(
+                "core::result::Result::Ok({name}(serde::Deserialize::deserialize(__deserializer)?))"
+            ),
+            Data::Enum(variants) => gen_deserialize_enum(name, variants),
+        }
+    };
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) -> core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    ))
+}
+
+fn gen_deserialize_struct(name: &str, fields: &[Field]) -> String {
+    let mut decls = String::new();
+    let mut arms = String::new();
+    let mut build = String::new();
+    for f in fields {
+        let fname = &f.name;
+        let ty = &f.ty;
+        let _ = writeln!(
+            decls,
+            "let mut __field_{fname}: core::option::Option<{ty}> = core::option::Option::None;"
+        );
+        if let Some(with) = &f.with {
+            let _ = writeln!(
+                arms,
+                "\"{fname}\" => {{ __field_{fname} = core::option::Option::Some({with}::deserialize(serde::de::MapAccess::next_value_de(&mut __map)?)?); }}"
+            );
+        } else {
+            let _ = writeln!(
+                arms,
+                "\"{fname}\" => {{ __field_{fname} = core::option::Option::Some(serde::de::MapAccess::next_value(&mut __map)?); }}"
+            );
+        }
+        if f.default {
+            let _ = writeln!(build, "{fname}: __field_{fname}.unwrap_or_default(),");
+        } else {
+            let _ = writeln!(
+                build,
+                "{fname}: __field_{fname}.ok_or_else(|| <__A::Error as serde::de::Error>::custom(\"missing field `{fname}` in {name}\"))?,"
+            );
+        }
+    }
+    format!(
+        "struct __Visitor;\n\
+         impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{\n\
+                 __f.write_str(\"struct {name}\")\n\
+             }}\n\
+             fn visit_map<__A: serde::de::MapAccess<'de>>(self, mut __map: __A) -> core::result::Result<{name}, __A::Error> {{\n\
+                 {decls}\n\
+                 while let core::option::Option::Some(__key) = serde::de::MapAccess::next_key(&mut __map)? {{\n\
+                     match __key.as_str() {{\n\
+                         {arms}\n\
+                         _ => {{ let _ = serde::de::MapAccess::next_value_de(&mut __map)?; }}\n\
+                     }}\n\
+                 }}\n\
+                 core::result::Result::Ok({name} {{\n\
+                     {build}\n\
+                 }})\n\
+             }}\n\
+         }}\n\
+         serde::Deserializer::deserialize_any(__deserializer, __Visitor)"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .collect();
+    let payload: Vec<(usize, &Variant)> = variants
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !matches!(v.kind, VariantKind::Unit))
+        .collect();
+
+    let mut methods = String::new();
+    if !unit.is_empty() {
+        let mut arms = String::new();
+        for v in &unit {
+            let vname = &v.name;
+            let _ = writeln!(
+                arms,
+                "\"{vname}\" => core::result::Result::Ok({name}::{vname}),"
+            );
+        }
+        let _ = writeln!(
+            methods,
+            "fn visit_str<__E: serde::de::Error>(self, __v: &str) -> core::result::Result<{name}, __E> {{\n\
+                 match __v {{\n\
+                     {arms}\n\
+                     __other => core::result::Result::Err(serde::de::Error::custom(format!(\"unknown unit variant `{{}}` of enum {name}\", __other))),\n\
+                 }}\n\
+             }}"
+        );
+    }
+    if !payload.is_empty() {
+        let mut arms = String::new();
+        for (i, v) in &payload {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Newtype => {
+                    let _ = writeln!(
+                        arms,
+                        "\"{vname}\" => {name}::{vname}(serde::de::MapAccess::next_value(&mut __map)?),"
+                    );
+                }
+                VariantKind::Struct(fields) => {
+                    let mut helper_fields = String::new();
+                    let mut build = String::new();
+                    for f in fields {
+                        let fname = &f.name;
+                        let ty = &f.ty;
+                        let _ = writeln!(helper_fields, "{fname}: {ty},");
+                        let _ = writeln!(build, "{fname}: __v.{fname},");
+                    }
+                    let inner_body = gen_deserialize_struct(&format!("__SV{i}"), fields);
+                    let _ = writeln!(
+                        arms,
+                        "\"{vname}\" => {{\n\
+                         struct __SV{i} {{ {helper_fields} }}\n\
+                         impl<'de> serde::Deserialize<'de> for __SV{i} {{\n\
+                             fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) -> core::result::Result<Self, __D::Error> {{\n\
+                                 {inner_body}\n\
+                             }}\n\
+                         }}\n\
+                         let __v: __SV{i} = serde::de::MapAccess::next_value(&mut __map)?;\n\
+                         {name}::{vname} {{ {build} }}\n\
+                         }},"
+                    );
+                }
+                VariantKind::Unit => unreachable!(),
+            }
+        }
+        let _ = writeln!(
+            methods,
+            "fn visit_map<__A: serde::de::MapAccess<'de>>(self, mut __map: __A) -> core::result::Result<{name}, __A::Error> {{\n\
+                 let __key = serde::de::MapAccess::next_key(&mut __map)?\n\
+                     .ok_or_else(|| <__A::Error as serde::de::Error>::custom(\"empty map for enum {name}\"))?;\n\
+                 let __value = match __key.as_str() {{\n\
+                     {arms}\n\
+                     __other => return core::result::Result::Err(serde::de::Error::custom(format!(\"unknown variant `{{}}` of enum {name}\", __other))),\n\
+                 }};\n\
+                 if serde::de::MapAccess::next_key(&mut __map)?.is_some() {{\n\
+                     return core::result::Result::Err(serde::de::Error::custom(\"expected single-key map for enum {name}\"));\n\
+                 }}\n\
+                 core::result::Result::Ok(__value)\n\
+             }}"
+        );
+    }
+    format!(
+        "struct __Visitor;\n\
+         impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{\n\
+                 __f.write_str(\"enum {name}\")\n\
+             }}\n\
+             {methods}\n\
+         }}\n\
+         serde::Deserializer::deserialize_any(__deserializer, __Visitor)"
+    )
+}

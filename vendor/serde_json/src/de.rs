@@ -1,0 +1,207 @@
+//! Value-tree deserializer bridging parsed JSON into serde visitors.
+
+use crate::parse::parse_value;
+use crate::{Error, Value};
+use serde::de::{DeserializeOwned, MapAccess, SeqAccess, Visitor};
+use serde::Deserializer;
+
+/// Deserialize a value from JSON text.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> crate::Result<T> {
+    let value = parse_value(s)?;
+    T::deserialize(ValueDe { value })
+}
+
+/// Deserialize a value from JSON bytes.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> crate::Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Deserializer over an owned parsed [`Value`].
+pub(crate) struct ValueDe {
+    pub(crate) value: Value,
+}
+
+impl<'de> Deserializer<'de> for ValueDe {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> crate::Result<V::Value> {
+        match self.value {
+            Value::Null => visitor.visit_unit(),
+            Value::Bool(b) => visitor.visit_bool(b),
+            Value::NegInt(v) => visitor.visit_i64(v),
+            Value::PosInt(v) => visitor.visit_u64(v),
+            Value::Float(v) => visitor.visit_f64(v),
+            Value::String(s) => visitor.visit_string(s),
+            Value::Array(items) => visitor.visit_seq(SeqDe {
+                iter: items.into_iter(),
+            }),
+            Value::Object(entries) => visitor.visit_map(MapDe {
+                iter: entries.into_iter(),
+                pending: None,
+            }),
+        }
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> crate::Result<V::Value> {
+        match self.value {
+            Value::Null => visitor.visit_none(),
+            _ => visitor.visit_some(self),
+        }
+    }
+}
+
+struct SeqDe {
+    iter: std::vec::IntoIter<Value>,
+}
+
+impl<'de> SeqAccess<'de> for SeqDe {
+    type Error = Error;
+
+    fn next_element<T: serde::Deserialize<'de>>(&mut self) -> crate::Result<Option<T>> {
+        match self.iter.next() {
+            Some(value) => T::deserialize(ValueDe { value }).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.iter.len())
+    }
+}
+
+struct MapDe {
+    iter: std::vec::IntoIter<(String, Value)>,
+    pending: Option<Value>,
+}
+
+impl<'de> MapAccess<'de> for MapDe {
+    type Error = Error;
+    type ValueDeserializer = ValueDe;
+
+    fn next_key(&mut self) -> crate::Result<Option<String>> {
+        match self.iter.next() {
+            Some((key, value)) => {
+                self.pending = Some(value);
+                Ok(Some(key))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn next_value_de(&mut self) -> crate::Result<ValueDe> {
+        match self.pending.take() {
+            Some(value) => Ok(ValueDe { value }),
+            None => Err(Error::new("next_value_de called before next_key")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: f64,
+        y: u32,
+        label: String,
+        tag: Option<i64>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Circle,
+        Square,
+        Poly(Vec<u8>),
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Wrap(u32);
+
+    #[test]
+    fn struct_roundtrip_compact_and_pretty() {
+        let p = Point {
+            x: 2.2737367544323206e-13,
+            y: 7,
+            label: "a \"quoted\"\nline".into(),
+            tag: None,
+        };
+        let compact = crate::to_string(&p).unwrap();
+        let pretty = crate::to_string_pretty(&p).unwrap();
+        assert_eq!(crate::from_str::<Point>(&compact).unwrap(), p);
+        assert_eq!(crate::from_str::<Point>(&pretty).unwrap(), p);
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        for v in [0.0, -0.0, 1.5, 1e308, 5e-324, f64::MIN_POSITIVE, 0.1 + 0.2] {
+            let json = crate::to_string(&v).unwrap();
+            let back: f64 = crate::from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "value {v:?} via {json}");
+        }
+    }
+
+    #[test]
+    fn integers_stay_integers() {
+        let json = crate::to_string(&vec![3u64, u64::MAX]).unwrap();
+        assert_eq!(json, format!("[3,{}]", u64::MAX));
+        let back: Vec<u64> = crate::from_str(&json).unwrap();
+        assert_eq!(back, vec![3, u64::MAX]);
+        // an int token satisfies an f64 field
+        let x: f64 = crate::from_str("3").unwrap();
+        assert_eq!(x, 3.0);
+    }
+
+    #[test]
+    fn enum_encoding_matches_serde_conventions() {
+        assert_eq!(crate::to_string(&Shape::Circle).unwrap(), "\"Circle\"");
+        assert_eq!(
+            crate::to_string(&Shape::Poly(vec![1, 2])).unwrap(),
+            "{\"Poly\":[1,2]}"
+        );
+        assert_eq!(
+            crate::from_str::<Shape>("\"Square\"").unwrap(),
+            Shape::Square
+        );
+        assert_eq!(
+            crate::from_str::<Shape>("{\"Poly\":[9]}").unwrap(),
+            Shape::Poly(vec![9])
+        );
+    }
+
+    #[test]
+    fn newtype_struct_is_transparent() {
+        assert_eq!(crate::to_string(&Wrap(5)).unwrap(), "5");
+        assert_eq!(crate::from_str::<Wrap>("5").unwrap(), Wrap(5));
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let p: Point =
+            crate::from_str(r#"{"x": 1.0, "junk": [1, {"a": 2}], "y": 2, "label": "s", "tag": 4}"#)
+                .unwrap();
+        assert_eq!(p.tag, Some(4));
+        assert_eq!(p.y, 2);
+    }
+
+    #[test]
+    fn missing_field_errors_mention_the_field() {
+        let err = crate::from_str::<Point>(r#"{"x": 1.0}"#).unwrap_err();
+        assert!(err.to_string().contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn garbage_input_is_rejected() {
+        assert!(crate::from_str::<Point>("{\"x\": ").is_err());
+        assert!(crate::from_str::<u32>("true").is_err());
+        assert!(crate::from_str::<Vec<u8>>("[1, 2,]").is_err());
+        assert!(crate::from_str::<u8>("300").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let s: String = crate::from_str(r#""Aé😀""#).unwrap();
+        assert_eq!(s, "Aé😀");
+    }
+}

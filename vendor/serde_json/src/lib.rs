@@ -1,0 +1,58 @@
+//! Offline shim for the `serde_json` surface used by this workspace:
+//! `to_string`/`to_vec`/`to_string_pretty`/`to_vec_pretty`, `from_str`/
+//! `from_slice`, and the serde `Serializer`/`Deserializer` bridges they
+//! need.
+//!
+//! Numbers round-trip exactly: serialization uses Rust's shortest-
+//! roundtrip float formatting (`{:?}`), parsing uses `str::parse`
+//! (correctly rounded), and integers are kept as integers so visitors see
+//! `visit_i64`/`visit_u64` for `3` but `visit_f64` for `3.0`. Non-finite
+//! floats serialize as `null`, as in upstream serde_json.
+
+#![forbid(unsafe_code)]
+
+mod de;
+mod parse;
+mod ser;
+mod value;
+
+pub use de::{from_slice, from_str};
+pub use ser::{to_string, to_string_pretty, to_vec, to_vec_pretty};
+pub use value::Value;
+
+use std::fmt;
+
+/// Error produced by JSON (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// `Result` alias matching upstream serde_json.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,257 @@
+//! Streaming JSON serializer.
+
+use crate::Error;
+use serde::ser::{SerializeSeq, SerializeStruct};
+use serde::{Serialize, Serializer};
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> crate::Result<String> {
+    let mut out = Writer {
+        out: String::new(),
+        indent: None,
+        depth: 0,
+    };
+    value.serialize(&mut out)?;
+    Ok(out.out)
+}
+
+/// Serialize to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> crate::Result<String> {
+    let mut out = Writer {
+        out: String::new(),
+        indent: Some(2),
+        depth: 0,
+    };
+    value.serialize(&mut out)?;
+    Ok(out.out)
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> crate::Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serialize to pretty-printed JSON bytes.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> crate::Result<Vec<u8>> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+struct Writer {
+    out: String,
+    indent: Option<usize>,
+    depth: usize,
+}
+
+impl Writer {
+    fn newline_indent(&mut self) {
+        if let Some(width) = self.indent {
+            self.out.push('\n');
+            for _ in 0..(self.depth * width) {
+                self.out.push(' ');
+            }
+        }
+    }
+
+    fn push_str_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+/// Compound state: writes separators between elements and the closing
+/// bracket on `end`.
+pub struct Compound<'a> {
+    writer: &'a mut Writer,
+    close: char,
+    has_elements: bool,
+}
+
+impl Compound<'_> {
+    fn before_element(&mut self) {
+        if self.has_elements {
+            self.writer.out.push(',');
+        }
+        self.has_elements = true;
+        self.writer.newline_indent();
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        self.writer.depth -= 1;
+        if self.has_elements {
+            self.writer.newline_indent();
+        }
+        self.writer.out.push(self.close);
+        Ok(())
+    }
+}
+
+impl SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.before_element();
+        value.serialize(&mut *self.writer)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.before_element();
+        self.writer.push_str_escaped(name);
+        self.writer.out.push(':');
+        if self.writer.indent.is_some() {
+            self.writer.out.push(' ');
+        }
+        value.serialize(&mut *self.writer)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl<'a> Serializer for &'a mut Writer {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        if v.is_finite() {
+            // Rust's Debug float formatting is shortest-roundtrip and
+            // always a valid JSON number (`1.5`, `1e308`, `-0.0`)
+            self.out.push_str(&format!("{v:?}"));
+        } else {
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), Error> {
+        if v.is_finite() {
+            self.out.push_str(&format!("{v:?}"));
+        } else {
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        self.push_str_escaped(v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.out.push('[');
+        self.depth += 1;
+        Ok(Compound {
+            writer: self,
+            close: ']',
+            has_elements: false,
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        self.depth += 1;
+        Ok(Compound {
+            writer: self,
+            close: '}',
+            has_elements: false,
+        })
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        self.push_str_escaped(variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.out.push('{');
+        self.depth += 1;
+        self.newline_indent();
+        self.push_str_escaped(variant);
+        self.out.push(':');
+        if self.indent.is_some() {
+            self.out.push(' ');
+        }
+        value.serialize(&mut *self)?;
+        self.depth -= 1;
+        self.newline_indent();
+        self.out.push('}');
+        Ok(())
+    }
+}

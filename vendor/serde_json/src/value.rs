@@ -1,0 +1,32 @@
+//! Parsed JSON tree.
+
+/// A parsed JSON value. Object entries preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Integer token that fits `i64` (negative).
+    NegInt(i64),
+    /// Integer token that fits `u64` (non-negative).
+    PosInt(u64),
+    /// Any number token with a fraction/exponent, or out-of-range integer.
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::NegInt(_) | Value::PosInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
