@@ -1,0 +1,67 @@
+//! The extraction-path performance suite: exhaustive + adaptive
+//! campaigns over Jacobi, GEMM and CG at pinned seeds and sizes, run
+//! through all three extraction paths, with a machine-readable report.
+//!
+//! Usage:
+//!   `cargo run --release -p ftb-bench --bin bench_suite [-- --quick] [-- --out PATH]`
+//!
+//! `--quick` runs the tiny CI-smoke tier; the default full tier is what
+//! the committed `BENCH_ppopp21.json` reports. Exits nonzero if the
+//! three paths disagree on any outcome table — a throughput number from
+//! a path that produces different results is meaningless.
+
+use ftb_bench::perf::run_suite;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_ppopp21.json".to_string());
+
+    let report = run_suite(quick);
+
+    let tier = if quick { "quick" } else { "full" };
+    println!(
+        "extraction suite ({tier} tier, {} threads)\n",
+        report.threads
+    );
+    for w in &report.workloads {
+        println!(
+            "{:8} {} sites x {} bits  (golden {:.1} KiB full / {:.1} KiB compact)",
+            w.name,
+            w.n_sites,
+            w.bits,
+            w.golden_bytes_full as f64 / 1024.0,
+            w.golden_bytes_compact as f64 / 1024.0,
+        );
+        for p in &w.paths {
+            println!(
+                "  {:9} {:>9.0} exp/s  ({} experiments in {:.2}s, stride {}, adaptive {:.2}s)",
+                p.path,
+                p.experiments_per_sec,
+                p.exhaustive_experiments,
+                p.exhaustive_secs,
+                p.site_stride,
+                p.adaptive_secs,
+            );
+        }
+        println!(
+            "  streamed vs buffered: {:.2}x   agree: {}\n",
+            w.speedup_streamed_vs_buffered, w.paths_agree
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    std::fs::write(&out, json + "\n").unwrap();
+    println!("wrote {out}");
+
+    if !report.all_paths_agree {
+        eprintln!("FAIL: extraction paths disagree on at least one outcome table");
+        std::process::exit(1);
+    }
+}

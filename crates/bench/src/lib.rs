@@ -16,13 +16,16 @@
 //! | Figure 1  | `figure1`           | coverage: Monte-Carlo campaign vs boundary |
 //! | Figure 2  | `figure2`           | one masked experiment's propagation curve |
 //! | §5        | `monotonicity`      | stencil/matvec error-growth linearity |
+//! | §5        | `bench_suite`       | extraction-path throughput (`BENCH_ppopp21.json`) |
 //! |           | `calibrate`         | tolerance/size calibration helper |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod perf;
 pub mod suite;
 
 pub use cache::{exhaustive_cached, sampled_truth_cached};
+pub use perf::{perf_suite, run_suite, PerfReport};
 pub use suite::{paper_suite, Benchmark, Scale};

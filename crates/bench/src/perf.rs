@@ -1,0 +1,427 @@
+//! Reproducible extraction-path performance suite (`bench_suite` binary).
+//!
+//! Measures the three propagation-extraction paths — buffered, lockstep
+//! and streamed — against each other on exhaustive and adaptive
+//! campaigns over Jacobi, GEMM and CG at pinned seeds and sizes, and
+//! emits a machine-readable report (`BENCH_ppopp21.json`) so every PR
+//! has a throughput trajectory to answer to. The suite also *asserts*
+//! that all paths agree on the exhaustive outcome table: a performance
+//! number from a path that disagrees with the reference is meaningless.
+//!
+//! The full tier's Jacobi workload runs at paper scale (~10M dynamic
+//! instructions per execution): that is where the paths separate, because
+//! the buffered extractor's per-experiment working set (full faulty
+//! trace + golden trace + dense error vector, ~25–35 bytes/site) falls
+//! out of cache while the streamed path re-reads only the shared compact
+//! golden (~5 bytes/site) and retains nothing per experiment. At
+//! cache-resident sizes all paths time within noise of each other — the
+//! difference the paper's §5 memory-overhead argument predicts is a
+//! *footprint* difference, and it becomes a wall-clock difference only
+//! past the cache cliff.
+//!
+//! Per-experiment cost at paper scale makes a full exhaustive table
+//! (sites × bits ≈ 300M runs) infeasible on one machine, so every path
+//! runs the same site-strided subsample of the exhaustive table
+//! (`site_stride`, full bit coverage at each kept site); throughput is
+//! experiments-per-second over the experiments actually run. Lockstep
+//! spawns two threads and a channel hand-off per experiment and is far
+//! slower, so it runs a sparser subsample (`lockstep_stride`, a multiple
+//! of `site_stride` so its agreement check overlaps the reference).
+
+use ftb_core::prelude::*;
+use ftb_inject::{ExhaustiveResult, ExtractionMode};
+use ftb_kernels::{CgConfig, CgStorage, GemmConfig, JacobiConfig, Kernel, KernelConfig};
+use ftb_trace::{CompactGolden, Precision};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One pinned workload of the performance suite.
+pub struct PerfWorkload {
+    /// Display name ("jacobi", "gemm", "cg").
+    pub name: &'static str,
+    /// Pinned kernel configuration (size and seed fixed per tier).
+    pub config: KernelConfig,
+    /// Output tolerance for the classifier.
+    pub tolerance: f64,
+    /// Site stride of the exhaustive campaign, applied to every path
+    /// (1 = full table; paper-scale workloads subsample).
+    pub site_stride: usize,
+    /// Site stride for the lockstep path. Must be a multiple of
+    /// `site_stride` so the agreement check overlaps the reference.
+    pub lockstep_stride: usize,
+    /// Pinned adaptive-campaign configuration (seed and round budget
+    /// fixed per tier; paper-scale workloads bound the round count so
+    /// the adaptive leg stays a fixed, small number of experiments).
+    pub adaptive: AdaptiveConfig,
+}
+
+/// The pinned workloads. `quick` selects the tiny CI-smoke tier; the
+/// full tier is what the committed `BENCH_ppopp21.json` reports.
+pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
+    let adaptive_default = AdaptiveConfig {
+        seed: 7,
+        ..AdaptiveConfig::default()
+    };
+    if quick {
+        vec![
+            PerfWorkload {
+                name: "jacobi",
+                config: KernelConfig::Jacobi(JacobiConfig {
+                    grid: 4,
+                    sweeps: 10,
+                    precision: Precision::F64,
+                    seed: 42,
+                    fine_grained: true,
+                    residual_every: 1,
+                }),
+                tolerance: 1e-6,
+                site_stride: 1,
+                lockstep_stride: 4,
+                adaptive: adaptive_default.clone(),
+            },
+            PerfWorkload {
+                name: "gemm",
+                config: KernelConfig::Gemm(GemmConfig {
+                    n: 5,
+                    precision: Precision::F64,
+                    seed: 42,
+                }),
+                tolerance: 1e-6,
+                site_stride: 1,
+                lockstep_stride: 4,
+                adaptive: adaptive_default.clone(),
+            },
+            PerfWorkload {
+                name: "cg",
+                config: KernelConfig::Cg(CgConfig {
+                    grid: 4,
+                    rtol: 1e-4,
+                    max_iters: 50,
+                    precision: Precision::F32,
+                    seed: 42,
+                    storage: CgStorage::MatrixFree,
+                }),
+                tolerance: 1e-1,
+                site_stride: 1,
+                lockstep_stride: 4,
+                adaptive: adaptive_default,
+            },
+        ]
+    } else {
+        vec![
+            // The headline workload: ~9.9M dynamic instructions per
+            // execution, the paper's scale. The buffered extractor's
+            // per-experiment working set (~300 MB) is past the cache
+            // cliff while the shared compact F32 golden (~50 MB) is not;
+            // this is where the streamed path's ≥1.5× shows up.
+            PerfWorkload {
+                name: "jacobi",
+                config: KernelConfig::Jacobi(JacobiConfig {
+                    grid: 128,
+                    sweeps: 600,
+                    precision: Precision::F32,
+                    seed: 42,
+                    fine_grained: false,
+                    residual_every: 8,
+                }),
+                tolerance: 1e-3,
+                // 17 sites × 32 bits = 544 experiments per path
+                site_stride: 614_000,
+                // 2 sites × 32 bits = 64 experiments (two threads + a
+                // channel hand-off per experiment make lockstep several
+                // times slower per run)
+                lockstep_stride: 8 * 614_000,
+                // bound the adaptive leg to a handful of ~30-experiment
+                // rounds — a 0.1% round of a 9.9M-site table would be
+                // ~10k experiments, hours at ~150 ms each
+                adaptive: AdaptiveConfig {
+                    seed: 7,
+                    round_fraction: 3e-6,
+                    min_round_size: 32,
+                    min_rounds: 2,
+                    dry_rounds: 1,
+                    max_rounds: 3,
+                    ..AdaptiveConfig::default()
+                },
+            },
+            PerfWorkload {
+                name: "gemm",
+                config: KernelConfig::Gemm(GemmConfig {
+                    n: 10,
+                    precision: Precision::F64,
+                    seed: 42,
+                }),
+                tolerance: 1e-6,
+                site_stride: 1,
+                lockstep_stride: 16,
+                adaptive: adaptive_default.clone(),
+            },
+            PerfWorkload {
+                name: "cg",
+                config: KernelConfig::Cg(CgConfig {
+                    grid: 6,
+                    rtol: 1e-4,
+                    max_iters: 100,
+                    precision: Precision::F32,
+                    seed: 42,
+                    storage: CgStorage::MatrixFree,
+                }),
+                tolerance: 1e-1,
+                site_stride: 1,
+                lockstep_stride: 16,
+                adaptive: adaptive_default,
+            },
+        ]
+    }
+}
+
+/// Peak resident set size of this process in KiB (`VmHWM`), the
+/// standard Linux high-water-mark proxy; `None` off Linux.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Outcome histogram of an exhaustive table (masked, sdc, crash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct OutcomeCounts {
+    /// Faults absorbed within tolerance.
+    pub masked: u64,
+    /// Silent data corruptions.
+    pub sdc: u64,
+    /// Abnormal terminations (non-finite or hang).
+    pub crash: u64,
+}
+
+impl OutcomeCounts {
+    /// Histogram over every `(site, bit)` cell, optionally site-strided.
+    pub fn of(table: &ExhaustiveResult, stride: usize) -> Self {
+        let mut c = OutcomeCounts {
+            masked: 0,
+            sdc: 0,
+            crash: 0,
+        };
+        for site in (0..table.n_sites).step_by(stride) {
+            for bit in 0..table.bits {
+                let o = table.outcome(site, bit);
+                if o.is_masked() {
+                    c.masked += 1;
+                } else if o.is_sdc() {
+                    c.sdc += 1;
+                } else {
+                    c.crash += 1;
+                }
+            }
+        }
+        c
+    }
+}
+
+/// Measured numbers for one extraction path on one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct PathStats {
+    /// Extraction path name.
+    pub path: String,
+    /// Site stride used (lockstep subsamples at full scale).
+    pub site_stride: usize,
+    /// Experiments executed by the exhaustive campaign.
+    pub exhaustive_experiments: u64,
+    /// Exhaustive campaign wall time in seconds.
+    pub exhaustive_secs: f64,
+    /// Headline throughput: exhaustive experiments per second.
+    pub experiments_per_sec: f64,
+    /// Experiments executed by the adaptive campaign.
+    pub adaptive_experiments: u64,
+    /// Adaptive campaign wall time in seconds.
+    pub adaptive_secs: f64,
+    /// Outcome histogram of the (possibly strided) exhaustive table.
+    pub outcomes: OutcomeCounts,
+    /// Process peak RSS (KiB) after this path ran, if available.
+    pub peak_rss_kb_after: Option<u64>,
+}
+
+/// Report for one workload across all three paths.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadReport {
+    /// Workload name.
+    pub name: String,
+    /// Pinned kernel configuration.
+    pub config: KernelConfig,
+    /// Classifier tolerance.
+    pub tolerance: f64,
+    /// Fault sites in the golden run.
+    pub n_sites: usize,
+    /// Bits per site.
+    pub bits: u8,
+    /// Bytes held by the full golden trace (the paper's §5
+    /// `8 bytes × dynamic instructions` figure, plus branch/static-id
+    /// streams).
+    pub golden_bytes_full: usize,
+    /// Bytes held by the shared compact golden the streamed path reads.
+    pub golden_bytes_compact: usize,
+    /// Per-path measurements (buffered, lockstep, streamed).
+    pub paths: Vec<PathStats>,
+    /// Streamed over buffered exhaustive throughput.
+    pub speedup_streamed_vs_buffered: f64,
+    /// Whether every path produced the same outcome table (on the
+    /// experiments it ran).
+    pub paths_agree: bool,
+}
+
+fn run_path(
+    kernel: &dyn Kernel,
+    w: &PerfWorkload,
+    mode: ExtractionMode,
+) -> (PathStats, ExhaustiveResult) {
+    let stride = match mode {
+        ExtractionMode::Lockstep { .. } => w.lockstep_stride,
+        _ => w.site_stride,
+    };
+    let analysis = Analysis::new(kernel, Classifier::new(w.tolerance)).with_extraction(mode);
+    let bits = kernel.precision().bits();
+
+    let t0 = Instant::now();
+    let table = if stride == 1 {
+        analysis.exhaustive()
+    } else {
+        strided_exhaustive(analysis.injector(), stride)
+    };
+    let exhaustive_secs = t0.elapsed().as_secs_f64();
+    let exhaustive_experiments = (analysis.n_sites().div_ceil(stride) * bits as usize) as u64;
+
+    let t1 = Instant::now();
+    let adaptive = analysis.adaptive(&w.adaptive);
+    let adaptive_secs = t1.elapsed().as_secs_f64();
+
+    let stats = PathStats {
+        path: mode.name().to_string(),
+        site_stride: stride,
+        exhaustive_experiments,
+        exhaustive_secs,
+        experiments_per_sec: exhaustive_experiments as f64 / exhaustive_secs.max(1e-9),
+        adaptive_experiments: adaptive.samples.len() as u64,
+        adaptive_secs,
+        outcomes: OutcomeCounts::of(&table, stride),
+        peak_rss_kb_after: peak_rss_kb(),
+    };
+    (stats, table)
+}
+
+/// An exhaustive table over every `stride`-th site (full bit coverage),
+/// with skipped sites marked masked so the layout stays dense.
+fn strided_exhaustive(injector: &Injector<'_>, stride: usize) -> ExhaustiveResult {
+    let bits = injector.bits();
+    let plan: Vec<ftb_trace::FaultSpec> = (0..injector.n_sites())
+        .step_by(stride)
+        .flat_map(|site| (0..bits).map(move |bit| ftb_trace::FaultSpec { site, bit }))
+        .collect();
+    let experiments = injector.run_batch(&plan);
+    let mut codes = vec![0u8; injector.n_sites() * bits as usize];
+    for e in &experiments {
+        codes[e.site * bits as usize + e.bit as usize] = e.outcome.code();
+    }
+    ExhaustiveResult {
+        n_sites: injector.n_sites(),
+        bits,
+        codes,
+    }
+}
+
+/// Run one workload through all three extraction paths and check that
+/// they agree wherever they overlap.
+pub fn run_workload(w: &PerfWorkload) -> WorkloadReport {
+    assert!(
+        w.site_stride >= 1 && w.lockstep_stride % w.site_stride == 0,
+        "lockstep_stride must be a multiple of site_stride for the agreement check"
+    );
+    let kernel = w.config.build();
+    let golden = kernel.golden();
+    let compact = CompactGolden::from_golden(&golden);
+    let golden_bytes_full = std::mem::size_of_val(golden.values.as_slice())
+        + std::mem::size_of_val(golden.branches.as_slice())
+        + std::mem::size_of_val(golden.static_ids.as_slice());
+    let golden_bytes_compact = compact.memory_bytes();
+
+    // streamed first so the buffered path's full-trace allocations are
+    // visible as an RSS increase, not hidden under an earlier peak
+    let (streamed, streamed_table) = run_path(kernel.as_ref(), w, ExtractionMode::Streamed);
+    let (lockstep, lockstep_table) = run_path(
+        kernel.as_ref(),
+        w,
+        ExtractionMode::Lockstep { capacity: 64 },
+    );
+    let (buffered, buffered_table) = run_path(kernel.as_ref(), w, ExtractionMode::Buffered);
+
+    let full_agree = buffered_table == streamed_table;
+    let strided_agree = OutcomeCounts::of(&buffered_table, w.lockstep_stride)
+        == OutcomeCounts::of(&lockstep_table, w.lockstep_stride);
+    let speedup = streamed.experiments_per_sec / buffered.experiments_per_sec.max(1e-9);
+
+    WorkloadReport {
+        name: w.name.to_string(),
+        config: w.config.clone(),
+        tolerance: w.tolerance,
+        n_sites: golden.n_sites(),
+        bits: kernel.precision().bits(),
+        golden_bytes_full,
+        golden_bytes_compact,
+        paths: vec![buffered, lockstep, streamed],
+        speedup_streamed_vs_buffered: speedup,
+        paths_agree: full_agree && strided_agree,
+    }
+}
+
+/// The whole suite's report, as serialised to `BENCH_ppopp21.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfReport {
+    /// Report schema tag.
+    pub schema: &'static str,
+    /// Whether the quick (CI smoke) tier ran.
+    pub quick: bool,
+    /// Rayon worker threads used.
+    pub threads: usize,
+    /// Per-workload results.
+    pub workloads: Vec<WorkloadReport>,
+    /// Conjunction of every workload's `paths_agree`.
+    pub all_paths_agree: bool,
+}
+
+/// Run the full suite at the chosen tier.
+pub fn run_suite(quick: bool) -> PerfReport {
+    let workloads: Vec<WorkloadReport> = perf_suite(quick).iter().map(run_workload).collect();
+    let all_paths_agree = workloads.iter().all(|w| w.paths_agree);
+    PerfReport {
+        schema: "ftb-bench/extraction-v1",
+        quick,
+        threads: rayon::current_num_threads(),
+        workloads,
+        all_paths_agree,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_paths_agree() {
+        let report = run_suite(true);
+        assert_eq!(report.workloads.len(), 3);
+        assert!(report.all_paths_agree);
+        for w in &report.workloads {
+            assert!(w.golden_bytes_compact < w.golden_bytes_full);
+            for p in &w.paths {
+                assert!(p.experiments_per_sec > 0.0, "{}/{}", w.name, p.path);
+            }
+        }
+    }
+
+    #[test]
+    fn report_serialises() {
+        let report = run_suite(true);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"schema\": \"ftb-bench/extraction-v1\""));
+        assert!(json.contains("jacobi"));
+    }
+}

@@ -2,6 +2,7 @@
 //! dependency set has no argument-parsing crate, and the surface is
 //! small enough not to need one).
 
+use ftb_inject::ExtractionMode;
 use ftb_kernels::{
     CgConfig, CgStorage, FftConfig, GemmConfig, JacobiConfig, KernelConfig, LuConfig, MatvecConfig,
     SpmvConfig, StencilConfig,
@@ -45,6 +46,10 @@ ANALYSIS OPTIONS:
     --rate R               sampling rate for analyze (0.01)
     --samples N            experiment count for campaign (1000)
     --filter MODE          off | per-site | global (per-site)
+    --extraction MODE      propagation-extraction path: buffered |
+                           lockstep | streamed (streamed). All paths
+                           produce identical results.
+    --capacity N           lockstep channel capacity, >= 1 (64)
     --json PATH            also write results as JSON
 
 CHECKPOINT / OBSERVABILITY OPTIONS (campaign, exhaustive, adaptive):
@@ -73,6 +78,8 @@ pub struct Args {
     pub samples: u64,
     /// Filter mode string (validated in the command layer).
     pub filter: String,
+    /// Propagation-extraction path for campaigns and inference.
+    pub extraction: ExtractionMode,
     /// Seed.
     pub seed: u64,
     /// Optional JSON output path.
@@ -225,6 +232,14 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
             sweeps: get_usize("sweeps", 30)?,
             precision: precision.unwrap_or(Precision::F64),
             seed,
+            fine_grained: get_usize("fine", 0)? != 0,
+            residual_every: {
+                let re = get_usize("resid-every", 1)?;
+                if re == 0 {
+                    return Err(err("--resid-every must be at least 1"));
+                }
+                re
+            },
         }),
         "gemm" => KernelConfig::Gemm(GemmConfig {
             n: get_usize("n", 12)?,
@@ -233,6 +248,22 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
         }),
         other => return Err(err(format!("unknown kernel '{other}'"))),
     };
+
+    // validated here, once, so every command sees a well-formed mode
+    let capacity = get_usize("capacity", 64)?;
+    if capacity == 0 {
+        return Err(err("--capacity must be at least 1"));
+    }
+    let extraction_name = flags
+        .get("extraction")
+        .map(String::as_str)
+        .unwrap_or("streamed");
+    let extraction = ExtractionMode::from_name(extraction_name, capacity).ok_or_else(|| {
+        err(format!(
+            "--extraction: unknown mode '{extraction_name}' (expected {})",
+            ExtractionMode::NAMES.join(" | ")
+        ))
+    })?;
 
     Ok(Args {
         command,
@@ -244,6 +275,7 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
             .get("filter")
             .cloned()
             .unwrap_or_else(|| "per-site".into()),
+        extraction,
         seed,
         json: flags.get("json").cloned(),
         checkpoint: flags.get("checkpoint").cloned(),
@@ -364,6 +396,69 @@ mod tests {
     #[test]
     fn zero_chunk_rejected() {
         assert!(parse(&v(&["campaign", "--kernel", "matvec", "--chunk", "0"])).is_err());
+    }
+
+    #[test]
+    fn extraction_defaults_to_streamed() {
+        let a = parse(&v(&["campaign", "--kernel", "matvec"])).unwrap();
+        assert_eq!(a.extraction, ExtractionMode::Streamed);
+    }
+
+    #[test]
+    fn extraction_modes_parse() {
+        let a = parse(&v(&[
+            "campaign",
+            "--kernel",
+            "matvec",
+            "--extraction",
+            "buffered",
+        ]))
+        .unwrap();
+        assert_eq!(a.extraction, ExtractionMode::Buffered);
+        let a = parse(&v(&[
+            "campaign",
+            "--kernel",
+            "matvec",
+            "--extraction",
+            "lockstep",
+            "--capacity",
+            "16",
+        ]))
+        .unwrap();
+        assert_eq!(a.extraction, ExtractionMode::Lockstep { capacity: 16 });
+    }
+
+    #[test]
+    fn unknown_extraction_mode_rejected_with_choices() {
+        let e = parse(&v(&[
+            "campaign",
+            "--kernel",
+            "matvec",
+            "--extraction",
+            "warp",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("buffered | lockstep | streamed"), "{}", e.0);
+    }
+
+    #[test]
+    fn zero_capacity_rejected_at_parse_time() {
+        // regression: the lockstep extractor asserts on capacity > 0, so
+        // a zero capacity must die here with a clear message, not deep in
+        // a worker thread mid-campaign
+        let e = parse(&v(&[
+            "campaign",
+            "--kernel",
+            "matvec",
+            "--extraction",
+            "lockstep",
+            "--capacity",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--capacity must be at least 1"), "{}", e.0);
+        // a zero capacity is rejected even when lockstep is not selected
+        assert!(parse(&v(&["campaign", "--kernel", "matvec", "--capacity", "0"])).is_err());
     }
 
     #[test]

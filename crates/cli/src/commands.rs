@@ -124,7 +124,8 @@ fn golden(args: &Args) -> Result<String, CliError> {
 
 fn campaign(args: &Args) -> Result<String, CliError> {
     let kernel = args.kernel.build();
-    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance));
+    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance))
+        .with_extraction(args.extraction);
     let injector = analysis.injector();
     let plan_desc = format!("monte-carlo n={} seed={}", args.samples, args.seed);
     let plan = monte_carlo_plan(injector.n_sites(), injector.bits(), args.samples, args.seed);
@@ -156,7 +157,8 @@ fn campaign(args: &Args) -> Result<String, CliError> {
 
 fn exhaustive(args: &Args) -> Result<String, CliError> {
     let kernel = args.kernel.build();
-    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance));
+    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance))
+        .with_extraction(args.extraction);
     let injector = analysis.injector();
     let plan = exhaustive_plan(injector.n_sites(), injector.bits());
     let cc = run_chunked(args, injector, "exhaustive", plan)?;
@@ -173,7 +175,8 @@ fn exhaustive(args: &Args) -> Result<String, CliError> {
 fn analyze(args: &Args) -> Result<String, CliError> {
     let filter = filter_mode(&args.filter)?;
     let kernel = args.kernel.build();
-    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance));
+    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance))
+        .with_extraction(args.extraction);
     let samples = analysis.sample_uniform(args.rate, args.seed);
     let inference = analysis.infer(&samples, filter);
     let predictor = analysis.predictor(&inference.boundary);
@@ -272,7 +275,8 @@ fn load_adaptive_checkpoint(
 fn adaptive(args: &Args) -> Result<String, CliError> {
     let filter = filter_mode(&args.filter)?;
     let kernel = args.kernel.build();
-    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance));
+    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance))
+        .with_extraction(args.extraction);
     let injector = analysis.injector();
     let cfg = AdaptiveConfig {
         filter,
@@ -351,7 +355,8 @@ fn adaptive(args: &Args) -> Result<String, CliError> {
 fn report(args: &Args) -> Result<String, CliError> {
     let filter = filter_mode(&args.filter)?;
     let kernel = args.kernel.build();
-    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance));
+    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance))
+        .with_extraction(args.extraction);
     let samples = analysis.sample_uniform(args.rate, args.seed);
     let inference = analysis.infer(&samples, filter);
     let predictor = analysis.predictor(&inference.boundary);
@@ -394,7 +399,8 @@ fn report(args: &Args) -> Result<String, CliError> {
 fn protect(args: &Args) -> Result<String, CliError> {
     let filter = filter_mode(&args.filter)?;
     let kernel = args.kernel.build();
-    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance));
+    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance))
+        .with_extraction(args.extraction);
     let samples = analysis.sample_uniform(args.rate, args.seed);
     let inference = analysis.infer(&samples, filter);
     let predictor = analysis.predictor(&inference.boundary);

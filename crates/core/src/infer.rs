@@ -2,8 +2,9 @@
 //! filter operation.
 //!
 //! For every **masked** experiment in the sample set, the faulty run is
-//! re-executed with full tracing and its propagation errors are folded
-//! into the boundary as a per-site running max (Algorithm 1):
+//! re-executed through the injector's extraction path (streamed by
+//! default — see `ftb_inject::extraction`) and its propagation errors are
+//! folded into the boundary as a per-site running max (Algorithm 1):
 //!
 //! ```text
 //! for each sample s_i in s:
@@ -100,19 +101,16 @@ pub fn infer_boundary(
         FilterMode::Global => Some(vec![samples.min_sdc_injected_global(); n_sites]),
     };
 
-    // Parallel fold over masked experiments: each re-runs traced and
-    // folds its propagation into a thread-local partial.
+    // Parallel fold over masked experiments: each re-runs through the
+    // injector's extraction path (buffered, lockstep or streamed — the
+    // folds are identical) into a thread-local partial.
     let masked: Vec<_> = samples.masked().collect();
     let partial = masked
         .par_iter()
         .fold(
             || (Boundary::zero(n_sites), vec![0u32; n_sites]),
             |(mut b, mut hits), e| {
-                let (_, prop) = injector.run_one_traced(e.site, e.bit);
-                for (site, err) in prop.iter() {
-                    if err == 0.0 {
-                        continue;
-                    }
+                injector.extract_propagation(e.site, e.bit, |site, err| {
                     // strictly below: a perturbation equal to an error
                     // already known to cause SDC must not certify masked
                     let passes = match &min_sdc {
@@ -127,7 +125,7 @@ pub fn infer_boundary(
                     {
                         hits[site] += 1;
                     }
-                }
+                });
                 (b, hits)
             },
         )

@@ -87,5 +87,5 @@ pub mod prelude {
     pub use crate::protection::ProtectionPlan;
     pub use crate::region::{by_region, by_static_instruction};
     pub use crate::sample::SampleSet;
-    pub use ftb_inject::{Classifier, Injector, Outcome};
+    pub use ftb_inject::{Classifier, ExtractionMode, Injector, Outcome};
 }

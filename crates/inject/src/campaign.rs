@@ -8,43 +8,83 @@
 //! state at all.
 
 use crate::experiment::Experiment;
+use crate::extraction::ExtractionMode;
+use crate::lockstep::fold_propagation_lockstep;
 use crate::outcome::{Classifier, Outcome};
 use ftb_kernels::Kernel;
-use ftb_trace::{propagation, FaultSpec, GoldenRun, Propagation, RecordMode};
+use ftb_trace::{
+    propagation, CompactGolden, CompareScratch, FaultSpec, GoldenRun, Propagation, RecordMode,
+    Tracer,
+};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
-/// Bound experiment runner: a kernel, its golden run, and a classifier.
+thread_local! {
+    /// Per-worker scratch for streamed extraction, reused across every
+    /// experiment a worker executes (no per-experiment heap traffic).
+    static SCRATCH: RefCell<CompareScratch> = RefCell::new(CompareScratch::new());
+}
+
+/// Bound experiment runner: a kernel, its golden run (full and compact
+/// forms), a classifier, and the propagation-extraction mode.
 pub struct Injector<'k> {
     kernel: &'k dyn Kernel,
     golden: GoldenRun,
+    /// Shared read-only golden buffer for the streamed extraction path.
+    compact: CompactGolden,
     classifier: Classifier,
+    extraction: ExtractionMode,
 }
 
 impl<'k> Injector<'k> {
     /// Record the golden run and bind the classifier.
     pub fn new(kernel: &'k dyn Kernel, classifier: Classifier) -> Self {
         let golden = kernel.golden();
-        Injector {
-            kernel,
-            golden,
-            classifier,
-        }
+        Self::with_golden(kernel, golden, classifier)
     }
 
     /// Bind to an already-recorded golden run (avoids re-recording when
     /// several analyses share one kernel).
     pub fn with_golden(kernel: &'k dyn Kernel, golden: GoldenRun, classifier: Classifier) -> Self {
+        let compact = CompactGolden::from_golden(&golden);
         Injector {
             kernel,
             golden,
+            compact,
             classifier,
+            extraction: ExtractionMode::default(),
         }
+    }
+
+    /// Select the propagation-extraction path (default
+    /// [`ExtractionMode::Streamed`]). All modes produce identical
+    /// results; this is a pure performance/memory choice.
+    ///
+    /// # Panics
+    /// Panics on a lockstep mode with zero capacity.
+    pub fn with_extraction(mut self, mode: ExtractionMode) -> Self {
+        if let ExtractionMode::Lockstep { capacity } = mode {
+            assert!(capacity > 0, "lockstep capacity must be positive");
+        }
+        self.extraction = mode;
+        self
+    }
+
+    /// The extraction mode in use.
+    pub fn extraction(&self) -> ExtractionMode {
+        self.extraction
     }
 
     /// The golden reference run.
     pub fn golden(&self) -> &GoldenRun {
         &self.golden
+    }
+
+    /// The compact, read-only golden buffer (the streamed path's shared
+    /// reference state).
+    pub fn compact_golden(&self) -> &CompactGolden {
+        &self.compact
     }
 
     /// The outcome classifier in use.
@@ -102,8 +142,149 @@ impl<'k> Injector<'k> {
         )
     }
 
+    /// Run one experiment through the streamed (one-sided comparing)
+    /// path, folding the nonzero window deltas into `fold` when given.
+    /// When the golden trace is branch-free (no possible late
+    /// divergence), the fold runs *online* through a delta sink with zero
+    /// scratch retention — the deltas of a slowly-decaying perturbation
+    /// never materialise in memory.
+    fn run_one_streamed(
+        &self,
+        fault: FaultSpec,
+        mut fold: Option<&mut dyn FnMut(usize, f64)>,
+    ) -> (Experiment, ftb_trace::StreamedWindow) {
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let online = self.compact.n_branches() == 0;
+            let (run, window) = {
+                // even with no caller fold, a no-op sink keeps the
+                // branch-free path at zero retention (the window summary
+                // is accumulated online)
+                let mut noop = |_: usize, _: f64| {};
+                let mut t = Tracer::comparing(fault, &self.compact, &mut scratch);
+                if online {
+                    let sink: &mut dyn FnMut(usize, f64) = match fold.take() {
+                        Some(f) => f,
+                        None => &mut noop,
+                    };
+                    t = t.with_delta_sink(sink);
+                }
+                let out = self.kernel.run(&mut t);
+                t.finish_compare(out)
+            };
+            let (outcome, output_err) = self.classifier.classify(&self.golden, &run);
+            if let Some(f) = fold {
+                for &(site, d) in scratch.deltas() {
+                    f(site, d);
+                }
+            }
+            (
+                Experiment {
+                    site: fault.site,
+                    bit: fault.bit,
+                    injected_err: run.injected_err.unwrap_or(0.0),
+                    output_err,
+                    outcome,
+                },
+                window,
+            )
+        })
+    }
+
+    /// Run one propagation-extracting experiment via the configured
+    /// extraction path, discarding the propagation fold.
+    fn run_one_via(&self, fault: FaultSpec) -> Experiment {
+        assert!(
+            fault.site < self.n_sites(),
+            "site {} out of range",
+            fault.site
+        );
+        match self.extraction {
+            ExtractionMode::Buffered => self.run_one_traced(fault.site, fault.bit).0,
+            ExtractionMode::Lockstep { capacity } => {
+                let report = fold_propagation_lockstep(
+                    self.kernel,
+                    fault,
+                    &self.classifier,
+                    capacity,
+                    |_, _| {},
+                );
+                Experiment {
+                    site: fault.site,
+                    bit: fault.bit,
+                    injected_err: report.injected_err.unwrap_or(0.0),
+                    output_err: report.output_err,
+                    outcome: report.outcome,
+                }
+            }
+            ExtractionMode::Streamed => self.run_one_streamed(fault, None).0,
+        }
+    }
+
+    /// Run one experiment and fold its propagation window (`(site, Δx)`
+    /// pairs, zero deltas skipped) through the configured extraction
+    /// path. All paths produce identical folds, experiments and window
+    /// summaries — the dispatch is a pure performance choice.
+    pub fn extract_propagation(
+        &self,
+        site: usize,
+        bit: u8,
+        mut fold: impl FnMut(usize, f64),
+    ) -> ExtractionSummary {
+        match self.extraction {
+            ExtractionMode::Buffered => {
+                let (experiment, prop) = self.run_one_traced(site, bit);
+                let mut max_err = 0.0f64;
+                for (s, d) in prop.iter() {
+                    if d > 0.0 {
+                        fold(s, d);
+                        max_err = max_err.max(d);
+                    }
+                }
+                ExtractionSummary {
+                    experiment,
+                    compare_len: prop.compare_len,
+                    diverged: prop.diverged,
+                    max_err,
+                }
+            }
+            ExtractionMode::Lockstep { capacity } => {
+                let report = fold_propagation_lockstep(
+                    self.kernel,
+                    FaultSpec { site, bit },
+                    &self.classifier,
+                    capacity,
+                    fold,
+                );
+                ExtractionSummary {
+                    experiment: Experiment {
+                        site,
+                        bit,
+                        injected_err: report.injected_err.unwrap_or(0.0),
+                        output_err: report.output_err,
+                        outcome: report.outcome,
+                    },
+                    compare_len: report.compare_len,
+                    diverged: report.diverged,
+                    max_err: report.max_err,
+                }
+            }
+            ExtractionMode::Streamed => {
+                let (experiment, window) =
+                    self.run_one_streamed(FaultSpec { site, bit }, Some(&mut fold));
+                ExtractionSummary {
+                    experiment,
+                    compare_len: window.compare_len,
+                    diverged: window.diverged,
+                    max_err: window.max_err,
+                }
+            }
+        }
+    }
+
     /// Run a batch of experiments in parallel. Results are returned in
-    /// input order.
+    /// input order. Outcome-only: no propagation extraction regardless of
+    /// the configured mode (the fast path for samplers and Monte-Carlo).
     pub fn run_many(&self, faults: &[FaultSpec]) -> Vec<Experiment> {
         faults
             .par_iter()
@@ -111,14 +292,26 @@ impl<'k> Injector<'k> {
             .collect()
     }
 
+    /// Run a batch of propagation-extracting experiments in parallel via
+    /// the configured extraction path, in input order. This is what
+    /// ledger campaigns execute: every experiment pays the extraction
+    /// cost of its path, which is exactly what the benchmark suite's
+    /// per-path throughput numbers compare.
+    pub fn run_batch(&self, faults: &[FaultSpec]) -> Vec<Experiment> {
+        faults.par_iter().map(|f| self.run_one_via(*f)).collect()
+    }
+
     /// The exhaustive ground-truth campaign: every bit of every site
-    /// (`n_sites × bits` kernel executions), parallel over sites.
-    pub fn exhaustive(&self) -> ExhaustiveResult {
+    /// (`n_sites × bits` kernel executions), parallel over sites, via the
+    /// configured extraction path.
+    pub fn run_exhaustive(&self) -> ExhaustiveResult {
         let bits = self.bits();
         let n = self.n_sites();
         let codes: Vec<u8> = (0..n)
             .into_par_iter()
-            .flat_map_iter(|site| (0..bits).map(move |bit| self.run_one(site, bit).outcome.code()))
+            .flat_map_iter(|site| {
+                (0..bits).map(move |bit| self.run_one_via(FaultSpec { site, bit }).outcome.code())
+            })
             .collect();
         ExhaustiveResult {
             n_sites: n,
@@ -126,6 +319,26 @@ impl<'k> Injector<'k> {
             codes,
         }
     }
+
+    /// Alias for [`Injector::run_exhaustive`] (the historical name).
+    pub fn exhaustive(&self) -> ExhaustiveResult {
+        self.run_exhaustive()
+    }
+}
+
+/// Summary of one propagation-extracting experiment
+/// ([`Injector::extract_propagation`]), identical across extraction
+/// paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractionSummary {
+    /// The classified experiment.
+    pub experiment: Experiment,
+    /// Dynamic instructions `0 .. compare_len` were comparable.
+    pub compare_len: usize,
+    /// Whether control flow diverged from the golden run.
+    pub diverged: bool,
+    /// Largest perturbation inside the window (`0.0` if none).
+    pub max_err: f64,
 }
 
 /// Dense outcome table of an exhaustive campaign: one code per
@@ -302,5 +515,54 @@ mod tests {
         let k = tiny_kernel();
         let inj = injector(&k);
         let _ = inj.run_one(1_000_000, 0);
+    }
+
+    #[test]
+    fn run_batch_is_identical_across_extraction_modes() {
+        use crate::extraction::ExtractionMode;
+        let k = tiny_kernel();
+        let faults: Vec<FaultSpec> = (0..12)
+            .map(|i| FaultSpec {
+                site: i,
+                bit: (i * 7 % 64) as u8,
+            })
+            .collect();
+        let buffered = injector(&k)
+            .with_extraction(ExtractionMode::Buffered)
+            .run_batch(&faults);
+        let lockstep = injector(&k)
+            .with_extraction(ExtractionMode::Lockstep { capacity: 8 })
+            .run_batch(&faults);
+        let streamed = injector(&k)
+            .with_extraction(ExtractionMode::Streamed)
+            .run_batch(&faults);
+        assert_eq!(buffered, streamed);
+        assert_eq!(buffered, lockstep);
+    }
+
+    #[test]
+    fn extract_propagation_folds_identically_across_modes() {
+        use crate::extraction::ExtractionMode;
+        let k = tiny_kernel();
+        let collect = |mode: ExtractionMode| {
+            let inj = injector(&k).with_extraction(mode);
+            let mut folded = Vec::new();
+            let summary = inj.extract_propagation(3, 30, |s, d| folded.push((s, d)));
+            (summary, folded)
+        };
+        let b = collect(ExtractionMode::Buffered);
+        let l = collect(ExtractionMode::Lockstep { capacity: 4 });
+        let s = collect(ExtractionMode::Streamed);
+        assert!(b.0.max_err > 0.0);
+        assert_eq!(b, s);
+        assert_eq!(b, l);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_lockstep_mode_rejected() {
+        use crate::extraction::ExtractionMode;
+        let k = tiny_kernel();
+        let _ = injector(&k).with_extraction(ExtractionMode::Lockstep { capacity: 0 });
     }
 }

@@ -23,12 +23,17 @@
 //! * [`ChunkedCampaign`] — any fixed fault plan run chunk-at-a-time with
 //!   a crash-safe streaming [`ledger`], live [`obs`] metrics, and
 //!   kill-and-resume recovery.
+//!
+//! Propagation-extracting campaigns select one of three equivalent
+//! [`ExtractionMode`] paths (buffered, lockstep, streamed — see
+//! [`extraction`]); `streamed` is the default and fastest.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod campaign;
 pub mod experiment;
+pub mod extraction;
 pub mod ledger;
 pub mod lockstep;
 pub mod monte_carlo;
@@ -36,8 +41,9 @@ pub mod obs;
 pub mod outcome;
 pub mod runner;
 
-pub use campaign::{ExhaustiveResult, Injector};
+pub use campaign::{ExhaustiveResult, ExtractionSummary, Injector};
 pub use experiment::Experiment;
+pub use extraction::ExtractionMode;
 pub use ledger::{read_ledger, CampaignBinding, LedgerError, LedgerHeader, LedgerWriter};
 pub use lockstep::{fold_propagation_lockstep, LockstepReport};
 pub use monte_carlo::{monte_carlo, MonteCarloEstimate};

@@ -16,9 +16,27 @@
 //! without blocking (no deadlock on the scoped join).
 
 use crate::outcome::{Classifier, Outcome};
-use crossbeam::channel::bounded;
+use crossbeam::channel::{bounded, Receiver};
 use ftb_kernels::Kernel;
 use ftb_trace::{FaultSpec, StreamEvent, Tracer};
+
+/// Scan the tail of a stream (starting with `first`) for a branch
+/// event. When one run's stream ends while the other still has events,
+/// the runs diverged **only if** the longer side's remaining events
+/// include a traced branch — the buffered comparison looks at branch
+/// streams alone, and extra *values* past the common window never count
+/// as divergence (untraced control flow shortened one run).
+fn tail_has_branch(first: StreamEvent, rx: &Receiver<StreamEvent>) -> bool {
+    if matches!(first, StreamEvent::Branch(_)) {
+        return true;
+    }
+    while let Ok(ev) = rx.recv() {
+        if matches!(ev, StreamEvent::Branch(_)) {
+            return true;
+        }
+    }
+    false
+}
 
 /// Summary of a lockstep comparison.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +52,8 @@ pub struct LockstepReport {
     pub injected_err: Option<f64>,
     /// Classified outcome of the faulty run.
     pub outcome: Outcome,
+    /// Output error of the faulty run under the classifier's norm.
+    pub output_err: f64,
 }
 
 /// Run the golden and fault-injected executions of `kernel` in lockstep
@@ -110,9 +130,15 @@ pub fn fold_propagation_lockstep(
                     diverged = true;
                     break;
                 }
-                // one stream ended: lengths differ (divergence by length)
-                (Err(_), Ok(_)) | (Ok(_), Err(_)) => {
-                    diverged = true;
+                // one stream ended: divergence only if the longer side's
+                // branch stream keeps going (length divergence of values
+                // alone is *not* divergence, matching the buffered path)
+                (Err(_), Ok(f)) => {
+                    diverged = tail_has_branch(f, &frx);
+                    break;
+                }
+                (Ok(g), Err(_)) => {
+                    diverged = tail_has_branch(g, &grx);
                     break;
                 }
                 (Err(_), Err(_)) => break,
@@ -135,7 +161,7 @@ pub fn fold_propagation_lockstep(
             output: golden_run.output,
             n_dynamic: golden_run.n_dynamic,
         };
-        let (outcome, _) = classifier.classify(&golden_full, &faulty_run);
+        let (outcome, output_err) = classifier.classify(&golden_full, &faulty_run);
 
         LockstepReport {
             compare_len,
@@ -143,6 +169,7 @@ pub fn fold_propagation_lockstep(
             max_err,
             injected_err: faulty_run.injected_err,
             outcome,
+            output_err,
         }
     })
 }

@@ -40,6 +40,28 @@ enum Ids {
     U32(Vec<u32>),
 }
 
+/// Borrowed view of a compact trace's value storage, width-resolved once
+/// so per-value accesses are a single indexed load (plus a widening cast
+/// for `f32` kernels).
+#[derive(Debug, Clone, Copy)]
+pub enum GoldenValues<'g> {
+    /// Values of an `F32` kernel.
+    F32(&'g [f32]),
+    /// Values of an `F64` kernel.
+    F64(&'g [f64]),
+}
+
+impl GoldenValues<'_> {
+    /// Golden value of dynamic instruction `site`.
+    #[inline(always)]
+    pub fn get(&self, site: usize) -> f64 {
+        match self {
+            GoldenValues::F32(v) => f64::from(v[site]),
+            GoldenValues::F64(v) => v[site],
+        }
+    }
+}
+
 /// A memory-compact, read-only form of a [`GoldenRun`], sufficient for
 /// boundary prediction (golden values + flip errors + static ids).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -94,6 +116,22 @@ impl CompactGolden {
         }
     }
 
+    /// Direct view of the value storage, for hot loops that cannot afford
+    /// a per-access indirection through `self` (the streamed comparator).
+    #[inline]
+    pub fn values_view(&self) -> GoldenValues<'_> {
+        match &self.values {
+            Values::F32(v) => GoldenValues::F32(v),
+            Values::F64(v) => GoldenValues::F64(v),
+        }
+    }
+
+    /// Direct view of the branch-event stream.
+    #[inline]
+    pub fn branches_view(&self) -> &[u64] {
+        &self.branches
+    }
+
     /// Static id of dynamic instruction `site`.
     #[inline]
     pub fn static_id(&self, site: usize) -> StaticId {
@@ -106,6 +144,20 @@ impl CompactGolden {
     /// Element precision.
     pub fn precision(&self) -> Precision {
         self.precision
+    }
+
+    /// Number of recorded branch events.
+    #[inline]
+    pub fn n_branches(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Branch event `idx` in the golden encoding `(cursor << 1) | taken`,
+    /// or `None` past the end of the stream. The streamed comparator walks
+    /// these in order while a faulty run executes.
+    #[inline]
+    pub fn branch(&self, idx: usize) -> Option<u64> {
+        self.branches.get(idx).copied()
     }
 
     /// Program output of the golden run.

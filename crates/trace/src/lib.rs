@@ -25,6 +25,9 @@
 //! * [`compare`] — golden-vs-faulty comparison producing [`Propagation`]
 //!   data (the `Δx` curve of the paper's Figure 2), truncated at the first
 //!   control-flow divergence.
+//! * [`streamed`] — the one-sided streaming comparison fast path: faulty
+//!   runs compare against a shared read-only [`CompactGolden`] while they
+//!   execute, with no per-experiment trace buffer.
 //! * [`norms`] — output-error metrics (the paper uses the L∞ norm).
 //!
 //! The hot path ([`Tracer::value`]) is a cursor increment, one branch for
@@ -41,6 +44,7 @@ pub mod golden;
 pub mod norms;
 pub mod serde_float;
 pub mod site;
+pub mod streamed;
 pub mod tracer;
 
 pub use bits::{flip_bit_f32, flip_bit_f64, injected_error, Precision};
@@ -48,4 +52,5 @@ pub use compact::CompactGolden;
 pub use compare::{divergence_cursor, propagation, Propagation};
 pub use golden::{GoldenRun, RunTrace};
 pub use site::{Region, StaticId, StaticInstr, StaticRegistry};
+pub use streamed::{streamed_propagation, CompareScratch, StreamedWindow};
 pub use tracer::{FaultSpec, RecordMode, StreamEvent, Tracer};

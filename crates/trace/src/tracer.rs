@@ -14,10 +14,17 @@
 //! * **Fault injection, outcome only** ([`RecordMode::OutputOnly`]) — used
 //!   for campaign classification where only the final output matters;
 //!   nothing is buffered, keeping exhaustive campaigns cheap.
+//! * **One-sided streamed comparison** ([`Tracer::comparing`]) — the run
+//!   compares its value/branch streams against a shared read-only
+//!   [`CompactGolden`] *while executing*, accumulating only the nonzero
+//!   `(site, Δx)` pairs into a reusable [`CompareScratch`]. See
+//!   [`crate::streamed`].
 
 use crate::bits::Precision;
+use crate::compact::{CompactGolden, GoldenValues};
 use crate::golden::{GoldenRun, RunTrace};
 use crate::site::StaticId;
+use crate::streamed::{CompareScratch, StreamedWindow};
 use crossbeam::channel::Sender;
 use serde::{Deserialize, Serialize};
 
@@ -54,9 +61,148 @@ pub enum RecordMode {
     OutputOnly,
 }
 
-/// Instrumentation handle. See the module docs for the three modes.
+/// Values a comparing-mode tracer batches up before comparing them
+/// against the golden buffer in one contiguous pass. A cache-line-scale
+/// block keeps the per-experiment state O(1) while letting the compare
+/// loop run over two flat slices — with hardware prefetch and overlapped
+/// loads — instead of issuing one dependent golden load per traced value.
+const COMPARE_BLOCK: usize = 64;
+
+/// Live state of a one-sided streamed comparison ([`Tracer::comparing`]).
+/// Value and branch storage are resolved to raw slices up front so the
+/// per-value hot path is a single indexed load, not a walk through
+/// [`CompactGolden`]'s representation enums.
+struct CompareState<'g> {
+    gvalues: GoldenValues<'g>,
+    gbranches: &'g [u64],
+    scratch: &'g mut CompareScratch,
+    /// Index of the next golden branch event to match.
+    branch_idx: usize,
+    /// Cursor of the first control-flow divergence, once detected.
+    div_cursor: Option<usize>,
+    /// Sites at or beyond this cursor are outside the comparable window.
+    limit: usize,
+    /// Cursor of `block[0]` (meaningful while `block_len > 0`).
+    block_start: usize,
+    /// Number of pending values in `block`.
+    block_len: usize,
+    /// Pending faulty values awaiting a batched compare.
+    block: [f64; COMPARE_BLOCK],
+    /// Online fold: nonzero deltas go here instead of `scratch`, with
+    /// *zero* per-experiment retention. Only sound when the golden branch
+    /// stream is empty (see [`Tracer::with_delta_sink`]).
+    sink: Option<&'g mut dyn FnMut(usize, f64)>,
+    /// Largest delta handed to `sink` so far.
+    sink_max: f64,
+}
+
+impl std::fmt::Debug for CompareState<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompareState")
+            .field("branch_idx", &self.branch_idx)
+            .field("div_cursor", &self.div_cursor)
+            .field("limit", &self.limit)
+            .field("online", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompareState<'_> {
+    /// Compare the pending block against the golden buffer and push the
+    /// nonzero deltas. The window `limit` is re-applied here because a
+    /// divergence may have shrunk it after some of these values were
+    /// buffered; entries at or past the limit are outside the comparable
+    /// window and dropped, exactly as the buffered extractor would.
+    fn flush(&mut self) {
+        let len = self.block_len;
+        self.block_len = 0;
+        let start = self.block_start;
+        let end = (start + len).min(self.limit);
+        if end <= start {
+            return;
+        }
+        let faulty = &self.block[..end - start];
+        if let Some(sink) = self.sink.as_deref_mut() {
+            let mut max = self.sink_max;
+            let mut emit = |s: usize, d: f64| {
+                max = max.max(d);
+                sink(s, d);
+            };
+            match self.gvalues {
+                GoldenValues::F64(g) => push_deltas_f64(&mut emit, start, &g[start..end], faulty),
+                GoldenValues::F32(g) => push_deltas_f32(&mut emit, start, &g[start..end], faulty),
+            }
+            self.sink_max = max;
+        } else {
+            let deltas = &mut self.scratch.deltas;
+            let mut emit = |s: usize, d: f64| deltas.push((s, d));
+            match self.gvalues {
+                GoldenValues::F64(g) => push_deltas_f64(&mut emit, start, &g[start..end], faulty),
+                GoldenValues::F32(g) => push_deltas_f32(&mut emit, start, &g[start..end], faulty),
+            }
+        }
+    }
+}
+
+/// Batched delta extraction: a vectorisable any-difference scan first, so
+/// the common all-identical block (masked faults, decayed perturbations)
+/// never enters the scalar push loop.
+fn push_deltas_f64(
+    emit: &mut impl FnMut(usize, f64),
+    start: usize,
+    golden: &[f64],
+    faulty: &[f64],
+) {
+    let mut any = false;
+    for (&g, &f) in golden.iter().zip(faulty) {
+        // NaN compares unequal to everything, so corruption lands in the
+        // scalar pass below
+        any |= (g - f).abs() != 0.0;
+    }
+    if !any {
+        return;
+    }
+    for (i, (&g, &f)) in golden.iter().zip(faulty).enumerate() {
+        let d = (g - f).abs();
+        if d > 0.0 {
+            emit(start + i, d);
+        } else if d.is_nan() {
+            emit(start + i, f64::INFINITY);
+        }
+    }
+}
+
+/// `f32`-golden variant of [`push_deltas_f64`] (values widen losslessly;
+/// the faulty stream was quantised by the tracer before buffering).
+fn push_deltas_f32(
+    emit: &mut impl FnMut(usize, f64),
+    start: usize,
+    golden: &[f32],
+    faulty: &[f64],
+) {
+    let mut any = false;
+    for (&g, &f) in golden.iter().zip(faulty) {
+        any |= (f64::from(g) - f).abs() != 0.0;
+    }
+    if !any {
+        return;
+    }
+    for (i, (&g, &f)) in golden.iter().zip(faulty).enumerate() {
+        let d = (f64::from(g) - f).abs();
+        if d > 0.0 {
+            emit(start + i, d);
+        } else if d.is_nan() {
+            emit(start + i, f64::INFINITY);
+        }
+    }
+}
+
+/// Instrumentation handle. See the module docs for the modes. The
+/// lifetime ties a comparing-mode tracer to the golden buffer and scratch
+/// it borrows; all other modes are `Tracer<'static>`-compatible and
+/// kernels stay generic over it via elision.
 #[derive(Debug)]
-pub struct Tracer {
+pub struct Tracer<'g> {
     precision: Precision,
     /// `usize::MAX` = no fault; avoids an `Option` discriminant test in
     /// the hot path.
@@ -76,9 +222,11 @@ pub struct Tracer {
     /// Streaming sink (lockstep propagation extraction); when the
     /// receiver hangs up, streaming silently stops and the run completes.
     stream: Option<Sender<StreamEvent>>,
+    /// One-sided comparison state ([`Tracer::comparing`]).
+    compare: Option<CompareState<'g>>,
 }
 
-impl Tracer {
+impl<'g> Tracer<'g> {
     fn with_flags(
         precision: Precision,
         fault: Option<FaultSpec>,
@@ -102,6 +250,7 @@ impl Tracer {
             first_nonfinite: None,
             injected_err: None,
             stream: None,
+            compare: None,
         }
     }
 
@@ -159,6 +308,79 @@ impl Tracer {
         t
     }
 
+    /// A *comparing* tracer: the one-sided streaming extraction fast path.
+    /// The faulty run compares every produced value and branch event
+    /// against the shared read-only `golden` buffer as it executes,
+    /// pushing only nonzero `(site, Δx)` pairs into `scratch` (cleared
+    /// here, so workers reuse one scratch across experiments). Nothing
+    /// else is buffered and no second thread exists. Finish with
+    /// [`Tracer::finish_compare`].
+    ///
+    /// The tracer's precision is taken from `golden` — the comparison is
+    /// only meaningful against the same kernel that recorded it.
+    ///
+    /// # Panics
+    /// Panics if `fault.bit` is out of range for the golden precision.
+    pub fn comparing(
+        fault: FaultSpec,
+        golden: &'g CompactGolden,
+        scratch: &'g mut CompareScratch,
+    ) -> Self {
+        let precision = golden.precision();
+        assert!(
+            fault.bit < precision.bits(),
+            "bit {} out of range for {:?}",
+            fault.bit,
+            precision
+        );
+        scratch.clear();
+        let mut t = Self::with_flags(precision, Some(fault), false, false, false);
+        t.compare = Some(CompareState {
+            limit: golden.n_sites(),
+            gvalues: golden.values_view(),
+            gbranches: golden.branches_view(),
+            scratch,
+            branch_idx: 0,
+            div_cursor: None,
+            block_start: 0,
+            block_len: 0,
+            block: [0.0; COMPARE_BLOCK],
+            sink: None,
+            sink_max: 0.0,
+        });
+        t
+    }
+
+    /// Upgrade a comparing-mode tracer to *online-fold* mode: nonzero
+    /// window deltas are handed to `sink` as their compare block flushes,
+    /// and nothing is retained in the scratch — the per-experiment state
+    /// becomes O(1) even when the perturbation touches every site.
+    ///
+    /// Only sound when the golden trace has **no branch events**: a
+    /// retained delta can be invalidated later only by a control-flow
+    /// divergence whose cursor falls below the delta's site, and with an
+    /// empty golden branch stream the only possible divergence cursor is
+    /// the faulty run's own cursor at its first branch event — strictly
+    /// past every site already compared. Every delta emitted here is
+    /// therefore final and inside the sealed window, in the same cursor
+    /// order the scratch would have recorded.
+    ///
+    /// # Panics
+    /// Panics if the tracer is not in comparing mode, or if the golden
+    /// trace has branch events.
+    pub fn with_delta_sink(mut self, sink: &'g mut dyn FnMut(usize, f64)) -> Self {
+        let cs = self
+            .compare
+            .as_mut()
+            .expect("with_delta_sink requires a Tracer::comparing tracer");
+        assert!(
+            cs.gbranches.is_empty(),
+            "online delta folding requires a branch-free golden trace"
+        );
+        cs.sink = Some(sink);
+        self
+    }
+
     /// Reserve capacity for an expected number of dynamic instructions
     /// (avoids `Vec` growth reallocations in recording runs).
     pub fn reserve(&mut self, n_sites: usize, n_branches: usize) {
@@ -206,6 +428,21 @@ impl Tracer {
                 self.stream = None;
             }
         }
+        if let Some(cs) = &mut self.compare {
+            // Sites before the fault are identical by construction (the
+            // executions only differ from the flip onward), matching the
+            // buffered extractor's window start of `fault.site`.
+            if idx >= self.fault_site && idx < cs.limit {
+                if cs.block_len == 0 {
+                    cs.block_start = idx;
+                }
+                cs.block[cs.block_len] = v;
+                cs.block_len += 1;
+                if cs.block_len == COMPARE_BLOCK {
+                    cs.flush();
+                }
+            }
+        }
         v
     }
 
@@ -223,6 +460,23 @@ impl Tracer {
             if tx.send(StreamEvent::Branch(encoded)).is_err() {
                 self.stream = None;
             }
+        }
+        if let Some(cs) = &mut self.compare {
+            if cs.div_cursor.is_none() {
+                // Index-wise comparison against the golden branch stream:
+                // exactly `divergence_cursor`, evaluated online.
+                let div = match cs.gbranches.get(cs.branch_idx).copied() {
+                    Some(g) if g != encoded => Some(((g >> 1).min(encoded >> 1)) as usize),
+                    // faulty stream outran the golden stream
+                    None => Some((encoded >> 1) as usize),
+                    _ => None,
+                };
+                if let Some(d) = div {
+                    cs.div_cursor = Some(d);
+                    cs.limit = cs.limit.min(d);
+                }
+            }
+            cs.branch_idx += 1;
         }
         taken
     }
@@ -286,6 +540,49 @@ impl Tracer {
             },
             injected_err: self.injected_err,
         }
+    }
+
+    /// Consume a comparing-mode tracer: seal the comparable window and
+    /// yield the run record plus a [`StreamedWindow`] summary. The folded
+    /// `(site, Δx)` pairs remain in the scratch the tracer was built with,
+    /// truncated to the window (see
+    /// [`streamed_propagation`](crate::streamed::streamed_propagation)).
+    ///
+    /// # Panics
+    /// Panics if the tracer was not built with [`Tracer::comparing`].
+    pub fn finish_compare(mut self, output: Vec<f64>) -> (RunTrace, StreamedWindow) {
+        let mut cs = self
+            .compare
+            .take()
+            .expect("finish_compare requires a Tracer::comparing tracer");
+        cs.flush();
+        let mut div = cs.div_cursor;
+        if div.is_none() && cs.branch_idx < cs.gbranches.len() {
+            // the golden run kept branching after the faulty run stopped:
+            // divergence at the cursor of the first unmatched golden event
+            div = Some((cs.gbranches[cs.branch_idx] >> 1) as usize);
+        }
+        let n_golden_sites = match cs.gvalues {
+            GoldenValues::F32(v) => v.len(),
+            GoldenValues::F64(v) => v.len(),
+        };
+        let mut compare_len = n_golden_sites.min(self.cursor);
+        if let Some(d) = div {
+            compare_len = compare_len.min(d);
+        }
+        let window = if cs.sink.is_some() {
+            // online-fold mode: every emitted delta is already final and
+            // in-window (see `with_delta_sink`), so the summary is complete
+            // without a scratch pass
+            StreamedWindow {
+                compare_len,
+                diverged: div.is_some(),
+                max_err: cs.sink_max,
+            }
+        } else {
+            cs.scratch.seal(compare_len, div.is_some())
+        };
+        (self.finish(output), window)
     }
 
     /// Consume a golden-mode tracer, yielding the reference run.

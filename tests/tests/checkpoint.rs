@@ -238,6 +238,62 @@ fn cli_campaign_resume_after_simulated_crash_matches_full_run() {
     let _ = std::fs::remove_file(&metrics_path);
 }
 
+/// End-to-end across extraction paths: a streamed campaign killed
+/// mid-run and resumed must produce a ledger **byte-identical** to an
+/// uninterrupted buffered run of the same campaign — the extraction
+/// mode is a pure performance choice, invisible in every artefact.
+#[test]
+fn cli_streamed_resume_ledger_matches_uninterrupted_buffered_byte_for_byte() {
+    let buffered_ledger = tmp("cli-xtr-buffered.jsonl");
+    let streamed_ledger = tmp("cli-xtr-streamed.jsonl");
+    let _ = std::fs::remove_file(&buffered_ledger);
+    let _ = std::fs::remove_file(&streamed_ledger);
+    let bl = buffered_ledger.to_str().unwrap();
+    let sl = streamed_ledger.to_str().unwrap();
+
+    let base = [
+        "campaign",
+        "--kernel",
+        "matvec",
+        "--n",
+        "4",
+        "--samples",
+        "180",
+        "--seed",
+        "21",
+    ];
+
+    // uninterrupted buffered reference
+    let mut buffered = base.to_vec();
+    buffered.extend(["--extraction", "buffered", "--checkpoint", bl]);
+    let buffered_out = cli(&buffered);
+
+    // streamed run, crashed at 90 records (torn tail), then resumed
+    let mut streamed = base.to_vec();
+    streamed.extend(["--extraction", "streamed", "--checkpoint", sl]);
+    let _ = cli(&streamed);
+    let text = std::fs::read_to_string(&streamed_ledger).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 181, "header + 180 records");
+    let mut crashed = lines[..91].join("\n");
+    crashed.push_str("\n{\"site\":1,\"bit\"");
+    std::fs::write(&streamed_ledger, crashed).unwrap();
+
+    let mut resume = base.to_vec();
+    resume.extend(["--extraction", "streamed", "--checkpoint", sl, "--resume"]);
+    let resumed_out = cli(&resume);
+
+    assert_eq!(buffered_out, resumed_out, "reports must be identical");
+    assert_eq!(
+        std::fs::read(&buffered_ledger).unwrap(),
+        std::fs::read(&streamed_ledger).unwrap(),
+        "ledgers must be byte-identical across extraction paths"
+    );
+
+    let _ = std::fs::remove_file(&buffered_ledger);
+    let _ = std::fs::remove_file(&streamed_ledger);
+}
+
 #[test]
 fn cli_resume_rejects_different_campaign() {
     let ledger = tmp("cli-mismatch.jsonl");

@@ -57,6 +57,63 @@ fn exhaustive_campaign_identical_across_thread_counts() {
     assert_eq!(run_with_pool(1), run_with_pool(3));
 }
 
+/// The streamed extraction path keeps per-worker scratch in
+/// thread-locals; boundary inference over it must still be independent
+/// of how Rayon schedules experiments onto workers.
+#[test]
+fn streamed_inference_identical_across_thread_counts() {
+    let (config, tol) = &tiny_suite()[7]; // jacobi
+    let kernel = config.build();
+
+    let run_with_pool = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let analysis = Analysis::new(kernel.as_ref(), Classifier::new(*tol))
+                .with_extraction(ExtractionMode::Streamed);
+            let samples = analysis.sample_uniform(0.2, 11);
+            let inference = analysis.infer(&samples, FilterMode::PerSite);
+            (samples, inference, analysis.exhaustive())
+        })
+    };
+
+    let (s1, i1, e1) = run_with_pool(1);
+    let (s2, i2, e2) = run_with_pool(2);
+    let (s8, i8, e8) = run_with_pool(8);
+    assert_eq!(s1.experiments(), s2.experiments());
+    assert_eq!(s1.experiments(), s8.experiments());
+    assert_eq!(i1.boundary, i2.boundary);
+    assert_eq!(i1.boundary, i8.boundary);
+    assert_eq!(i1.prop_hits, i8.prop_hits);
+    assert_eq!(i1.sig_injections, i8.sig_injections);
+    assert_eq!(e1, e2);
+    assert_eq!(e1, e8);
+}
+
+/// `RAYON_NUM_THREADS` shapes the default pool size, and results do not
+/// depend on it.
+#[test]
+fn rayon_num_threads_env_is_honoured_and_benign() {
+    let (config, tol) = &tiny_suite()[4]; // matvec
+    let kernel = config.build();
+    let infer = || {
+        let analysis = Analysis::new(kernel.as_ref(), Classifier::new(*tol))
+            .with_extraction(ExtractionMode::Streamed);
+        let samples = analysis.sample_uniform(0.3, 13);
+        analysis.infer(&samples, FilterMode::PerSite)
+    };
+
+    let baseline = infer();
+    std::env::set_var("RAYON_NUM_THREADS", "3");
+    assert_eq!(rayon::current_num_threads(), 3);
+    let under_env = infer();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(baseline.boundary, under_env.boundary);
+    assert_eq!(baseline.prop_hits, under_env.prop_hits);
+}
+
 #[test]
 fn adaptive_trajectory_is_reproducible() {
     let (config, tol) = &tiny_suite()[4];

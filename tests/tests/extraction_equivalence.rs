@@ -1,0 +1,191 @@
+//! Differential harness across the three propagation-extraction paths.
+//!
+//! Buffered (full-trace record + after-the-fact comparison), lockstep
+//! (computation duplication over bounded channels) and streamed
+//! (one-sided comparison against the shared compact golden trace) are
+//! three implementations of the paper's §2.2 extractor; campaigns may
+//! pick any of them, so they must be **bit-identical**: same
+//! `Propagation` folds, same `Outcome` classifications, same
+//! `injected_err`/`output_err`, across every kernel, fault site, bit,
+//! and control-flow shape.
+
+use ftb_inject::{Classifier, ExtractionMode, Injector};
+use ftb_integration::tiny_suite;
+use ftb_kernels::{CgConfig, Kernel, KernelConfig};
+use ftb_trace::{
+    propagation, streamed_propagation, CompactGolden, CompareScratch, FaultSpec, Propagation,
+    RecordMode, Tracer,
+};
+use proptest::prelude::*;
+
+/// Everything one extraction produces, in comparable form.
+#[derive(Debug, Clone, PartialEq)]
+struct Extraction {
+    folded: Vec<(usize, u64)>,
+    injected_err: u64,
+    output_err: u64,
+    outcome: u8,
+    compare_len: usize,
+    diverged: bool,
+    max_err: u64,
+}
+
+/// Run one `(site, bit)` experiment through `mode`, capturing the fold
+/// with errors as raw bit patterns so equality is bitwise, not approximate.
+fn extract(
+    kernel: &dyn Kernel,
+    tol: f64,
+    mode: ExtractionMode,
+    site: usize,
+    bit: u8,
+) -> Extraction {
+    let inj = Injector::new(kernel, Classifier::new(tol)).with_extraction(mode);
+    let mut folded = Vec::new();
+    let summary = inj.extract_propagation(site, bit, |s, d| folded.push((s, d.to_bits())));
+    Extraction {
+        folded,
+        injected_err: summary.experiment.injected_err.to_bits(),
+        output_err: summary.experiment.output_err.to_bits(),
+        outcome: summary.experiment.outcome.code(),
+        compare_len: summary.compare_len,
+        diverged: summary.diverged,
+        max_err: summary.max_err.to_bits(),
+    }
+}
+
+fn assert_paths_agree(config: &KernelConfig, tol: f64, site: usize, bit: u8) {
+    let kernel = config.build();
+    let buffered = extract(kernel.as_ref(), tol, ExtractionMode::Buffered, site, bit);
+    let lockstep = extract(
+        kernel.as_ref(),
+        tol,
+        ExtractionMode::Lockstep { capacity: 16 },
+        site,
+        bit,
+    );
+    let streamed = extract(kernel.as_ref(), tol, ExtractionMode::Streamed, site, bit);
+    assert_eq!(
+        buffered, streamed,
+        "buffered vs streamed disagree: {config:?} site {site} bit {bit}"
+    );
+    assert_eq!(
+        buffered, lockstep,
+        "buffered vs lockstep disagree: {config:?} site {site} bit {bit}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The core differential property: an arbitrary kernel, site and bit
+    /// produce bit-identical extractions on all three paths.
+    #[test]
+    fn all_paths_agree_on_arbitrary_faults(
+        kernel_idx in 0usize..8,
+        site_raw in any::<usize>(),
+        bit_raw in any::<u8>(),
+    ) {
+        let (config, tol) = &tiny_suite()[kernel_idx];
+        let kernel = config.build();
+        let n_sites = kernel.golden().n_sites();
+        let bits = kernel.precision().bits();
+        let site = site_raw % n_sites;
+        let bit = bit_raw % bits;
+        assert_paths_agree(config, *tol, site, bit);
+    }
+}
+
+/// High bits of early sites: the faults most likely to derail control
+/// flow (divergence, crashes, hangs) on every kernel in the suite.
+#[test]
+fn all_paths_agree_on_high_bit_faults_across_kernels() {
+    for (config, tol) in &tiny_suite() {
+        let kernel = config.build();
+        let bits = kernel.precision().bits();
+        for site in [0, 1] {
+            for bit in [bits - 1, bits - 2, 0] {
+                assert_paths_agree(config, *tol, site, bit);
+            }
+        }
+    }
+}
+
+/// Divergent control flow (the early-consumer-stop path): find faults
+/// that change CG's iteration count, then check all three extractors
+/// agree there. In lockstep this is exactly the case where the consumer
+/// stops early and the producers must detach without deadlocking.
+#[test]
+fn all_paths_agree_under_control_flow_divergence() {
+    let config = KernelConfig::Cg(CgConfig {
+        grid: 4,
+        max_iters: 100,
+        ..CgConfig::small()
+    });
+    let tol = 1e-1;
+    let kernel = config.build();
+    let inj = Injector::new(kernel.as_ref(), Classifier::new(tol));
+    let mut diverging = 0;
+    for site in 0..inj.n_sites() {
+        let (_, prop) = inj.run_one_traced(site, 30);
+        if prop.diverged {
+            assert_paths_agree(&config, tol, site, 30);
+            diverging += 1;
+            if diverging >= 4 {
+                break;
+            }
+        }
+    }
+    assert!(
+        diverging > 0,
+        "no diverging fault found to exercise the test"
+    );
+}
+
+/// The site-never-reached edge case, at the trace level: a fault site
+/// beyond the execution leaves `injected_err` unset and the propagation
+/// window empty, identically on the buffered and streamed paths.
+#[test]
+fn buffered_and_streamed_agree_when_fault_site_is_never_reached() {
+    let (config, _) = &tiny_suite()[4]; // matvec
+    let kernel = config.build();
+    let golden = kernel.golden();
+    let compact = CompactGolden::from_golden(&golden);
+    let fault = FaultSpec {
+        site: golden.n_sites() + 7,
+        bit: 1,
+    };
+
+    let buffered_run = kernel.run_injected(fault, RecordMode::Full);
+    let buffered: Propagation = propagation(&golden, &buffered_run);
+
+    let mut scratch = CompareScratch::new();
+    let mut t = Tracer::comparing(fault, &compact, &mut scratch);
+    let out = kernel.run(&mut t);
+    let (streamed_run, window) = t.finish_compare(out);
+    let streamed = streamed_propagation(fault.site, window, &scratch);
+
+    assert_eq!(buffered, streamed);
+    assert!(streamed.errors.is_empty());
+    assert_eq!(buffered_run.injected_err, None);
+    assert_eq!(streamed_run.injected_err, None);
+    assert_eq!(buffered_run.output, streamed_run.output);
+}
+
+/// Exhaustive three-way agreement on one small kernel: the whole
+/// `sites × bits` outcome table is identical across paths (this is the
+/// same assertion the CI benchmark smoke job makes on the bench suite).
+#[test]
+fn exhaustive_outcome_tables_identical_across_paths() {
+    let (config, tol) = &tiny_suite()[4]; // matvec
+    let kernel = config.build();
+    let table = |mode: ExtractionMode| {
+        Injector::new(kernel.as_ref(), Classifier::new(*tol))
+            .with_extraction(mode)
+            .run_exhaustive()
+    };
+    let buffered = table(ExtractionMode::Buffered);
+    let streamed = table(ExtractionMode::Streamed);
+    let lockstep = table(ExtractionMode::Lockstep { capacity: 8 });
+    assert_eq!(buffered, streamed);
+    assert_eq!(buffered, lockstep);
+}

@@ -22,11 +22,20 @@ thread_local! {
 }
 
 /// Worker count used by parallel operations started from this thread.
+/// An explicit `ThreadPool::install` wins; otherwise the standard
+/// `RAYON_NUM_THREADS` environment variable is honored; otherwise the
+/// machine's available parallelism.
 pub fn current_num_threads() -> usize {
     POOL_THREADS.with(|c| c.get()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
     })
 }
 
