@@ -51,9 +51,22 @@ fn main() {
             );
         }
         println!(
-            "  streamed vs buffered: {:.2}x   agree: {}\n",
+            "  streamed vs buffered: {:.2}x   agree: {}",
             w.speedup_streamed_vs_buffered, w.paths_agree
         );
+        if let Some(sb) = &w.staticbound {
+            println!(
+                "  static    {:>6.1} ms record + {:.1} ms backward ({} edges, 0 injections): \
+                 precision {:.4}, recall {:.4}, conservative {:.1}%",
+                sb.record_secs * 1e3,
+                sb.backward_secs * 1e3,
+                sb.n_edges,
+                sb.precision,
+                sb.recall,
+                sb.conservative_fraction * 100.0,
+            );
+        }
+        println!();
     }
 
     let json = serde_json::to_string_pretty(&report).unwrap();

@@ -35,6 +35,78 @@ use ftb_trace::{CompactGolden, Precision};
 use serde::Serialize;
 use std::time::Instant;
 
+/// Zero-injection static-analysis numbers for one workload: wall time of
+/// the two analysis stages plus agreement with injection ground truth
+/// (the §3.6 metrics over an exhaustive campaign at the stanza's own
+/// pinned config).
+#[derive(Debug, Clone, Serialize)]
+pub struct StaticBoundStats {
+    /// Config the static stanza ran at. May be smaller than the perf
+    /// config: validation needs exhaustive ground truth, which is
+    /// infeasible at the paper-scale Jacobi size.
+    pub config: KernelConfig,
+    /// Classifier tolerance used for the bound and its validation.
+    pub tolerance: f64,
+    /// Fault sites at the stanza config.
+    pub n_sites: usize,
+    /// Recorded dependence edges.
+    pub n_edges: usize,
+    /// Sites with a finite analytical threshold.
+    pub n_constrained: usize,
+    /// Wall seconds for the golden run with DDG recording on.
+    pub record_secs: f64,
+    /// Wall seconds for the backward pass.
+    pub backward_secs: f64,
+    /// Precision of the static boundary against exhaustive truth.
+    pub precision: f64,
+    /// Recall of the static boundary against exhaustive truth.
+    pub recall: f64,
+    /// The §3.6 sampled self-verification.
+    pub uncertainty: f64,
+    /// Fraction of SDC-bearing sites bounded below their first SDC error.
+    pub conservative_fraction: f64,
+    /// Injections the bound itself consumed — zero, by construction.
+    pub n_injections_static: u64,
+}
+
+/// Run the static analyzer at a pinned config and score it against an
+/// exhaustive campaign. Returns `None` for kernels without provenance
+/// instrumentation.
+pub fn run_staticbound(config: &KernelConfig, tolerance: f64) -> Option<StaticBoundStats> {
+    let kernel = config.build();
+    let t0 = Instant::now();
+    let (golden, ddg) = kernel.golden_with_ddg();
+    let record_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let sb = static_bound(&ddg, &StaticBoundConfig::new(tolerance)).ok()?;
+    let backward_secs = t1.elapsed().as_secs_f64();
+
+    let injector = Injector::with_golden(kernel.as_ref(), golden, Classifier::new(tolerance));
+    let truth = injector.exhaustive();
+    let samples = SampleSet::sample_sites(&injector, (injector.n_sites() / 10).max(4), 41);
+    let v = validate_static(
+        &Predictor::new(injector.golden(), &sb.boundary()),
+        &truth,
+        &samples,
+        injector.golden(),
+        &sb.thresholds,
+    );
+    Some(StaticBoundStats {
+        config: config.clone(),
+        tolerance,
+        n_sites: sb.n_sites(),
+        n_edges: sb.n_edges,
+        n_constrained: sb.n_constrained,
+        record_secs,
+        backward_secs,
+        precision: v.eval.precision,
+        recall: v.eval.recall,
+        uncertainty: v.uncertainty,
+        conservative_fraction: v.conservative_fraction,
+        n_injections_static: v.n_injections_static,
+    })
+}
+
 /// One pinned workload of the performance suite.
 pub struct PerfWorkload {
     /// Display name ("jacobi", "gemm", "cg").
@@ -53,6 +125,10 @@ pub struct PerfWorkload {
     /// fixed per tier; paper-scale workloads bound the round count so
     /// the adaptive leg stays a fixed, small number of experiments).
     pub adaptive: AdaptiveConfig,
+    /// Pinned `(config, tolerance)` for the zero-injection static-bound
+    /// stanza; `None` skips it. Kept separate from the perf config
+    /// because validation runs an exhaustive campaign.
+    pub staticbound: Option<(KernelConfig, f64)>,
 }
 
 /// The pinned workloads. `quick` selects the tiny CI-smoke tier; the
@@ -78,6 +154,17 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                 site_stride: 1,
                 lockstep_stride: 4,
                 adaptive: adaptive_default.clone(),
+                staticbound: Some((
+                    KernelConfig::Jacobi(JacobiConfig {
+                        grid: 4,
+                        sweeps: 10,
+                        precision: Precision::F64,
+                        seed: 42,
+                        fine_grained: true,
+                        residual_every: 1,
+                    }),
+                    1e-6,
+                )),
             },
             PerfWorkload {
                 name: "gemm",
@@ -90,6 +177,14 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                 site_stride: 1,
                 lockstep_stride: 4,
                 adaptive: adaptive_default.clone(),
+                staticbound: Some((
+                    KernelConfig::Gemm(GemmConfig {
+                        n: 5,
+                        precision: Precision::F64,
+                        seed: 42,
+                    }),
+                    1e-6,
+                )),
             },
             PerfWorkload {
                 name: "cg",
@@ -105,6 +200,17 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                 site_stride: 1,
                 lockstep_stride: 4,
                 adaptive: adaptive_default,
+                staticbound: Some((
+                    KernelConfig::Cg(CgConfig {
+                        grid: 4,
+                        rtol: 1e-4,
+                        max_iters: 50,
+                        precision: Precision::F32,
+                        seed: 42,
+                        storage: CgStorage::MatrixFree,
+                    }),
+                    1e-1,
+                )),
             },
         ]
     } else {
@@ -143,6 +249,21 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     max_rounds: 3,
                     ..AdaptiveConfig::default()
                 },
+                // validation needs exhaustive truth, so the static
+                // stanza pins a mid-size Jacobi instead of the 9.9M-site
+                // perf config (the DDG+backward wall times stay honest:
+                // both stages are linear in sites and edges)
+                staticbound: Some((
+                    KernelConfig::Jacobi(JacobiConfig {
+                        grid: 8,
+                        sweeps: 30,
+                        precision: Precision::F64,
+                        seed: 42,
+                        fine_grained: false,
+                        residual_every: 1,
+                    }),
+                    1e-4,
+                )),
             },
             PerfWorkload {
                 name: "gemm",
@@ -155,6 +276,14 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                 site_stride: 1,
                 lockstep_stride: 16,
                 adaptive: adaptive_default.clone(),
+                staticbound: Some((
+                    KernelConfig::Gemm(GemmConfig {
+                        n: 10,
+                        precision: Precision::F64,
+                        seed: 42,
+                    }),
+                    1e-6,
+                )),
             },
             PerfWorkload {
                 name: "cg",
@@ -170,6 +299,17 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                 site_stride: 1,
                 lockstep_stride: 16,
                 adaptive: adaptive_default,
+                staticbound: Some((
+                    KernelConfig::Cg(CgConfig {
+                        grid: 6,
+                        rtol: 1e-4,
+                        max_iters: 100,
+                        precision: Precision::F32,
+                        seed: 42,
+                        storage: CgStorage::MatrixFree,
+                    }),
+                    1e-1,
+                )),
             },
         ]
     }
@@ -267,6 +407,9 @@ pub struct WorkloadReport {
     /// Whether every path produced the same outcome table (on the
     /// experiments it ran).
     pub paths_agree: bool,
+    /// Zero-injection static-bound stanza (`None` when the workload
+    /// disables it or the kernel is not provenance-instrumented).
+    pub staticbound: Option<StaticBoundStats>,
 }
 
 fn run_path(
@@ -369,6 +512,10 @@ pub fn run_workload(w: &PerfWorkload) -> WorkloadReport {
         paths: vec![buffered, lockstep, streamed],
         speedup_streamed_vs_buffered: speedup,
         paths_agree: full_agree && strided_agree,
+        staticbound: w
+            .staticbound
+            .as_ref()
+            .and_then(|(cfg, tol)| run_staticbound(cfg, *tol)),
     }
 }
 
@@ -392,7 +539,7 @@ pub fn run_suite(quick: bool) -> PerfReport {
     let workloads: Vec<WorkloadReport> = perf_suite(quick).iter().map(run_workload).collect();
     let all_paths_agree = workloads.iter().all(|w| w.paths_agree);
     PerfReport {
-        schema: "ftb-bench/extraction-v1",
+        schema: "ftb-bench/extraction-v2",
         quick,
         threads: rayon::current_num_threads(),
         workloads,
@@ -414,6 +561,19 @@ mod tests {
             for p in &w.paths {
                 assert!(p.experiments_per_sec > 0.0, "{}/{}", w.name, p.path);
             }
+            let sb = w
+                .staticbound
+                .as_ref()
+                .unwrap_or_else(|| panic!("{}: static stanza missing", w.name));
+            assert_eq!(sb.n_injections_static, 0, "{}", w.name);
+            assert!(sb.n_edges > 0, "{}", w.name);
+            assert!(
+                sb.precision >= 0.95,
+                "{}: static precision {}",
+                w.name,
+                sb.precision
+            );
+            assert!(sb.recall > 0.0, "{}", w.name);
         }
     }
 
@@ -421,7 +581,9 @@ mod tests {
     fn report_serialises() {
         let report = run_suite(true);
         let json = serde_json::to_string_pretty(&report).unwrap();
-        assert!(json.contains("\"schema\": \"ftb-bench/extraction-v1\""));
+        assert!(json.contains("\"schema\": \"ftb-bench/extraction-v2\""));
         assert!(json.contains("jacobi"));
+        assert!(json.contains("\"staticbound\""));
+        assert!(json.contains("\"n_injections_static\": 0"));
     }
 }

@@ -23,7 +23,11 @@ COMMANDS:
     campaign     uniform Monte-Carlo fault-injection campaign
     exhaustive   exhaustive campaign (every bit of every site)
     analyze      sample uniformly, infer the boundary, self-verify
-    adaptive     adaptive progressive sampling (paper §3.4)
+    analyze static
+                 zero-injection analytical boundary from the golden run's
+                 dependence graph, validated against exhaustive truth
+    adaptive     adaptive progressive sampling (paper §3.4); seeds from
+                 the static boundary with --static-prior
     report       per-static-instruction / per-region vulnerability table
     protect      selective-protection plan from the inferred boundary
     help         print this text
@@ -49,7 +53,14 @@ ANALYSIS OPTIONS:
     --extraction MODE      propagation-extraction path: buffered |
                            lockstep | streamed (streamed). All paths
                            produce identical results.
-    --capacity N           lockstep channel capacity, >= 1 (64)
+    --capacity N           lockstep channel capacity, >= 1 (64); only
+                           meaningful with --extraction lockstep
+    --safety F             analyze static: divide analytical thresholds
+                           by F >= 1 as a rounding margin (1.0)
+    --no-validate          analyze static: skip the exhaustive validation
+                           campaign, print only the zero-injection bound
+    --static-prior         adaptive: seed the sampler with the static
+                           boundary (instrumented kernels only)
     --json PATH            also write results as JSON
 
 CHECKPOINT / OBSERVABILITY OPTIONS (campaign, exhaustive, adaptive):
@@ -92,6 +103,12 @@ pub struct Args {
     pub metrics_out: Option<String>,
     /// Experiments per ledger chunk.
     pub chunk: usize,
+    /// `analyze static`: safety divisor applied to analytical thresholds.
+    pub safety: f64,
+    /// `analyze static`: skip the validation campaign.
+    pub no_validate: bool,
+    /// `adaptive`: seed the sampler with the static boundary.
+    pub static_prior: bool,
 }
 
 /// Parse failure.
@@ -131,15 +148,26 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
     if !COMMANDS.contains(&command.as_str()) {
         return Err(err(format!("unknown command '{command}'")));
     }
+    // `analyze static` is a two-word subcommand of `analyze`
+    let mut flag_start = 1;
+    let command = if command == "analyze" && raw.get(1).map(String::as_str) == Some("static") {
+        flag_start = 2;
+        "analyze-static".to_string()
+    } else {
+        command
+    };
 
     // collect --key value / --flag pairs
     let mut flags: HashMap<String, String> = HashMap::new();
-    let mut i = 1;
+    let mut i = flag_start;
     while i < raw.len() {
         let key = raw[i]
             .strip_prefix("--")
             .ok_or_else(|| err(format!("expected a --flag, got '{}'", raw[i])))?;
-        let boolean = matches!(key, "f32" | "f64" | "csr" | "resume");
+        let boolean = matches!(
+            key,
+            "f32" | "f64" | "csr" | "resume" | "no-validate" | "static-prior"
+        );
         if boolean {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
@@ -288,6 +316,15 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
             }
             chunk
         },
+        safety: {
+            let safety = get_f64("safety", 1.0)?;
+            if !(safety >= 1.0 && safety.is_finite()) {
+                return Err(err("--safety must be a finite number >= 1"));
+            }
+            safety
+        },
+        no_validate: flags.contains_key("no-validate"),
+        static_prior: flags.contains_key("static-prior"),
     })
 }
 
@@ -306,6 +343,56 @@ mod tests {
         assert!(matches!(a.kernel, KernelConfig::Cg(_)));
         assert_eq!(a.rate, 0.01);
         assert_eq!(a.filter, "per-site");
+    }
+
+    #[test]
+    fn parses_analyze_static_subcommand() {
+        let a = parse(&v(&[
+            "analyze",
+            "static",
+            "--kernel",
+            "jacobi",
+            "--tolerance",
+            "1e-4",
+        ]))
+        .unwrap();
+        assert_eq!(a.command, "analyze-static");
+        assert!(matches!(a.kernel, KernelConfig::Jacobi(_)));
+        assert_eq!(a.tolerance, 1e-4);
+        assert_eq!(a.safety, 1.0);
+        assert!(!a.no_validate);
+
+        let a = parse(&v(&[
+            "analyze",
+            "static",
+            "--kernel",
+            "gemm",
+            "--safety",
+            "2",
+            "--no-validate",
+        ]))
+        .unwrap();
+        assert_eq!(a.safety, 2.0);
+        assert!(a.no_validate);
+        // plain analyze is unaffected
+        let a = parse(&v(&["analyze", "--kernel", "gemm"])).unwrap();
+        assert_eq!(a.command, "analyze");
+    }
+
+    #[test]
+    fn rejects_sub_one_safety() {
+        assert!(parse(&v(&[
+            "analyze", "static", "--kernel", "gemm", "--safety", "0.5"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_static_prior_flag() {
+        let a = parse(&v(&["adaptive", "--kernel", "jacobi", "--static-prior"])).unwrap();
+        assert!(a.static_prior);
+        let a = parse(&v(&["adaptive", "--kernel", "jacobi"])).unwrap();
+        assert!(!a.static_prior);
     }
 
     #[test]

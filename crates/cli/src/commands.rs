@@ -3,12 +3,12 @@
 
 use crate::args::{Args, CliError};
 use ftb_core::prelude::*;
-use ftb_core::AdaptiveState;
+use ftb_core::{AdaptiveState, StaticValidation};
 use ftb_inject::{
     exhaustive_plan, monte_carlo_plan, CampaignBinding, CampaignMetrics, ChunkedCampaign,
     MetricsSnapshot,
 };
-use ftb_report::Table;
+use ftb_report::{boundary_comparison, BoundaryMethodRow, Table};
 use ftb_trace::FaultSpec;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -82,6 +82,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "campaign" => campaign(args),
         "exhaustive" => exhaustive(args),
         "analyze" => analyze(args),
+        "analyze-static" => analyze_static(args),
         "adaptive" => adaptive(args),
         "report" => report(args),
         "protect" => protect(args),
@@ -210,6 +211,147 @@ fn analyze(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Machine-readable result of `ftb analyze static`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StaticAnalysisReport {
+    kernel: String,
+    tolerance: f64,
+    safety: f64,
+    n_sites: usize,
+    n_edges: usize,
+    n_constrained: usize,
+    record_seconds: f64,
+    backward_seconds: f64,
+    /// Always zero — the analytical boundary's whole point.
+    n_injections_static: u64,
+    validation: Option<StaticValidation>,
+    comparison: Vec<BoundaryMethodRow>,
+}
+
+fn analyze_static(args: &Args) -> Result<String, CliError> {
+    let filter = filter_mode(&args.filter)?;
+    let kernel = args.kernel.build();
+
+    let t0 = Instant::now();
+    let (golden, ddg) = kernel.golden_with_ddg();
+    let record_seconds = t0.elapsed().as_secs_f64();
+    let cfg = ftb_core::StaticBoundConfig {
+        tolerance: args.tolerance,
+        safety: args.safety,
+    };
+    let t1 = Instant::now();
+    let sb = static_bound(&ddg, &cfg).map_err(|e| CliError(format!("static analysis: {e}")))?;
+    let backward_seconds = t1.elapsed().as_secs_f64();
+    let boundary = sb.boundary();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "kernel:             {}", kernel.name());
+    let _ = writeln!(out, "dynamic sites:      {}", sb.n_sites());
+    let _ = writeln!(out, "dependence edges:   {}", sb.n_edges);
+    let _ = writeln!(
+        out,
+        "constrained sites:  {} ({:.1}%)",
+        sb.n_constrained,
+        sb.n_constrained as f64 / sb.n_sites().max(1) as f64 * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "wall time:          {:.1} ms golden+DDG, {:.1} ms backward pass",
+        record_seconds * 1e3,
+        backward_seconds * 1e3
+    );
+    let _ = writeln!(
+        out,
+        "injections used:    0 (analytical bound from the golden run only)"
+    );
+
+    let mut report = StaticAnalysisReport {
+        kernel: kernel.name().to_string(),
+        tolerance: args.tolerance,
+        safety: args.safety,
+        n_sites: sb.n_sites(),
+        n_edges: sb.n_edges,
+        n_constrained: sb.n_constrained,
+        record_seconds,
+        backward_seconds,
+        n_injections_static: 0,
+        validation: None,
+        comparison: Vec::new(),
+    };
+
+    if args.no_validate {
+        maybe_write_json(args, &report)?;
+        return Ok(out);
+    }
+
+    // validation: exhaustive ground truth + a pinned-seed sample, then the
+    // static / inferred / golden three-way comparison
+    let injector = Injector::with_golden(kernel.as_ref(), golden, Classifier::new(args.tolerance))
+        .with_extraction(args.extraction);
+    let truth = injector.exhaustive();
+    let n_val_sites = ((args.rate * injector.n_sites() as f64).ceil() as usize).max(4);
+    let samples = SampleSet::sample_sites(&injector, n_val_sites, args.seed);
+    let v = validate_static(
+        &Predictor::new(injector.golden(), &boundary),
+        &truth,
+        &samples,
+        injector.golden(),
+        &sb.thresholds,
+    );
+
+    let inference = infer_boundary(&injector, &samples, filter);
+    let inferred_pred = Predictor::new(injector.golden(), &inference.boundary);
+    let inferred_eval = BoundaryEval::against_exhaustive(&inferred_pred, &truth);
+    let inferred_unc = BoundaryEval::uncertainty(&inferred_pred, &samples).precision;
+
+    let gb = golden_boundary(injector.golden(), &truth);
+    let golden_eval =
+        BoundaryEval::against_exhaustive(&Predictor::new(injector.golden(), &gb), &truth);
+
+    report.comparison = vec![
+        BoundaryMethodRow {
+            method: "static".into(),
+            injections: 0,
+            coverage: boundary.coverage(),
+            precision: v.eval.precision,
+            recall: v.eval.recall,
+            uncertainty: Some(v.uncertainty),
+        },
+        BoundaryMethodRow {
+            method: "inferred".into(),
+            injections: samples.len() as u64,
+            coverage: inference.boundary.coverage(),
+            precision: inferred_eval.precision,
+            recall: inferred_eval.recall,
+            uncertainty: Some(inferred_unc),
+        },
+        BoundaryMethodRow {
+            method: "golden (exhaustive)".into(),
+            injections: truth.n_experiments(),
+            coverage: gb.coverage(),
+            precision: golden_eval.precision,
+            recall: golden_eval.recall,
+            uncertainty: None,
+        },
+    ];
+    report.validation = Some(v);
+
+    let _ = writeln!(
+        out,
+        "conservative:       {:.1}% of SDC-bearing sites (median slack {:.1}x)",
+        v.conservative_fraction * 100.0,
+        v.median_slack
+    );
+    let _ = writeln!(
+        out,
+        "\nstatic vs inferred (rate {:.1}%) vs exhaustive:\n",
+        args.rate * 100.0
+    );
+    let _ = write!(out, "{}", boundary_comparison(&report.comparison));
+    maybe_write_json(args, &report)?;
+    Ok(out)
+}
+
 /// On-disk format of an adaptive `--checkpoint` file: the complete
 /// sampler state (including the per-site information counts) plus the
 /// campaign binding a resume must agree with.
@@ -283,7 +425,10 @@ fn adaptive(args: &Args) -> Result<String, CliError> {
         seed: args.seed,
         ..AdaptiveConfig::default()
     };
-    let plan_desc = format!("adaptive seed={} filter={}", args.seed, args.filter);
+    let plan_desc = format!(
+        "adaptive seed={} filter={} static-prior={}",
+        args.seed, args.filter, args.static_prior
+    );
     let binding = campaign_binding(args, injector, &plan_desc);
 
     let mut state = match &args.checkpoint {
@@ -295,6 +440,12 @@ fn adaptive(args: &Args) -> Result<String, CliError> {
                 state.samples.len()
             );
             state
+        }
+        _ if args.static_prior => {
+            let (_, ddg) = kernel.golden_with_ddg();
+            let sb = static_bound(&ddg, &ftb_core::StaticBoundConfig::new(args.tolerance))
+                .map_err(|e| CliError(format!("--static-prior: {e}")))?;
+            AdaptiveState::with_prior(injector, &cfg, sb.boundary())
         }
         _ => AdaptiveState::new(injector, &cfg),
     };
@@ -481,6 +632,77 @@ mod tests {
         let out = dispatch(&args).unwrap();
         assert!(out.contains("uncertainty"), "{out}");
         assert!(out.contains("boundary coverage"));
+    }
+
+    #[test]
+    fn analyze_static_zero_injection_table() {
+        let args = parse(&v(&[
+            "analyze",
+            "static",
+            "--kernel",
+            "gemm",
+            "--n",
+            "5",
+            "--tolerance",
+            "1e-6",
+        ]))
+        .unwrap();
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("injections used:    0"), "{out}");
+        assert!(out.contains("| static"), "{out}");
+        assert!(out.contains("| inferred"), "{out}");
+        assert!(out.contains("golden (exhaustive)"), "{out}");
+        assert!(out.contains("backward pass"), "{out}");
+    }
+
+    #[test]
+    fn analyze_static_no_validate_skips_campaign() {
+        let args = parse(&v(&[
+            "analyze",
+            "static",
+            "--kernel",
+            "jacobi",
+            "--grid",
+            "4",
+            "--sweeps",
+            "10",
+            "--tolerance",
+            "1e-4",
+            "--no-validate",
+        ]))
+        .unwrap();
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("injections used:    0"), "{out}");
+        assert!(
+            !out.contains("| static"),
+            "validation table must be absent: {out}"
+        );
+    }
+
+    #[test]
+    fn analyze_static_rejects_uninstrumented_kernel() {
+        let args = parse(&v(&["analyze", "static", "--kernel", "lu", "--n", "8"])).unwrap();
+        let e = dispatch(&args).unwrap_err();
+        assert!(e.0.contains("not provenance-instrumented"), "{}", e.0);
+    }
+
+    #[test]
+    fn adaptive_accepts_static_prior() {
+        let args = parse(&v(&[
+            "adaptive",
+            "--kernel",
+            "jacobi",
+            "--grid",
+            "4",
+            "--sweeps",
+            "10",
+            "--tolerance",
+            "1e-4",
+            "--static-prior",
+        ]))
+        .unwrap();
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("rounds:"), "{out}");
     }
 
     #[test]

@@ -224,6 +224,14 @@ pub struct AdaptiveState {
     #[serde(with = "ftb_trace::serde_float::vec")]
     min_sdc: Vec<f64>,
     boundary: crate::boundary::Boundary,
+    /// A prior boundary (typically from `staticbound`) the run was seeded
+    /// with; re-merged into the canonical rebuild at [`finish`] time.
+    /// `None` for cold-start runs and for checkpoints written before the
+    /// field existed (`ftb-adaptive-v1` stays readable).
+    ///
+    /// [`finish`]: AdaptiveState::finish
+    #[serde(default)]
+    prior: Option<crate::boundary::Boundary>,
     /// All experiments run so far.
     pub samples: SampleSet,
     /// Per-round progress.
@@ -250,10 +258,49 @@ impl AdaptiveState {
             information: vec![1u32; n_sites], // the §3.4 S_i counts
             min_sdc: vec![f64::INFINITY; n_sites],
             boundary: crate::boundary::Boundary::zero(n_sites),
+            prior: None,
             samples: SampleSet::new(),
             rounds: Vec::new(),
             done: false,
         }
+    }
+
+    /// Fresh state seeded with a `prior` boundary — typically the static
+    /// analyzer's zero-injection certificate ([`crate::static_bound`]).
+    ///
+    /// Seeding does three things the cold start cannot:
+    /// the prior's thresholds merge into the working boundary (so early
+    /// rounds predict-and-prune with analytical knowledge instead of
+    /// zeros), its support counts feed the §3.4 `S_i` information counts
+    /// (biased sampling starts pointed at sites the prior says least
+    /// about), and the candidate space is pruned *before round 0* (every
+    /// experiment the prior already certifies is never run). Seeding with
+    /// [`Boundary::zero`] is exactly [`AdaptiveState::new`].
+    ///
+    /// [`Boundary::zero`]: crate::boundary::Boundary::zero
+    ///
+    /// # Panics
+    /// Panics if `prior` covers a different number of sites than the
+    /// injector, plus the [`AdaptiveState::new`] config panics.
+    pub fn with_prior(
+        injector: &Injector<'_>,
+        cfg: &AdaptiveConfig,
+        prior: crate::boundary::Boundary,
+    ) -> Self {
+        let mut state = AdaptiveState::new(injector, cfg);
+        assert_eq!(
+            prior.n_sites(),
+            state.n_sites,
+            "prior covers a different fault space"
+        );
+        state.boundary.merge_prior(&prior);
+        for site in 0..state.n_sites {
+            state.information[site] = state.information[site].saturating_add(prior.support(site));
+        }
+        let predictor = Predictor::new(injector.golden(), &state.boundary);
+        state.space.prune(&predictor, cfg.crash_aware);
+        state.prior = Some(prior);
+        state
     }
 
     /// Whether this (possibly deserialized) state belongs to the same
@@ -381,7 +428,21 @@ impl AdaptiveState {
     /// order-dependent in what the filter discards; the returned
     /// boundary is canonical).
     pub fn finish(&self, injector: &Injector<'_>) -> AdaptiveResult {
-        let inference = infer_boundary(injector, &self.samples, self.cfg.filter);
+        let mut inference = infer_boundary(injector, &self.samples, self.cfg.filter);
+        if let Some(prior) = &self.prior {
+            // fold the analytical certificate back in: the rebuild only
+            // sees the experiments, not the knowledge that let us skip
+            // experiments in the first place
+            inference.boundary.merge_prior(prior);
+            if self.cfg.filter != FilterMode::Off {
+                // the §3.5 filter still wins over the prior wherever an
+                // actual SDC observation contradicts it
+                let mins = self.samples.min_sdc_injected(self.n_sites);
+                for (site, &cap) in mins.iter().enumerate() {
+                    inference.boundary.clamp_below(site, cap);
+                }
+            }
+        }
         AdaptiveResult {
             samples: self.samples.clone(),
             inference,
@@ -397,6 +458,18 @@ impl AdaptiveState {
 /// [`AdaptiveState::finish`].
 pub fn adaptive_boundary(injector: &Injector<'_>, cfg: &AdaptiveConfig) -> AdaptiveResult {
     let mut state = AdaptiveState::new(injector, cfg);
+    while state.step(injector).is_some() {}
+    state.finish(injector)
+}
+
+/// [`adaptive_boundary`] seeded with a prior boundary — see
+/// [`AdaptiveState::with_prior`].
+pub fn adaptive_boundary_with_prior(
+    injector: &Injector<'_>,
+    cfg: &AdaptiveConfig,
+    prior: crate::boundary::Boundary,
+) -> AdaptiveResult {
+    let mut state = AdaptiveState::with_prior(injector, cfg, prior);
     while state.step(injector).is_some() {}
     state.finish(injector)
 }
@@ -552,6 +625,105 @@ mod tests {
         let inj2 = Injector::new(&k2, Classifier::new(1e-6));
         assert!(state.matches(&inj));
         assert!(!state.matches(&inj2));
+    }
+
+    #[test]
+    fn zero_prior_is_identity() {
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 6,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let cfg = AdaptiveConfig {
+            round_fraction: 0.02,
+            ..AdaptiveConfig::default()
+        };
+        let cold = adaptive_boundary(&inj, &cfg);
+        let seeded = adaptive_boundary_with_prior(
+            &inj,
+            &cfg,
+            crate::boundary::Boundary::zero(inj.n_sites()),
+        );
+        assert_eq!(cold.samples.experiments(), seeded.samples.experiments());
+        assert_eq!(cold.rounds, seeded.rounds);
+        assert_eq!(
+            cold.inference.boundary.thresholds(),
+            seeded.inference.boundary.thresholds()
+        );
+    }
+
+    #[test]
+    fn prior_prunes_candidates_before_round_zero() {
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 6,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let cfg = AdaptiveConfig::default();
+        let cold = AdaptiveState::new(&inj, &cfg);
+        // a crude prior: every site tolerates at least its lowest-mantissa
+        // bit flip, so that flip is predictable and must be pruned
+        let prior = crate::boundary::Boundary::from_thresholds(
+            (0..inj.n_sites())
+                .map(|s| inj.golden().flip_errors(s)[0])
+                .collect(),
+        );
+        let seeded = AdaptiveState::with_prior(&inj, &cfg, prior);
+        assert!(
+            seeded.space.remaining() < cold.space.remaining(),
+            "prior pruned nothing: {} vs {}",
+            seeded.space.remaining(),
+            cold.space.remaining()
+        );
+        // information counts got the prior's support
+        assert!(seeded.information.iter().all(|&s| s >= 2));
+    }
+
+    #[test]
+    fn seeded_checkpoint_preserves_prior_across_serialization() {
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 6,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let cfg = AdaptiveConfig {
+            round_fraction: 0.02,
+            ..AdaptiveConfig::default()
+        };
+        let prior = crate::boundary::Boundary::from_thresholds(vec![1e-300; inj.n_sites()]);
+
+        let mut uninterrupted = AdaptiveState::with_prior(&inj, &cfg, prior.clone());
+        while uninterrupted.step(&inj).is_some() {}
+        let expect = uninterrupted.finish(&inj);
+
+        let mut state = AdaptiveState::with_prior(&inj, &cfg, prior);
+        while state.step(&inj).is_some() {
+            let json = serde_json::to_string(&state).unwrap();
+            state = serde_json::from_str(&json).unwrap();
+        }
+        let resumed = state.finish(&inj);
+        assert_eq!(expect.samples.experiments(), resumed.samples.experiments());
+        assert_eq!(
+            expect.inference.boundary.thresholds(),
+            resumed.inference.boundary.thresholds()
+        );
+    }
+
+    #[test]
+    fn old_checkpoint_without_prior_field_still_loads() {
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 6,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let state = AdaptiveState::new(&inj, &AdaptiveConfig::default());
+        let json = serde_json::to_string(&state).unwrap();
+        // simulate a checkpoint written before the `prior` field existed
+        let old = json.replace("\"prior\":null,", "");
+        assert_ne!(old, json, "fixture no longer exercises the old format");
+        let loaded: AdaptiveState = serde_json::from_str(&old).unwrap();
+        assert!(loaded.prior.is_none());
+        assert!(loaded.matches(&inj));
     }
 
     #[test]

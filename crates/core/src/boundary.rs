@@ -38,6 +38,41 @@ impl Boundary {
         }
     }
 
+    /// Construct from the static analyzer's analytical thresholds
+    /// (`ftb-core::staticbound`). Non-finite entries (sites with no path
+    /// to any sink) clamp to `f64::MAX` — any *finite* perturbation is
+    /// certified there, while non-finite flips stay with the crash-aware
+    /// predictor. Each positive threshold carries support 1: one
+    /// analytical certificate, the seed for the §3.4 information count.
+    pub fn from_static(thresholds: &[f64]) -> Self {
+        let thresholds: Vec<f64> = thresholds
+            .iter()
+            .map(|&t| if t.is_finite() { t.max(0.0) } else { f64::MAX })
+            .collect();
+        let support = thresholds.iter().map(|&t| u32::from(t > 0.0)).collect();
+        Boundary {
+            thresholds,
+            support,
+        }
+    }
+
+    /// Seed this boundary with a prior (typically a static analysis):
+    /// thresholds take the pointwise max — both are valid lower-bound
+    /// certificates — and the prior's support counts add in. Merging a
+    /// [`Boundary::zero`] prior is the identity.
+    ///
+    /// # Panics
+    /// Panics on size mismatch.
+    pub fn merge_prior(&mut self, prior: &Boundary) {
+        assert_eq!(self.n_sites(), prior.n_sites(), "boundary size mismatch");
+        for i in 0..self.thresholds.len() {
+            if prior.thresholds[i] > self.thresholds[i] {
+                self.thresholds[i] = prior.thresholds[i];
+            }
+            self.support[i] = self.support[i].saturating_add(prior.support[i]);
+        }
+    }
+
     /// Number of sites covered.
     #[inline]
     pub fn n_sites(&self) -> usize {

@@ -63,8 +63,12 @@ pub mod predict;
 pub mod protection;
 pub mod region;
 pub mod sample;
+pub mod staticbound;
 
-pub use adaptive::{adaptive_boundary, AdaptiveConfig, AdaptiveResult, AdaptiveState, RoundStats};
+pub use adaptive::{
+    adaptive_boundary, adaptive_boundary_with_prior, AdaptiveConfig, AdaptiveResult, AdaptiveState,
+    RoundStats,
+};
 pub use analysis::Analysis;
 pub use boundary::{golden_boundary, Boundary};
 pub use infer::{infer_boundary, infer_boundary_streaming, FilterMode, Inference};
@@ -74,10 +78,17 @@ pub use predict::{crash_known_set, PredictedOutcome, Predictor};
 pub use protection::ProtectionPlan;
 pub use region::{by_region, by_static_instruction, RegionProfile, StaticProfile};
 pub use sample::SampleSet;
+pub use staticbound::{
+    static_bound, validate_static, StaticBound, StaticBoundConfig, StaticBoundError,
+    StaticValidation,
+};
 
 /// Convenient single-import surface.
 pub mod prelude {
-    pub use crate::adaptive::{adaptive_boundary, AdaptiveConfig, AdaptiveResult, AdaptiveState};
+    pub use crate::adaptive::{
+        adaptive_boundary, adaptive_boundary_with_prior, AdaptiveConfig, AdaptiveResult,
+        AdaptiveState,
+    };
     pub use crate::analysis::Analysis;
     pub use crate::boundary::{golden_boundary, Boundary};
     pub use crate::infer::{infer_boundary, FilterMode, Inference};
@@ -87,5 +98,8 @@ pub mod prelude {
     pub use crate::protection::ProtectionPlan;
     pub use crate::region::{by_region, by_static_instruction};
     pub use crate::sample::SampleSet;
+    pub use crate::staticbound::{
+        static_bound, validate_static, StaticBound, StaticBoundConfig, StaticValidation,
+    };
     pub use ftb_inject::{Classifier, ExtractionMode, Injector, Outcome};
 }

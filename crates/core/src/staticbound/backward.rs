@@ -1,0 +1,257 @@
+//! The backward amplification sweep — the analytical heart of the static
+//! boundary.
+//!
+//! Work in *reciprocal-threshold* space: for each site `i`, accumulate
+//!
+//! ```text
+//! R_i = Σ_{output sinks s reachable from i}  (Π path amps) · amp_s / T
+//!     + Σ_{branch sinks s reachable from i}  (Π path amps) · amp_s / margin_s
+//! ```
+//!
+//! so that `Δe_i^static = 1/R_i`: a perturbation `ε ≤ 1/R_i` contributes
+//! at most `T` to any output element and stays below every reached branch
+//! margin. Summing over parallel paths is the triangle inequality — the
+//! perturbations arriving at a reconvergence point can at worst add — so
+//! the bound is conservative under path reconvergence.
+//!
+//! The whole sum folds in **one reverse sweep** over the edge list:
+//! edges are recorded in non-decreasing use order and every def strictly
+//! precedes its use in the dynamic-instruction order, so iterating the
+//! list backwards visits each site's out-edges only after that site's own
+//! accumulator is final (the list is a topological order).
+//!
+//! Curvature caps ([`ftb_trace::OpKind`]'s non-linear rows) enter as
+//! `eff(u) = max(R_u, 1/cap_u)`: a def's perturbation must stay below
+//! both the downstream budget `1/R_u` *and* the cap that keeps `u`'s own
+//! out-edge amplifications valid.
+
+use crate::boundary::Boundary;
+use ftb_trace::Ddg;
+
+/// The static analysis result: one analytical threshold per dynamic
+/// instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticBound {
+    /// `Δe_i^static` per site. Sites with no path to any sink hold
+    /// `f64::MAX` — no finite perturbation there can affect the output
+    /// or control flow (the crash-aware predictor still intercepts
+    /// non-finite flips at such sites).
+    pub thresholds: Vec<f64>,
+    /// Sites with at least one path to a sink (`R_i > 0`).
+    pub n_constrained: usize,
+    /// Number of value-flow edges the sweep folded.
+    pub n_edges: usize,
+}
+
+impl StaticBound {
+    /// Number of dynamic instructions covered.
+    pub fn n_sites(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// Convert to a [`Boundary`] usable by the predictor and as an
+    /// adaptive-sampler prior (each positive threshold counts as one
+    /// analytical certificate of support).
+    pub fn boundary(&self) -> Boundary {
+        Boundary::from_static(&self.thresholds)
+    }
+}
+
+/// Execute the reverse sweep. `safety ≥ 1` divides every threshold.
+///
+/// Infinities propagate soundly: a zero branch margin or degenerate
+/// operand drives the affected reciprocals to `+∞`, i.e. threshold `0` —
+/// the analysis refuses to certify anything for such sites rather than
+/// guessing.
+pub fn backward_pass(ddg: &Ddg, tolerance: f64, safety: f64) -> StaticBound {
+    let n = ddg.n_sites;
+    let mut recip = vec![0.0f64; n];
+    let mut cap = vec![f64::INFINITY; n];
+
+    for &(s, c) in &ddg.caps {
+        let s = s as usize;
+        if c < cap[s] {
+            cap[s] = c;
+        }
+    }
+    for &(d, amp) in &ddg.out_sinks {
+        if amp > 0.0 {
+            recip[d as usize] += amp / tolerance;
+        }
+    }
+    for &(d, amp, margin) in &ddg.branch_sinks {
+        if amp > 0.0 {
+            recip[d as usize] += if margin > 0.0 {
+                amp / margin
+            } else {
+                f64::INFINITY
+            };
+        }
+    }
+
+    for k in (0..ddg.defs.len()).rev() {
+        let amp = ddg.amps[k];
+        if amp <= 0.0 {
+            // zero amplification: the operand provably cannot influence
+            // the use at first order, and its secant rows guard the rest
+            continue;
+        }
+        let u = ddg.uses[k] as usize;
+        let eff = recip[u].max(1.0 / cap[u]);
+        if eff > 0.0 {
+            recip[ddg.defs[k] as usize] += amp * eff;
+        }
+    }
+
+    let mut n_constrained = 0usize;
+    let thresholds = recip
+        .iter()
+        .zip(&cap)
+        .map(|(&r, &c)| {
+            let t = if r > 0.0 {
+                n_constrained += 1;
+                (1.0 / r).min(c)
+            } else {
+                c
+            } / safety;
+            if t.is_finite() {
+                t
+            } else {
+                f64::MAX
+            }
+        })
+        .collect();
+
+    StaticBound {
+        thresholds,
+        n_constrained,
+        n_edges: ddg.n_edges(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftb_trace::{OpKind, Precision, StaticId, Tracer};
+
+    const SID: StaticId = StaticId(0);
+
+    /// Hand-build a graph through the tracer: a 3-site chain
+    /// `s0 --×2--> s1 --×5--> s2 --(out, amp 1)`.
+    fn chain() -> Ddg {
+        let mut t = Tracer::golden(Precision::F64).with_ddg();
+        t.value(SID, 1.0); // s0
+        t.dep(0, OpKind::Scale(2.0));
+        t.value(SID, 2.0); // s1
+        t.dep(1, OpKind::Scale(5.0));
+        t.value(SID, 10.0); // s2
+        t.out_dep(2, 1.0);
+        let (_, ddg) = t.finish_golden_with_ddg(vec![10.0]);
+        ddg
+    }
+
+    #[test]
+    fn chain_multiplies_amplifications() {
+        let b = backward_pass(&chain(), 0.1, 1.0);
+        // s2: budget T = 0.1; s1: 0.1/5; s0: 0.1/10
+        assert_eq!(b.thresholds[2], 0.1);
+        assert!((b.thresholds[1] - 0.02).abs() < 1e-15);
+        assert!((b.thresholds[0] - 0.01).abs() < 1e-15);
+        assert_eq!(b.n_constrained, 3);
+    }
+
+    #[test]
+    fn parallel_paths_sum_reciprocals() {
+        // diamond: s0 feeds s1 and s2 (amp 1 each), both feed s3 (amp 1)
+        let mut t = Tracer::golden(Precision::F64).with_ddg();
+        t.value(SID, 1.0);
+        t.dep(0, OpKind::Linear);
+        t.value(SID, 1.0);
+        t.dep(0, OpKind::Linear);
+        t.value(SID, 1.0);
+        t.dep(1, OpKind::Linear);
+        t.dep(2, OpKind::Linear);
+        t.value(SID, 2.0);
+        t.out_dep(3, 1.0);
+        let (_, ddg) = t.finish_golden_with_ddg(vec![2.0]);
+        let b = backward_pass(&ddg, 1.0, 1.0);
+        // two unit-amp paths reconverge: δ at s0 moves s3 by 2δ
+        assert!((b.thresholds[0] - 0.5).abs() < 1e-15);
+        assert_eq!(b.thresholds[1], 1.0);
+        assert_eq!(b.thresholds[3], 1.0);
+    }
+
+    #[test]
+    fn unreached_sites_are_unconstrained() {
+        let mut t = Tracer::golden(Precision::F64).with_ddg();
+        t.value(SID, 1.0); // s0: dead
+        t.value(SID, 2.0); // s1: output
+        t.out_dep(1, 1.0);
+        let (_, ddg) = t.finish_golden_with_ddg(vec![2.0]);
+        let b = backward_pass(&ddg, 1e-3, 1.0);
+        assert_eq!(b.thresholds[0], f64::MAX);
+        assert_eq!(b.thresholds[1], 1e-3);
+        assert_eq!(b.n_constrained, 1);
+    }
+
+    #[test]
+    fn branch_margin_constrains_like_tolerance() {
+        let mut t = Tracer::golden(Precision::F64).with_ddg();
+        t.value(SID, 5.0);
+        t.branch_dep(0, 1.0, 0.25);
+        t.branch(true);
+        t.value(SID, 1.0);
+        t.out_dep(1, 1.0);
+        let (_, ddg) = t.finish_golden_with_ddg(vec![1.0]);
+        let b = backward_pass(&ddg, 1.0, 1.0);
+        assert!((b.thresholds[0] - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_margin_refuses_to_certify() {
+        let mut t = Tracer::golden(Precision::F64).with_ddg();
+        t.value(SID, 5.0);
+        t.branch_dep(0, 1.0, 0.0);
+        t.branch(true);
+        t.value(SID, 1.0);
+        t.out_dep(1, 1.0);
+        let (_, ddg) = t.finish_golden_with_ddg(vec![1.0]);
+        let b = backward_pass(&ddg, 1.0, 1.0);
+        assert_eq!(b.thresholds[0], 0.0);
+    }
+
+    #[test]
+    fn curvature_cap_clips_the_certificate() {
+        // s0 --Square(x=2)--> s1 --out: amp 6, cap 2. With a huge
+        // tolerance the cap, not the budget, limits the certificate.
+        let mut t = Tracer::golden(Precision::F64).with_ddg();
+        t.value(SID, 2.0);
+        t.dep(0, OpKind::Square(2.0));
+        t.value(SID, 4.0);
+        t.out_dep(1, 1.0);
+        let (_, ddg) = t.finish_golden_with_ddg(vec![4.0]);
+        let b = backward_pass(&ddg, 1e6, 1.0);
+        assert_eq!(b.thresholds[0], 2.0, "cap must clip the huge budget");
+        let tight = backward_pass(&ddg, 0.06, 1.0);
+        assert!((tight.thresholds[0] - 0.01).abs() < 1e-15, "budget binds");
+    }
+
+    #[test]
+    fn safety_factor_divides_thresholds() {
+        let a = backward_pass(&chain(), 0.1, 1.0);
+        let b = backward_pass(&chain(), 0.1, 2.0);
+        for (x, y) in a.thresholds.iter().zip(&b.thresholds) {
+            if *x != f64::MAX {
+                assert!((y - x / 2.0).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_conversion_clamps_and_supports() {
+        let b = backward_pass(&chain(), 0.1, 1.0).boundary();
+        assert_eq!(b.n_sites(), 3);
+        assert!(b.threshold(0) > 0.0);
+        assert_eq!(b.support(0), 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Static error-propagation analysis: fault-tolerance boundaries with
+//! **zero injection experiments**.
+//!
+//! The paper infers every threshold `Δe_i` empirically — each bit of
+//! boundary information costs a kernel execution (§3.2–3.5). This module
+//! derives an *analytical lower bound* `Δe_i^static` instead, from the
+//! operand-provenance data-dependence graph ([`ftb_trace::Ddg`]) the
+//! golden run records:
+//!
+//! 1. every DDG edge carries a local amplification factor (an upper bound
+//!    on `|∂use/∂def|` at the golden operand values, see
+//!    [`ftb_trace::OpKind`]);
+//! 2. the classifier's output tolerance `T` anchors output sinks, and
+//!    branch margins anchor control-flow sinks;
+//! 3. a single backward sweep ([`backward::backward_pass`]) folds the
+//!    per-path amplification products into a per-site *reciprocal
+//!    threshold* `R_i = Σ_paths Π amps / sink_budget`, summing over
+//!    parallel paths (triangle inequality), so `Δe_i^static = 1/R_i` —
+//!    clipped by any curvature cap along the way.
+//!
+//! Any perturbation `ε ≤ Δe_i^static` at site `i` provably changes every
+//! output element by at most `T` and flips no recorded branch, **for the
+//! single-edge secant bounds recorded** — the one caveat is cross terms
+//! of a perturbation reaching both operands of a product (see the
+//! DESIGN.md soundness discussion). The bound needs no injections; the
+//! [`calibrate`] layer scores it against injection ground truth with the
+//! paper's §3.6 precision/recall/uncertainty metrics.
+
+pub mod backward;
+pub mod calibrate;
+
+pub use backward::{backward_pass, StaticBound};
+pub use calibrate::{validate_static, StaticValidation};
+
+use ftb_trace::Ddg;
+
+/// Configuration of the static boundary analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticBoundConfig {
+    /// The output tolerance `T` — must equal the dynamic classifier's
+    /// tolerance for the calibration metrics to be meaningful.
+    pub tolerance: f64,
+    /// Thresholds are divided by this factor (`≥ 1`); a safety margin
+    /// against accumulated floating-point rounding in long chains.
+    /// Default `1.0` (the analytical bound as-is).
+    pub safety: f64,
+}
+
+impl StaticBoundConfig {
+    /// Analysis at tolerance `T` with no extra safety margin.
+    pub fn new(tolerance: f64) -> Self {
+        StaticBoundConfig {
+            tolerance,
+            safety: 1.0,
+        }
+    }
+}
+
+/// Why a static bound could not be produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StaticBoundError {
+    /// The kernel's `run` carries no provenance instrumentation (the
+    /// recorded graph has no output or branch sinks), so a backward pass
+    /// would certify `∞` everywhere — unsound, therefore refused.
+    NotInstrumented,
+    /// The supplied tolerance is not a positive finite number.
+    BadTolerance(f64),
+}
+
+impl std::fmt::Display for StaticBoundError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StaticBoundError::NotInstrumented => write!(
+                f,
+                "kernel is not provenance-instrumented: the recorded \
+                 dependence graph has no output or branch sinks"
+            ),
+            StaticBoundError::BadTolerance(t) => {
+                write!(f, "tolerance must be positive and finite, got {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StaticBoundError {}
+
+/// Run the full static analysis on a recorded dependence graph.
+///
+/// # Errors
+/// [`StaticBoundError::NotInstrumented`] if the graph has no sinks,
+/// [`StaticBoundError::BadTolerance`] for a non-positive tolerance.
+pub fn static_bound(ddg: &Ddg, cfg: &StaticBoundConfig) -> Result<StaticBound, StaticBoundError> {
+    if !(cfg.tolerance > 0.0 && cfg.tolerance.is_finite()) {
+        return Err(StaticBoundError::BadTolerance(cfg.tolerance));
+    }
+    if !ddg.is_instrumented() {
+        return Err(StaticBoundError::NotInstrumented);
+    }
+    Ok(backward_pass(ddg, cfg.tolerance, cfg.safety.max(1.0)))
+}

@@ -24,7 +24,7 @@
 use crate::csr::Csr;
 use crate::inputs::uniform_vec;
 use crate::Kernel;
-use ftb_trace::{Precision, StaticRegistry, Tracer};
+use ftb_trace::{OpKind, Precision, StaticRegistry, Tracer};
 use serde::{Deserialize, Serialize};
 
 ftb_trace::static_instrs! {
@@ -152,12 +152,37 @@ impl CgKernel {
     }
 
     /// Apply the 5-point Poisson operator: `q = A v`, tracing each store
-    /// of `q`. Dirichlet boundary: off-grid neighbours are zero.
-    fn apply_poisson(&self, t: &mut Tracer, v: &[f64], q: &mut [f64]) {
+    /// of `q`. Dirichlet boundary: off-grid neighbours are zero. In
+    /// provenance mode `defs = (def_v, def_q)` supplies the def sites of
+    /// `v`'s elements and receives the def sites of `q`'s stores.
+    fn apply_poisson(
+        &self,
+        t: &mut Tracer,
+        v: &[f64],
+        q: &mut [f64],
+        mut defs: Option<(&[usize], &mut [usize])>,
+    ) {
         let g = self.cfg.grid;
         for i in 0..g {
             for j in 0..g {
                 let idx = i * g + j;
+                if let Some((dv, dq)) = defs.as_mut() {
+                    // q_idx = 4 v_idx − Σ v_neighbour
+                    t.dep(dv[idx], OpKind::Scale(4.0));
+                    if i > 0 {
+                        t.dep(dv[idx - g], OpKind::Linear);
+                    }
+                    if i + 1 < g {
+                        t.dep(dv[idx + g], OpKind::Linear);
+                    }
+                    if j > 0 {
+                        t.dep(dv[idx - 1], OpKind::Linear);
+                    }
+                    if j + 1 < g {
+                        t.dep(dv[idx + 1], OpKind::Linear);
+                    }
+                    dq[idx] = t.cursor();
+                }
                 let mut s = 4.0 * v[idx];
                 if i > 0 {
                     s -= v[idx - g];
@@ -202,9 +227,23 @@ impl Kernel for CgKernel {
         let n = self.n_unknowns();
         let g = self.cfg.grid;
 
+        // Provenance is implemented for the matrix-free operator only;
+        // an AssembledCsr run in DDG mode yields an uninstrumented graph,
+        // which the static analyzer rejects explicitly.
+        let ddg = t.ddg_enabled() && self.matrix.is_none();
+        let mut def_x = vec![0usize; if ddg { n } else { 0 }];
+        let mut def_b = def_x.clone();
+        let mut def_r = def_x.clone();
+        let mut def_p = def_x.clone();
+        let mut def_q = def_x.clone();
+        let mut def_rr = usize::MAX;
+
         // Region 1: zero-initialise the solution vector.
         let mut x = vec![0.0; n];
-        for xi in x.iter_mut() {
+        for (i, xi) in x.iter_mut().enumerate() {
+            if ddg {
+                def_x[i] = t.cursor();
+            }
             *xi = t.value(sid::INIT_X, 0.0);
         }
 
@@ -250,17 +289,34 @@ impl Kernel for CgKernel {
                     if j + 1 < g {
                         s -= v[idx + 1];
                     }
+                    if ddg {
+                        def_b[idx] = t.cursor();
+                    }
                     b[idx] = t.value(sid::INIT_B, s);
                 }
             }
         }
         let mut r = vec![0.0; n];
         for i in 0..n {
+            if ddg {
+                t.dep(def_b[i], OpKind::Linear);
+                def_r[i] = t.cursor();
+            }
             r[i] = t.value(sid::INIT_R, b[i]);
         }
         let mut p = vec![0.0; n];
         for i in 0..n {
+            if ddg {
+                t.dep(def_r[i], OpKind::Linear);
+                def_p[i] = t.cursor();
+            }
             p[i] = t.value(sid::INIT_P, r[i]);
+        }
+        if ddg {
+            for i in 0..n {
+                t.dep(def_r[i], OpKind::Square(r[i]));
+            }
+            def_rr = t.cursor();
         }
         let mut rr = t.value(sid::DOT_RR0, dot(&r, &r));
 
@@ -270,26 +326,113 @@ impl Kernel for CgKernel {
         // Region 3: the iterative solve.
         let mut q = vec![0.0; n];
         let mut it = 0;
-        while t.branch(it < self.cfg.max_iters && rr > tol2) {
+        loop {
+            if ddg {
+                // Convergence test `rr > tol2`: the condition value
+                // depends on the latest rr (amp 1) and — through
+                // tol2 = rtol²·Σ b_i² — on every b element. The margin is
+                // how far the golden condition sits from flipping.
+                let margin = (rr - tol2).abs();
+                t.branch_dep(def_rr, 1.0, margin);
+                let rtol2 = self.cfg.rtol * self.cfg.rtol;
+                for i in 0..n {
+                    let (amp, cap) = OpKind::Square(b[i]).amplification();
+                    t.branch_dep(def_b[i], rtol2 * amp, margin);
+                    t.dep_cap(def_b[i], cap);
+                }
+            }
+            if !t.branch(it < self.cfg.max_iters && rr > tol2) {
+                break;
+            }
             if let (Some(m), Some(av)) = (&self.matrix, &avals) {
                 m.spmv_traced(t, sid::SPMV_Q, av, &p, &mut q);
             } else {
-                self.apply_poisson(t, &p, &mut q);
+                self.apply_poisson(
+                    t,
+                    &p,
+                    &mut q,
+                    if ddg {
+                        Some((def_p.as_slice(), def_q.as_mut_slice()))
+                    } else {
+                        None
+                    },
+                );
             }
+            let def_pq = if ddg {
+                // pq = Σ p_i q_i: bilinear, |∂/∂p_i| = |q_i| and vice
+                // versa (cross terms of a propagated perturbation are the
+                // documented soundness caveat)
+                for i in 0..n {
+                    t.dep(def_p[i], OpKind::Scale(q[i]));
+                    t.dep(def_q[i], OpKind::Scale(p[i]));
+                }
+                t.cursor()
+            } else {
+                usize::MAX
+            };
             let pq = t.value(sid::DOT_PQ, dot(&p, &q));
+            let def_alpha = if ddg {
+                t.dep(def_rr, OpKind::DivNum(pq));
+                t.dep(def_pq, OpKind::DivDen { num: rr, den: pq });
+                t.cursor()
+            } else {
+                usize::MAX
+            };
             let alpha = t.value(sid::ALPHA, rr / pq);
             for i in 0..n {
+                if ddg {
+                    t.dep(def_x[i], OpKind::Linear);
+                    t.dep(def_alpha, OpKind::Scale(p[i]));
+                    t.dep(def_p[i], OpKind::Scale(alpha));
+                    def_x[i] = t.cursor();
+                }
                 x[i] = t.value(sid::UPDATE_X, x[i] + alpha * p[i]);
             }
             for i in 0..n {
+                if ddg {
+                    t.dep(def_r[i], OpKind::Linear);
+                    t.dep(def_alpha, OpKind::Scale(q[i]));
+                    t.dep(def_q[i], OpKind::Scale(alpha));
+                    def_r[i] = t.cursor();
+                }
                 r[i] = t.value(sid::UPDATE_R, r[i] - alpha * q[i]);
             }
+            let def_rr_new = if ddg {
+                for i in 0..n {
+                    t.dep(def_r[i], OpKind::Square(r[i]));
+                }
+                t.cursor()
+            } else {
+                usize::MAX
+            };
             let rr_new = t.value(sid::DOT_RR, dot(&r, &r));
+            let def_beta = if ddg {
+                t.dep(def_rr_new, OpKind::DivNum(rr));
+                t.dep(
+                    def_rr,
+                    OpKind::DivDen {
+                        num: rr_new,
+                        den: rr,
+                    },
+                );
+                t.cursor()
+            } else {
+                usize::MAX
+            };
             let beta = t.value(sid::BETA, rr_new / rr);
             for i in 0..n {
+                if ddg {
+                    t.dep(def_r[i], OpKind::Linear);
+                    t.dep(def_beta, OpKind::Scale(p[i]));
+                    t.dep(def_p[i], OpKind::Scale(beta));
+                    def_p[i] = t.cursor();
+                }
                 p[i] = t.value(sid::UPDATE_P, r[i] + beta * p[i]);
             }
             rr = rr_new;
+            if ddg {
+                def_rr = def_rr_new;
+            }
             it += 1;
             // NaN-exception model: the program dies at the trap rather
             // than iterating on poisoned data.
@@ -298,6 +441,11 @@ impl Kernel for CgKernel {
             }
         }
 
+        if ddg {
+            for &d in &def_x {
+                t.out_dep(d, 1.0);
+            }
+        }
         x
     }
 }

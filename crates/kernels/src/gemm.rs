@@ -8,7 +8,7 @@
 
 use crate::inputs::uniform_vec;
 use crate::Kernel;
-use ftb_trace::{Precision, StaticRegistry, Tracer};
+use ftb_trace::{OpKind, Precision, StaticRegistry, Tracer};
 use serde::{Deserialize, Serialize};
 
 ftb_trace::static_instrs! {
@@ -82,22 +82,46 @@ impl Kernel for GemmKernel {
 
     fn run(&self, t: &mut Tracer) -> Vec<f64> {
         let n = self.cfg.n;
+        // provenance mode: INIT_A occupies sites [0, n²), INIT_B sites
+        // [n², 2n²) — recorded explicitly rather than assumed
+        let ddg = t.ddg_enabled();
+        let mut def_a = vec![0usize; if ddg { n * n } else { 0 }];
+        let mut def_b = def_a.clone();
+
         let mut a = vec![0.0; n * n];
-        for (dst, &src) in a.iter_mut().zip(&self.a) {
+        for (i, (dst, &src)) in a.iter_mut().zip(&self.a).enumerate() {
+            if ddg {
+                def_a[i] = t.cursor();
+            }
             *dst = t.value(sid::INIT_A, src);
         }
         let mut b = vec![0.0; n * n];
-        for (dst, &src) in b.iter_mut().zip(&self.b) {
+        for (i, (dst, &src)) in b.iter_mut().zip(&self.b).enumerate() {
+            if ddg {
+                def_b[i] = t.cursor();
+            }
             *dst = t.value(sid::INIT_B, src);
         }
         let mut c = vec![0.0; n * n];
         for i in 0..n {
             for j in 0..n {
+                if ddg {
+                    // c_ij = Σ_k a_ik b_kj: |∂c/∂a_ik| = |b_kj| and
+                    // vice versa, exact for one perturbed operand
+                    for k in 0..n {
+                        t.dep(def_a[i * n + k], OpKind::Scale(b[k * n + j]));
+                        t.dep(def_b[k * n + j], OpKind::Scale(a[i * n + k]));
+                    }
+                }
                 let mut s = 0.0;
                 for k in 0..n {
                     s += a[i * n + k] * b[k * n + j];
                 }
+                let def = t.cursor();
                 c[i * n + j] = t.value(sid::CELL, s);
+                if ddg {
+                    t.out_dep(def, 1.0);
+                }
             }
         }
         c

@@ -16,7 +16,7 @@
 use crate::csr::Csr;
 use crate::inputs::uniform_vec;
 use crate::Kernel;
-use ftb_trace::{Precision, StaticRegistry, Tracer};
+use ftb_trace::{OpKind, Precision, StaticRegistry, Tracer};
 use serde::{Deserialize, Serialize};
 
 ftb_trace::static_instrs! {
@@ -169,12 +169,25 @@ impl Kernel for JacobiKernel {
     fn run(&self, t: &mut Tracer) -> Vec<f64> {
         let n = self.cfg.grid * self.cfg.grid;
 
+        // provenance mode: def-site maps for x/b elements, updated as the
+        // sweep overwrites them (empty and untouched in injection runs)
+        let ddg = t.ddg_enabled();
+        let mut def_x = vec![0usize; if ddg { n } else { 0 }];
+        let mut def_next = def_x.clone();
+        let mut def_b = def_x.clone();
+
         let mut x = vec![0.0; n];
-        for xi in x.iter_mut() {
+        for (i, xi) in x.iter_mut().enumerate() {
+            if ddg {
+                def_x[i] = t.cursor();
+            }
             *xi = t.value(sid::INIT_X, 0.0);
         }
         let mut b = vec![0.0; n];
-        for (dst, &src) in b.iter_mut().zip(&self.b) {
+        for (i, (dst, &src)) in b.iter_mut().zip(&self.b).enumerate() {
+            if ddg {
+                def_b[i] = t.cursor();
+            }
             *dst = t.value(sid::INIT_B, src);
         }
 
@@ -187,10 +200,35 @@ impl Kernel for JacobiKernel {
                 let hi = self.off_ptr[r + 1] as usize;
                 let mut off = 0.0;
                 if self.cfg.fine_grained {
+                    let mut acc_def = usize::MAX;
                     for (&c, &v) in self.off_cols[lo..hi].iter().zip(&self.off_vals[lo..hi]) {
+                        if ddg {
+                            if acc_def != usize::MAX {
+                                t.dep(acc_def, OpKind::Linear);
+                            }
+                            t.dep(def_x[c as usize], OpKind::Scale(v));
+                            acc_def = t.cursor();
+                        }
                         off = t.value(sid::SWEEP_ACC, off + v * x[c as usize]);
                     }
+                    if ddg {
+                        // x_r = (b_r − off) / d_r
+                        t.dep(def_b[r], OpKind::DivNum(self.diag[r]));
+                        if acc_def != usize::MAX {
+                            t.dep(acc_def, OpKind::DivNum(self.diag[r]));
+                        }
+                        def_next[r] = t.cursor();
+                    }
                 } else {
+                    if ddg {
+                        // x_r = (b_r − Σ_c v_c x_c) / d_r: each operand's
+                        // |∂| at the golden values
+                        for (&c, &v) in self.off_cols[lo..hi].iter().zip(&self.off_vals[lo..hi]) {
+                            t.dep(def_x[c as usize], OpKind::Scale(v / self.diag[r]));
+                        }
+                        t.dep(def_b[r], OpKind::DivNum(self.diag[r]));
+                        def_next[r] = t.cursor();
+                    }
                     for (&c, &v) in self.off_cols[lo..hi].iter().zip(&self.off_vals[lo..hi]) {
                         off += v * x[c as usize];
                     }
@@ -198,9 +236,16 @@ impl Kernel for JacobiKernel {
                 *nr = t.value(sid::SWEEP_X, (b[r] - off) / self.diag[r]);
             }
             std::mem::swap(&mut x, &mut next);
+            if ddg {
+                std::mem::swap(&mut def_x, &mut def_next);
+            }
             // residual norm², traced as a reduction (a typical
             // convergence-monitoring store in real solvers), amortised
-            // over `residual_every` sweeps
+            // over `residual_every` sweeps. Carries no provenance deps:
+            // the monitor value feeds neither the output nor any branch,
+            // so its in-edges cannot constrain any threshold — flips *at*
+            // a RESID site are covered by the crash-aware predictor
+            // (non-finite) or masked (the stored value is discarded).
             if (sweep + 1) % resid_every == 0 {
                 let mut res2 = 0.0;
                 self.matrix.spmv(&x, &mut ax);
@@ -215,6 +260,11 @@ impl Kernel for JacobiKernel {
             }
         }
 
+        if ddg {
+            for &d in &def_x {
+                t.out_dep(d, 1.0);
+            }
+        }
         x
     }
 }

@@ -40,7 +40,9 @@ pub mod matvec;
 pub mod spmv;
 pub mod stencil;
 
-use ftb_trace::{FaultSpec, GoldenRun, Precision, RecordMode, RunTrace, StaticRegistry, Tracer};
+use ftb_trace::{
+    Ddg, FaultSpec, GoldenRun, Precision, RecordMode, RunTrace, StaticRegistry, Tracer,
+};
 use serde::{Deserialize, Serialize};
 
 pub use cg::{CgConfig, CgKernel, CgStorage};
@@ -88,6 +90,18 @@ pub trait Kernel: Send + Sync {
         t.reserve(self.estimated_sites(), self.estimated_branches());
         let out = self.run(&mut t);
         t.finish_golden(out)
+    }
+
+    /// Record the golden run in operand-provenance mode, returning the
+    /// data-dependence graph alongside the reference run. Kernels whose
+    /// `run` carries no [`Tracer::dep`] instrumentation yield an empty
+    /// graph (`!Ddg::is_instrumented()`), which the static analyzer
+    /// rejects with an explicit error rather than an unsound bound.
+    fn golden_with_ddg(&self) -> (GoldenRun, Ddg) {
+        let mut t = Tracer::golden(self.precision()).with_ddg();
+        t.reserve(self.estimated_sites(), self.estimated_branches());
+        let out = self.run(&mut t);
+        t.finish_golden_with_ddg(out)
     }
 
     /// Execute with a single-bit-flip fault injected.

@@ -1,0 +1,85 @@
+//! Side-by-side comparison of boundary-estimation methods.
+//!
+//! The rows are plain data — this crate renders results but never
+//! computes them, so it takes no dependency on the analysis crates.
+
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+
+/// One boundary-estimation method's scorecard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundaryMethodRow {
+    /// Method label (`static`, `inferred`, `golden`, …).
+    pub method: String,
+    /// Kernel executions the method spent on injections.
+    pub injections: u64,
+    /// Fraction of sites with a positive threshold.
+    pub coverage: f64,
+    /// Precision against exhaustive ground truth.
+    pub precision: f64,
+    /// Recall against exhaustive ground truth.
+    pub recall: f64,
+    /// The §3.6 self-verified uncertainty (sampled precision), if the
+    /// method computed one.
+    pub uncertainty: Option<f64>,
+}
+
+/// Render method rows as an aligned comparison table.
+pub fn boundary_comparison(rows: &[BoundaryMethodRow]) -> String {
+    let mut t = Table::new(&[
+        "method",
+        "injections",
+        "coverage",
+        "precision",
+        "recall",
+        "uncertainty",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.method.clone(),
+            r.injections.to_string(),
+            format!("{:.1}%", r.coverage * 100.0),
+            format!("{:.4}", r.precision),
+            format!("{:.4}", r.recall),
+            r.uncertainty
+                .map_or_else(|| "-".to_string(), |u| format!("{u:.4}")),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_methods_with_optional_uncertainty() {
+        let rows = vec![
+            BoundaryMethodRow {
+                method: "static".into(),
+                injections: 0,
+                coverage: 0.95,
+                precision: 1.0,
+                recall: 0.9653,
+                uncertainty: Some(1.0),
+            },
+            BoundaryMethodRow {
+                method: "golden".into(),
+                injections: 12928,
+                coverage: 1.0,
+                precision: 0.999,
+                recall: 1.0,
+                uncertainty: None,
+            },
+        ];
+        let s = boundary_comparison(&rows);
+        assert!(s.contains("| static"), "{s}");
+        assert!(
+            s.contains("| 0 "),
+            "static must advertise zero injections: {s}"
+        );
+        assert!(s.contains("0.9653"), "{s}");
+        assert!(s.contains("| -"), "missing uncertainty renders as '-': {s}");
+        assert!(s.contains("12928"), "{s}");
+    }
+}

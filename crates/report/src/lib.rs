@@ -9,12 +9,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod boundary_cmp;
 pub mod grouping;
 pub mod histo;
 pub mod plot;
 pub mod series;
 pub mod table;
 
+pub use boundary_cmp::{boundary_comparison, BoundaryMethodRow};
 pub use grouping::{group_means, group_sums};
 pub use histo::render_histogram;
 pub use plot::LinePlot;

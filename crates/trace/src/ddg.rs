@@ -1,0 +1,338 @@
+//! Operand-provenance recording: the data-dependence graph (DDG) behind
+//! the static error-propagation analyzer (`ftb-core::staticbound`).
+//!
+//! In provenance mode the golden run records, for every dynamic
+//! instruction it produces, *which earlier dynamic instructions feed it
+//! and how strongly*: each edge `(def_site, use_site)` carries a local
+//! **amplification factor** — an upper bound on `|∂ use / ∂ def|` at the
+//! golden operand values, valid for perturbations up to the edge's
+//! curvature cap. The derivative table ([`OpKind`]):
+//!
+//! | op (use as a function of def) | amplification        | cap        |
+//! |-------------------------------|----------------------|------------|
+//! | `def + c`, `c − def`, `±def`  | `1`                  | —          |
+//! | `c · def`                     | `\|c\|`              | —          |
+//! | `def / den`                   | `1 / \|den\|`        | —          |
+//! | `num / def`                   | `2\|num\| / den²`    | `\|den\|/2`|
+//! | `Σ … + def²` (reductions)     | `3\|def\|` (`1` at 0)| `\|def\|` (`1` at 0) |
+//!
+//! The non-linear rows are *secant* bounds, not tangent slopes: as long
+//! as the perturbation at the def stays within the cap, the true output
+//! change is bounded by `amp × |δ|` — no first-order approximation error.
+//! Perturbations beyond a cap are outside the certificate, which is why
+//! the backward pass never certifies a threshold above the def's cap.
+//!
+//! Two kinds of **sink** anchor the graph to the outcome classifier:
+//!
+//! * an *output sink* `(def, amp)` — the def feeds an output element with
+//!   the given amplification; the L∞ tolerance `T` applies there;
+//! * a *branch sink* `(def, amp, margin)` — the def feeds the data value
+//!   of a [`Tracer::branch`](crate::Tracer::branch) condition whose golden
+//!   value sits `margin` away from its decision threshold; a perturbation
+//!   below `margin / amp` provably cannot flip the branch.
+//!
+//! Construction is strictly deterministic: edges are appended in the
+//! order the golden run registers them, which is a pure function of the
+//! kernel configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// The operation through which a def's value reaches the next traced
+/// use, carrying the golden operand values the amplification needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpKind {
+    /// `use = def + c`, `c − def`, `±def` (add, sub, copy, negate):
+    /// `|∂use/∂def| = 1`, exact.
+    Linear,
+    /// `use = c · def` where `c` is the *other* operand's golden value:
+    /// `|∂use/∂def| = |c|`, exact for a single perturbed operand.
+    Scale(f64),
+    /// `use = def / den` (def is the numerator): `|∂use/∂def| = 1/|den|`,
+    /// exact.
+    DivNum(f64),
+    /// `use = num / def` (def is the denominator at golden value `den`,
+    /// with golden numerator `num`): secant bound `2|num|/den²`, valid
+    /// for `|δ| ≤ |den|/2`.
+    DivDen {
+        /// Golden numerator value.
+        num: f64,
+        /// Golden denominator value (the def's own golden value).
+        den: f64,
+    },
+    /// The def contributes `def²` to a sum (dot products, norms): secant
+    /// bound `3|def|` valid for `|δ| ≤ |def|`; at `def = 0` the bound
+    /// `δ² ≤ |δ|` for `|δ| ≤ 1` gives amplification 1 with cap 1.
+    Square(f64),
+}
+
+impl OpKind {
+    /// The edge's `(amplification, cap)` pair. `cap` is
+    /// `f64::INFINITY` for the exact (linear) rows.
+    pub fn amplification(self) -> (f64, f64) {
+        match self {
+            OpKind::Linear => (1.0, f64::INFINITY),
+            OpKind::Scale(c) => (c.abs(), f64::INFINITY),
+            OpKind::DivNum(den) => (1.0 / den.abs(), f64::INFINITY),
+            OpKind::DivDen { num, den } => (2.0 * num.abs() / (den * den), den.abs() / 2.0),
+            OpKind::Square(x) => {
+                let a = x.abs();
+                if a > 0.0 {
+                    (3.0 * a, a)
+                } else {
+                    (1.0, 1.0)
+                }
+            }
+        }
+    }
+}
+
+/// The recorded data-dependence graph of one golden run.
+///
+/// Edges are stored def-parallel/use-parallel (`defs[k] → uses[k]` with
+/// amplification `amps[k]`), with `uses` non-decreasing — the recording
+/// order. Every def strictly precedes its use in the dynamic-instruction
+/// order, so a single reverse sweep over the edge list visits each use's
+/// out-edges only after that use's own accumulator is final: the graph is
+/// topologically sorted by construction.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Ddg {
+    /// Number of dynamic instructions in the golden run this graph spans.
+    pub n_sites: usize,
+    /// Edge def sites (dynamic-instruction indices).
+    pub defs: Vec<u32>,
+    /// Edge use sites, non-decreasing.
+    pub uses: Vec<u32>,
+    /// Edge amplification factors (`≥ 0`, possibly `+∞` for a
+    /// degenerate operand).
+    #[serde(with = "crate::serde_float::vec")]
+    pub amps: Vec<f64>,
+    /// Curvature caps: `(site, cap)` pairs bounding the perturbation at
+    /// `site` for which that site's out-edge amplifications are valid.
+    pub caps: Vec<(u32, f64)>,
+    /// Output sinks `(def, amp)`: the def feeds an output element.
+    pub out_sinks: Vec<(u32, f64)>,
+    /// Branch sinks `(def, amp, margin)`: the def feeds a branch
+    /// condition whose golden data value is `margin` from flipping.
+    pub branch_sinks: Vec<(u32, f64, f64)>,
+}
+
+impl Ddg {
+    /// Number of value-flow edges.
+    pub fn n_edges(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the graph carries any provenance at all. A kernel without
+    /// `dep()` instrumentation yields an empty graph (no edges, no
+    /// sinks), which the static analyzer rejects explicitly.
+    pub fn is_instrumented(&self) -> bool {
+        !self.out_sinks.is_empty() || !self.branch_sinks.is_empty()
+    }
+
+    /// Collapse the dynamic graph to its static quotient: one row per
+    /// `(static_def, static_use)` pair with the edge count and the
+    /// largest amplification, using the golden run's site → static-id
+    /// map. Rows are sorted by `(def_id, use_id)`.
+    pub fn static_quotient(&self, static_ids: &[u32]) -> Vec<StaticEdge> {
+        use std::collections::BTreeMap;
+        let mut agg: BTreeMap<(u32, u32), (u64, f64)> = BTreeMap::new();
+        for ((&d, &u), &a) in self.defs.iter().zip(&self.uses).zip(&self.amps) {
+            let key = (static_ids[d as usize], static_ids[u as usize]);
+            let e = agg.entry(key).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 = e.1.max(a);
+        }
+        agg.into_iter()
+            .map(|((def_id, use_id), (count, max_amp))| StaticEdge {
+                def_id,
+                use_id,
+                count,
+                max_amp,
+            })
+            .collect()
+    }
+}
+
+/// One row of the per-static-instruction quotient graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaticEdge {
+    /// Static id of the defining instruction.
+    pub def_id: u32,
+    /// Static id of the using instruction.
+    pub use_id: u32,
+    /// Number of dynamic edges collapsed into this row.
+    pub count: u64,
+    /// Largest dynamic amplification among them.
+    pub max_amp: f64,
+}
+
+/// Incremental DDG builder owned by a provenance-mode
+/// [`Tracer`](crate::Tracer). Pending deps registered via
+/// [`Tracer::dep`](crate::Tracer::dep) attach to the *next* traced value.
+#[derive(Debug, Default)]
+pub struct DdgBuilder {
+    pending: Vec<(u32, f64, f64)>,
+    graph: Ddg,
+}
+
+impl DdgBuilder {
+    /// Fresh, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue an edge from `def` into the next traced value.
+    pub(crate) fn push_dep(&mut self, def: usize, op: OpKind) {
+        let (amp, cap) = op.amplification();
+        self.pending.push((def as u32, amp, cap));
+    }
+
+    /// Attach all pending deps to the value produced at `use_site`.
+    pub(crate) fn flush_value(&mut self, use_site: usize) {
+        for (def, amp, cap) in self.pending.drain(..) {
+            debug_assert!(
+                (def as usize) < use_site,
+                "DDG edge must point backward: def {def} !< use {use_site}"
+            );
+            self.graph.defs.push(def);
+            self.graph.uses.push(use_site as u32);
+            self.graph.amps.push(amp);
+            if cap.is_finite() {
+                self.graph.caps.push((def, cap));
+            }
+        }
+    }
+
+    /// Register a branch sink for `def` with the given amplification
+    /// into the condition's data value and the condition's margin.
+    pub(crate) fn push_branch_sink(&mut self, def: usize, amp: f64, margin: f64) {
+        self.graph.branch_sinks.push((def as u32, amp, margin));
+    }
+
+    /// Register an explicit curvature cap for `def` (used when a sink's
+    /// amplification is a secant bound whose validity the edge list
+    /// cannot carry, e.g. a squared term inside a branch condition).
+    pub(crate) fn push_cap(&mut self, def: usize, cap: f64) {
+        if cap.is_finite() {
+            self.graph.caps.push((def as u32, cap));
+        }
+    }
+
+    /// Register an output sink for `def`.
+    pub(crate) fn push_out_sink(&mut self, def: usize, amp: f64) {
+        self.graph.out_sinks.push((def as u32, amp));
+    }
+
+    /// Finalize the graph over `n_sites` dynamic instructions.
+    ///
+    /// # Panics
+    /// Panics if deps were queued but never attached to a value (an
+    /// instrumentation bug in the kernel).
+    pub(crate) fn finish(mut self, n_sites: usize) -> Ddg {
+        assert!(
+            self.pending.is_empty(),
+            "{} dangling dep(s) never attached to a traced value",
+            self.pending.len()
+        );
+        self.graph.n_sites = n_sites;
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivative_table_matches_docs() {
+        assert_eq!(OpKind::Linear.amplification(), (1.0, f64::INFINITY));
+        assert_eq!(OpKind::Scale(-2.5).amplification(), (2.5, f64::INFINITY));
+        assert_eq!(OpKind::DivNum(4.0).amplification(), (0.25, f64::INFINITY));
+        let (amp, cap) = OpKind::DivDen { num: 3.0, den: 2.0 }.amplification();
+        assert_eq!(amp, 1.5); // 2·3 / 4
+        assert_eq!(cap, 1.0);
+        assert_eq!(OpKind::Square(2.0).amplification(), (6.0, 2.0));
+        assert_eq!(OpKind::Square(0.0).amplification(), (1.0, 1.0));
+    }
+
+    #[test]
+    fn div_den_secant_bound_is_sound() {
+        // |num/(den+δ) − num/den| ≤ amp·|δ| for |δ| ≤ cap, sampled
+        let num = 3.0;
+        let den = 2.0;
+        let (amp, cap) = OpKind::DivDen { num, den }.amplification();
+        for i in -100..=100 {
+            let delta = cap * (i as f64) / 100.0;
+            let err = (num / (den + delta) - num / den).abs();
+            assert!(
+                err <= amp * delta.abs() + 1e-12,
+                "δ={delta}: {err} > {}",
+                amp * delta.abs()
+            );
+        }
+    }
+
+    #[test]
+    fn square_secant_bound_is_sound() {
+        for x in [0.0, 0.3, -2.0, 17.5] {
+            let (amp, cap) = OpKind::Square(x).amplification();
+            for i in -100..=100 {
+                let delta = cap * (i as f64) / 100.0;
+                let err = ((x + delta) * (x + delta) - x * x).abs();
+                assert!(
+                    err <= amp * delta.abs() + 1e-12,
+                    "x={x} δ={delta}: {err} > {}",
+                    amp * delta.abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn builder_attaches_pending_to_next_value() {
+        let mut b = DdgBuilder::new();
+        b.push_dep(0, OpKind::Linear);
+        b.push_dep(1, OpKind::Scale(2.0));
+        b.flush_value(2);
+        b.push_out_sink(2, 1.0);
+        let g = b.finish(3);
+        assert_eq!(g.defs, vec![0, 1]);
+        assert_eq!(g.uses, vec![2, 2]);
+        assert_eq!(g.amps, vec![1.0, 2.0]);
+        assert_eq!(g.out_sinks, vec![(2, 1.0)]);
+        assert!(g.is_instrumented());
+    }
+
+    #[test]
+    fn uninstrumented_graph_detected() {
+        let g = DdgBuilder::new().finish(10);
+        assert!(!g.is_instrumented());
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dangling_dep_panics() {
+        let mut b = DdgBuilder::new();
+        b.push_dep(0, OpKind::Linear);
+        let _ = b.finish(1);
+    }
+
+    #[test]
+    fn static_quotient_aggregates() {
+        let mut b = DdgBuilder::new();
+        b.push_dep(0, OpKind::Scale(2.0));
+        b.flush_value(2);
+        b.push_dep(1, OpKind::Scale(5.0));
+        b.flush_value(3);
+        b.push_out_sink(3, 1.0);
+        let g = b.finish(4);
+        // sites 0,1 are static id 7; sites 2,3 are static id 9
+        let q = g.static_quotient(&[7, 7, 9, 9]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].def_id, 7);
+        assert_eq!(q[0].use_id, 9);
+        assert_eq!(q[0].count, 2);
+        assert_eq!(q[0].max_amp, 5.0);
+    }
+}

@@ -29,6 +29,10 @@
 //!   runs compare against a shared read-only [`CompactGolden`] while they
 //!   execute, with no per-experiment trace buffer.
 //! * [`norms`] — output-error metrics (the paper uses the L∞ norm).
+//! * [`ddg`] — opt-in operand-provenance recording during the golden run:
+//!   a data-dependence graph with per-edge amplification factors, the
+//!   input to the zero-injection static boundary analyzer
+//!   (`ftb-core::staticbound`).
 //!
 //! The hot path ([`Tracer::value`]) is a cursor increment, one branch for
 //! the fault check and one optional `Vec` push; instrumentation overhead is
@@ -40,6 +44,7 @@
 pub mod bits;
 pub mod compact;
 pub mod compare;
+pub mod ddg;
 pub mod golden;
 pub mod norms;
 pub mod serde_float;
@@ -50,6 +55,7 @@ pub mod tracer;
 pub use bits::{flip_bit_f32, flip_bit_f64, injected_error, Precision};
 pub use compact::CompactGolden;
 pub use compare::{divergence_cursor, propagation, Propagation};
+pub use ddg::{Ddg, OpKind, StaticEdge};
 pub use golden::{GoldenRun, RunTrace};
 pub use site::{Region, StaticId, StaticInstr, StaticRegistry};
 pub use streamed::{streamed_propagation, CompareScratch, StreamedWindow};

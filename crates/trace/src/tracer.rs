@@ -22,6 +22,7 @@
 
 use crate::bits::Precision;
 use crate::compact::{CompactGolden, GoldenValues};
+use crate::ddg::{Ddg, DdgBuilder, OpKind};
 use crate::golden::{GoldenRun, RunTrace};
 use crate::site::StaticId;
 use crate::streamed::{CompareScratch, StreamedWindow};
@@ -224,6 +225,9 @@ pub struct Tracer<'g> {
     stream: Option<Sender<StreamEvent>>,
     /// One-sided comparison state ([`Tracer::comparing`]).
     compare: Option<CompareState<'g>>,
+    /// Operand-provenance recorder ([`Tracer::with_ddg`]); golden mode
+    /// only, `None` in every hot injection path.
+    ddg: Option<Box<DdgBuilder>>,
 }
 
 impl<'g> Tracer<'g> {
@@ -251,6 +255,7 @@ impl<'g> Tracer<'g> {
             injected_err: None,
             stream: None,
             compare: None,
+            ddg: None,
         }
     }
 
@@ -381,6 +386,79 @@ impl<'g> Tracer<'g> {
         self
     }
 
+    /// Upgrade a golden tracer to **operand-provenance mode**: the run
+    /// additionally records a data-dependence graph ([`Ddg`]) from the
+    /// `dep`/`branch_dep`/`out_dep` calls the kernel issues. Finish with
+    /// [`Tracer::finish_golden_with_ddg`].
+    ///
+    /// # Panics
+    /// Panics unless the tracer is a [`Tracer::golden`] tracer —
+    /// provenance of a faulty run would be meaningless (the amplification
+    /// factors are evaluated at the golden operand values).
+    pub fn with_ddg(mut self) -> Self {
+        assert!(
+            self.fault_site == usize::MAX && self.record_values && self.record_ids,
+            "with_ddg requires a Tracer::golden tracer"
+        );
+        self.ddg = Some(Box::new(DdgBuilder::new()));
+        self
+    }
+
+    /// Whether operand-provenance recording is active. Kernels gate all
+    /// `dep()` bookkeeping (def-site maps, amplification arithmetic)
+    /// behind this so the injection hot paths stay untouched.
+    #[inline]
+    pub fn ddg_enabled(&self) -> bool {
+        self.ddg.is_some()
+    }
+
+    /// Declare that the **next** traced value depends on the value
+    /// produced at dynamic instruction `def` through operation `op`.
+    /// No-op outside provenance mode; call once per operand.
+    #[inline]
+    pub fn dep(&mut self, def: usize, op: OpKind) {
+        if let Some(ddg) = &mut self.ddg {
+            ddg.push_dep(def, op);
+        }
+    }
+
+    /// Declare that the data value of an upcoming branch condition
+    /// depends on dynamic instruction `def` with amplification `amp`,
+    /// and that the golden condition value sits `margin` away from the
+    /// decision threshold. A perturbation at the condition below
+    /// `margin / amp` provably cannot flip the branch. No-op outside
+    /// provenance mode.
+    #[inline]
+    pub fn branch_dep(&mut self, def: usize, amp: f64, margin: f64) {
+        if let Some(ddg) = &mut self.ddg {
+            ddg.push_branch_sink(def, amp, margin);
+        }
+    }
+
+    /// Register an explicit perturbation cap for dynamic instruction
+    /// `def`: amplifications attributed to `def` (via [`Tracer::dep`] or
+    /// [`Tracer::branch_dep`]) are secant bounds only valid for
+    /// perturbations up to `cap`. The backward pass never certifies a
+    /// threshold above the tightest cap. No-op outside provenance mode.
+    #[inline]
+    pub fn dep_cap(&mut self, def: usize, cap: f64) {
+        if let Some(ddg) = &mut self.ddg {
+            ddg.push_cap(def, cap);
+        }
+    }
+
+    /// Declare that an output element depends on dynamic instruction
+    /// `def` with amplification `amp` (typically the last def of each
+    /// output element, with amplification 1). The classifier's output
+    /// tolerance anchors the backward pass here. No-op outside
+    /// provenance mode.
+    #[inline]
+    pub fn out_dep(&mut self, def: usize, amp: f64) {
+        if let Some(ddg) = &mut self.ddg {
+            ddg.push_out_sink(def, amp);
+        }
+    }
+
     /// Reserve capacity for an expected number of dynamic instructions
     /// (avoids `Vec` growth reallocations in recording runs).
     pub fn reserve(&mut self, n_sites: usize, n_branches: usize) {
@@ -421,6 +499,9 @@ impl<'g> Tracer<'g> {
             if self.record_ids {
                 self.static_ids.push(sid.0);
             }
+        }
+        if let Some(ddg) = &mut self.ddg {
+            ddg.flush_value(idx);
         }
         if let Some(tx) = &self.stream {
             if tx.send(StreamEvent::Value(v)).is_err() {
@@ -583,6 +664,22 @@ impl<'g> Tracer<'g> {
             cs.scratch.seal(compare_len, div.is_some())
         };
         (self.finish(output), window)
+    }
+
+    /// Consume a provenance-mode golden tracer, yielding the reference
+    /// run together with the recorded data-dependence graph.
+    ///
+    /// # Panics
+    /// Panics if the tracer was not upgraded with [`Tracer::with_ddg`],
+    /// or on any [`Tracer::finish_golden`] violation.
+    pub fn finish_golden_with_ddg(mut self, output: Vec<f64>) -> (GoldenRun, Ddg) {
+        let builder = *self
+            .ddg
+            .take()
+            .expect("finish_golden_with_ddg requires a Tracer::with_ddg tracer");
+        let n_sites = self.cursor;
+        let golden = self.finish_golden(output);
+        (golden, builder.finish(n_sites))
     }
 
     /// Consume a golden-mode tracer, yielding the reference run.

@@ -2,6 +2,7 @@
 
 use ftb_core::prelude::*;
 use ftb_integration::{tiny_suite, with_analysis};
+use ftb_kernels::{JacobiConfig, JacobiKernel, Kernel};
 
 #[test]
 fn adaptive_uses_far_fewer_experiments_than_exhaustive() {
@@ -96,6 +97,65 @@ fn adaptive_beats_uniform_at_equal_budget_on_prediction_error() {
             "adaptive err {adaptive_err:.4} worse than uniform err {uniform_err:.4}"
         );
     });
+}
+
+#[test]
+fn static_prior_reaches_cold_start_recall_in_fewer_rounds() {
+    // the payoff of seeding the §3.4 sampler with the zero-injection
+    // static certificate: the same recall as a cold start, in measurably
+    // fewer sampling rounds
+    let k = JacobiKernel::new(JacobiConfig {
+        grid: 4,
+        sweeps: 10,
+        ..JacobiConfig::small()
+    });
+    let tol = 1e-4;
+    let (golden, ddg) = k.golden_with_ddg();
+    let prior = static_bound(&ddg, &StaticBoundConfig::new(tol))
+        .expect("jacobi is provenance-instrumented")
+        .boundary();
+    let inj = Injector::with_golden(&k, golden, Classifier::new(tol));
+    let truth = inj.exhaustive();
+    let cfg = AdaptiveConfig::default();
+
+    let recall_of = |state: &AdaptiveState| {
+        let b = state.finish(&inj).inference.boundary;
+        BoundaryEval::against_exhaustive(&Predictor::new(inj.golden(), &b), &truth).recall
+    };
+
+    // recall trajectory: entry r = recall after r rounds (entry 0 = the
+    // starting state, before any sampling)
+    let trajectory = |mut state: AdaptiveState| {
+        let mut t = vec![recall_of(&state)];
+        while state.step(&inj).is_some() {
+            t.push(recall_of(&state));
+        }
+        t
+    };
+
+    let cold = trajectory(AdaptiveState::new(&inj, &cfg));
+    let seeded = trajectory(AdaptiveState::with_prior(&inj, &cfg, prior));
+    let cold_final = *cold.last().unwrap();
+    let seeded_final = *seeded.last().unwrap();
+    assert!(cold_final > 0.0, "cold start learned nothing");
+    assert!(
+        seeded_final >= 0.9 * cold_final,
+        "seeded run's final recall collapsed: {seeded_final:.4} vs cold {cold_final:.4}"
+    );
+
+    // rounds each needs to reach the recall level both eventually achieve
+    let target = cold_final.min(seeded_final) - 1e-12;
+    let rounds_to = |t: &[f64]| t.iter().position(|&r| r >= target).unwrap();
+    let (cold_rounds, seeded_rounds) = (rounds_to(&cold), rounds_to(&seeded));
+    println!(
+        "cold: {cold:?}\nseeded: {seeded:?}\n\
+         target {target:.4}: cold {cold_rounds} rounds, seeded {seeded_rounds} rounds"
+    );
+    assert!(
+        seeded_rounds < cold_rounds,
+        "seeding saved no rounds: seeded {seeded_rounds} vs cold {cold_rounds} \
+         to recall {target:.4}"
+    );
 }
 
 #[test]

@@ -97,6 +97,70 @@ proptest! {
         prop_assert!(d.unwrap() <= ((encoded[idx] >> 1) as usize));
     }
 
+    /// The §3.5 filter (incremental form) never raises a threshold: after
+    /// `clamp_below(site, cap)` every threshold is no higher than before,
+    /// and any site clamped with a finite cap sits strictly below it.
+    #[test]
+    fn filter_never_raises_thresholds(
+        obs in proptest::collection::vec((0usize..20, 0.0f64..1e9), 0..60),
+        caps in proptest::collection::vec((0usize..20, 1e-12f64..1e9), 0..40),
+    ) {
+        let mut b = Boundary::zero(20);
+        for &(s, v) in &obs {
+            b.observe(s, v);
+        }
+        let before = b.clone();
+        for &(s, cap) in &caps {
+            b.clamp_below(s, cap);
+        }
+        for s in 0..20 {
+            prop_assert!(b.threshold(s) <= before.threshold(s), "filter raised site {}", s);
+        }
+        for &(s, cap) in &caps {
+            prop_assert!(b.threshold(s) < cap, "site {} not below its SDC cap", s);
+        }
+    }
+
+    /// Seeding with a zero prior is the identity, exactly (bit-for-bit).
+    #[test]
+    fn merge_zero_prior_is_identity(
+        obs in proptest::collection::vec((0usize..20, 0.0f64..1e9), 0..60),
+    ) {
+        let mut b = Boundary::zero(20);
+        for &(s, v) in &obs {
+            b.observe(s, v);
+        }
+        let before = b.clone();
+        b.merge_prior(&Boundary::zero(20));
+        prop_assert_eq!(b, before);
+    }
+
+    /// A prior can only add knowledge: merge_prior never lowers any
+    /// threshold and never drops support, and the result dominates both
+    /// inputs pointwise.
+    #[test]
+    fn merge_prior_never_lowers(
+        obs in proptest::collection::vec((0usize..20, 0.0f64..1e9), 0..60),
+        prior_t in proptest::collection::vec(0.0f64..1e9, 20..21),
+    ) {
+        let mut b = Boundary::zero(20);
+        for &(s, v) in &obs {
+            b.observe(s, v);
+        }
+        let before = b.clone();
+        let prior = Boundary::from_thresholds(prior_t);
+        b.merge_prior(&prior);
+        for s in 0..20 {
+            prop_assert!(b.threshold(s) >= before.threshold(s));
+            prop_assert!(b.threshold(s) >= prior.threshold(s));
+            prop_assert_eq!(
+                b.threshold(s),
+                before.threshold(s).max(prior.threshold(s))
+            );
+            prop_assert!(b.support(s) >= before.support(s));
+        }
+    }
+
     /// Histograms never lose finite observations.
     #[test]
     fn histogram_conserves_mass(xs in proptest::collection::vec(-1e12f64..1e12, 0..200)) {
