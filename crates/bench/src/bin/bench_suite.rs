@@ -54,6 +54,30 @@ fn main() {
             "  streamed vs buffered: {:.2}x   agree: {}",
             w.speedup_streamed_vs_buffered, w.paths_agree
         );
+        if let Some(c) = &w.compose {
+            println!(
+                "  compose   {} sections, {} injections in {:.2}s: precision {:.4}, \
+                 recall {:.4}, conservative {:.1}%",
+                c.n_sections,
+                c.n_injections,
+                c.analyze_secs,
+                c.precision,
+                c.recall,
+                c.conservative_fraction * 100.0,
+            );
+            if let Some(i) = &c.incremental {
+                println!(
+                    "  compose~  edit re-ran {} of {} sections ({} injections, {:.2}s): \
+                     precision {:.4}, recall {:.4}",
+                    i.dirty_sections,
+                    c.n_sections,
+                    i.n_injections,
+                    i.reanalyze_secs,
+                    i.precision_after_edit,
+                    i.recall_after_edit,
+                );
+            }
+        }
         if let Some(sb) = &w.staticbound {
             println!(
                 "  static    {:>6.1} ms record + {:.1} ms backward ({} edges, 0 injections): \
@@ -75,6 +99,10 @@ fn main() {
 
     if !report.all_paths_agree {
         eprintln!("FAIL: extraction paths disagree on at least one outcome table");
+        std::process::exit(1);
+    }
+    if !report.compose_ok {
+        eprintln!("FAIL: a compositional-analysis stanza missed its quality gate");
         std::process::exit(1);
     }
 }

@@ -30,7 +30,9 @@
 
 use ftb_core::prelude::*;
 use ftb_inject::{ExhaustiveResult, ExtractionMode};
-use ftb_kernels::{CgConfig, CgStorage, GemmConfig, JacobiConfig, Kernel, KernelConfig};
+use ftb_kernels::{
+    CgConfig, CgStorage, GemmConfig, JacobiConfig, Kernel, KernelConfig, SweepTweak,
+};
 use ftb_trace::{CompactGolden, Precision};
 use serde::Serialize;
 use std::time::Instant;
@@ -107,6 +109,150 @@ pub fn run_staticbound(config: &KernelConfig, tolerance: f64) -> Option<StaticBo
     })
 }
 
+/// Pinned configuration for the compositional-analysis stanza: a fresh
+/// sectioned campaign scored against exhaustive truth, optionally
+/// followed by a localized code edit to demonstrate incremental
+/// re-analysis (only the dirty section re-runs).
+pub struct ComposeWorkload {
+    /// Config the stanza runs at (validation needs exhaustive truth, so
+    /// this may be smaller than the perf config).
+    pub config: KernelConfig,
+    /// Classifier tolerance.
+    pub tolerance: f64,
+    /// Per-section site sampling rate.
+    pub rate: f64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// The edited variant of `config` for the incremental leg; `None`
+    /// skips it.
+    pub edit: Option<KernelConfig>,
+}
+
+/// Incremental-re-analysis numbers after a localized code edit.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComposeIncrementalStats {
+    /// Sections whose campaigns re-ran after the edit.
+    pub dirty_sections: usize,
+    /// Sections reused verbatim from the prior ledger.
+    pub reused_sections: usize,
+    /// Injections the re-analysis spent (reused sections cost zero).
+    pub n_injections: u64,
+    /// Wall seconds for the incremental re-analysis.
+    pub reanalyze_secs: f64,
+    /// Precision of the post-edit composed boundary vs fresh truth.
+    pub precision_after_edit: f64,
+    /// Recall of the post-edit composed boundary vs fresh truth.
+    pub recall_after_edit: f64,
+}
+
+/// Compositional-analysis numbers for one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComposeStats {
+    /// Config the stanza ran at.
+    pub config: KernelConfig,
+    /// Classifier tolerance.
+    pub tolerance: f64,
+    /// Per-section sampling rate.
+    pub rate: f64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Fault sites at the stanza config.
+    pub n_sites: usize,
+    /// Sections the golden run segmented into.
+    pub n_sections: usize,
+    /// Injections the fresh analysis spent.
+    pub n_injections: u64,
+    /// Wall seconds for the fresh sectioned analysis.
+    pub analyze_secs: f64,
+    /// Precision of the composed boundary against exhaustive truth.
+    pub precision: f64,
+    /// Recall of the composed boundary against exhaustive truth.
+    pub recall: f64,
+    /// Fraction of sites whose composed threshold sits strictly below
+    /// their smallest SDC-causing error (sites with no SDC count as
+    /// conservative).
+    pub conservative_fraction: f64,
+    /// The incremental leg, when the workload pins an edit.
+    pub incremental: Option<ComposeIncrementalStats>,
+}
+
+/// Per-site smallest SDC-causing injected error under exhaustive truth.
+fn min_sdc_per_site(golden: &ftb_trace::GoldenRun, truth: &ExhaustiveResult) -> Vec<f64> {
+    (0..golden.n_sites())
+        .map(|site| {
+            let errs = golden.flip_errors(site);
+            (0..truth.bits)
+                .filter(|&bit| truth.outcome(site, bit).is_sdc())
+                .map(|bit| errs[bit as usize])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect()
+}
+
+/// Run the compositional stanza: fresh sectioned analysis scored
+/// against exhaustive truth, then (if pinned) the incremental leg after
+/// the code edit, reusing the same section ledger.
+pub fn run_compose(cw: &ComposeWorkload) -> Option<ComposeStats> {
+    let ledger =
+        std::env::temp_dir().join(format!("ftb-bench-compose-{}.ftbl", std::process::id()));
+    let _ = std::fs::remove_file(&ledger);
+
+    let cfg = ComposeConfig {
+        rate: cw.rate,
+        seed: cw.seed,
+        ..ComposeConfig::new(cw.tolerance)
+    };
+    let kernel = cw.config.build();
+    let inj = Injector::new(kernel.as_ref(), Classifier::new(cw.tolerance));
+    let t0 = Instant::now();
+    let r = compose_analysis(kernel.as_ref(), &cw.config, &inj, &cfg, Some(&ledger)).ok()?;
+    let analyze_secs = t0.elapsed().as_secs_f64();
+
+    let truth = inj.exhaustive();
+    let golden = inj.golden();
+    let eval = BoundaryEval::against_exhaustive(&Predictor::new(golden, &r.boundary), &truth);
+    let min_sdc = min_sdc_per_site(golden, &truth);
+    let conservative_fraction = (0..golden.n_sites())
+        .filter(|&s| min_sdc[s].is_infinite() || r.boundary.threshold(s) < min_sdc[s])
+        .count() as f64
+        / golden.n_sites().max(1) as f64;
+
+    let incremental = cw.edit.as_ref().and_then(|edited| {
+        let kernel2 = edited.build();
+        let inj2 = Injector::new(kernel2.as_ref(), Classifier::new(cw.tolerance));
+        let t1 = Instant::now();
+        let r2 = compose_analysis(kernel2.as_ref(), edited, &inj2, &cfg, Some(&ledger)).ok()?;
+        let reanalyze_secs = t1.elapsed().as_secs_f64();
+        let truth2 = inj2.exhaustive();
+        let eval2 =
+            BoundaryEval::against_exhaustive(&Predictor::new(inj2.golden(), &r2.boundary), &truth2);
+        Some(ComposeIncrementalStats {
+            dirty_sections: r2.reran.len(),
+            reused_sections: r2.reused.len(),
+            n_injections: r2.n_experiments,
+            reanalyze_secs,
+            precision_after_edit: eval2.precision,
+            recall_after_edit: eval2.recall,
+        })
+    });
+    let _ = std::fs::remove_file(&ledger);
+
+    Some(ComposeStats {
+        config: cw.config.clone(),
+        tolerance: cw.tolerance,
+        rate: cw.rate,
+        seed: cw.seed,
+        n_sites: inj.n_sites(),
+        n_sections: r.map.n_sections(),
+        n_injections: r.n_experiments,
+        analyze_secs,
+        precision: eval.precision,
+        recall: eval.recall,
+        conservative_fraction,
+        incremental,
+    })
+}
+
 /// One pinned workload of the performance suite.
 pub struct PerfWorkload {
     /// Display name ("jacobi", "gemm", "cg").
@@ -129,6 +275,33 @@ pub struct PerfWorkload {
     /// stanza; `None` skips it. Kept separate from the perf config
     /// because validation runs an exhaustive campaign.
     pub staticbound: Option<(KernelConfig, f64)>,
+    /// Pinned compositional-analysis stanza; `None` skips it. Like the
+    /// static stanza, it runs at a validation-sized config.
+    pub compose: Option<ComposeWorkload>,
+}
+
+/// The pinned jacobi compose stanza shared by both tiers: a
+/// validation-sized solve, with the weighted-Jacobi sweep-5 edit as the
+/// incremental leg.
+fn jacobi_compose_stanza() -> ComposeWorkload {
+    let base = JacobiConfig {
+        grid: 4,
+        sweeps: 10,
+        ..JacobiConfig::small()
+    };
+    ComposeWorkload {
+        config: KernelConfig::Jacobi(base.clone()),
+        tolerance: 1e-4,
+        rate: 0.5,
+        seed: 41,
+        edit: Some(KernelConfig::Jacobi(JacobiConfig {
+            tweak: Some(SweepTweak {
+                sweep: 5,
+                omega: 0.5,
+            }),
+            ..base
+        })),
+    }
 }
 
 /// The pinned workloads. `quick` selects the tiny CI-smoke tier; the
@@ -149,6 +322,7 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     seed: 42,
                     fine_grained: true,
                     residual_every: 1,
+                    tweak: None,
                 }),
                 tolerance: 1e-6,
                 site_stride: 1,
@@ -162,9 +336,11 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                         seed: 42,
                         fine_grained: true,
                         residual_every: 1,
+                        tweak: None,
                     }),
                     1e-6,
                 )),
+                compose: Some(jacobi_compose_stanza()),
             },
             PerfWorkload {
                 name: "gemm",
@@ -185,6 +361,7 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     }),
                     1e-6,
                 )),
+                compose: None,
             },
             PerfWorkload {
                 name: "cg",
@@ -211,6 +388,7 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     }),
                     1e-1,
                 )),
+                compose: None,
             },
         ]
     } else {
@@ -229,6 +407,7 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     seed: 42,
                     fine_grained: false,
                     residual_every: 8,
+                    tweak: None,
                 }),
                 tolerance: 1e-3,
                 // 17 sites × 32 bits = 544 experiments per path
@@ -261,9 +440,11 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                         seed: 42,
                         fine_grained: false,
                         residual_every: 1,
+                        tweak: None,
                     }),
                     1e-4,
                 )),
+                compose: Some(jacobi_compose_stanza()),
             },
             PerfWorkload {
                 name: "gemm",
@@ -284,6 +465,7 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     }),
                     1e-6,
                 )),
+                compose: None,
             },
             PerfWorkload {
                 name: "cg",
@@ -310,6 +492,7 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     }),
                     1e-1,
                 )),
+                compose: None,
             },
         ]
     }
@@ -410,6 +593,8 @@ pub struct WorkloadReport {
     /// Zero-injection static-bound stanza (`None` when the workload
     /// disables it or the kernel is not provenance-instrumented).
     pub staticbound: Option<StaticBoundStats>,
+    /// Compositional-analysis stanza (`None` when the workload skips it).
+    pub compose: Option<ComposeStats>,
 }
 
 fn run_path(
@@ -516,6 +701,7 @@ pub fn run_workload(w: &PerfWorkload) -> WorkloadReport {
             .staticbound
             .as_ref()
             .and_then(|(cfg, tol)| run_staticbound(cfg, *tol)),
+        compose: w.compose.as_ref().and_then(run_compose),
     }
 }
 
@@ -532,18 +718,37 @@ pub struct PerfReport {
     pub workloads: Vec<WorkloadReport>,
     /// Conjunction of every workload's `paths_agree`.
     pub all_paths_agree: bool,
+    /// Conjunction of every compose stanza's quality gate (precision at
+    /// least 0.95, fully conservative, and — when an edit is pinned —
+    /// exactly one dirty section at recall at least 0.9). `true` when
+    /// no stanza ran.
+    pub compose_ok: bool,
+}
+
+/// The compose stanza's CI gate (see [`PerfReport::compose_ok`]).
+pub fn compose_gate(c: &ComposeStats) -> bool {
+    let fresh_ok = c.precision >= 0.95 && c.conservative_fraction >= 1.0 && c.recall >= 0.9;
+    let incr_ok = c.incremental.as_ref().is_none_or(|i| {
+        i.dirty_sections == 1 && i.recall_after_edit >= 0.9 && i.precision_after_edit >= 0.95
+    });
+    fresh_ok && incr_ok
 }
 
 /// Run the full suite at the chosen tier.
 pub fn run_suite(quick: bool) -> PerfReport {
     let workloads: Vec<WorkloadReport> = perf_suite(quick).iter().map(run_workload).collect();
     let all_paths_agree = workloads.iter().all(|w| w.paths_agree);
+    let compose_ok = workloads
+        .iter()
+        .filter_map(|w| w.compose.as_ref())
+        .all(compose_gate);
     PerfReport {
-        schema: "ftb-bench/extraction-v2",
+        schema: "ftb-bench/extraction-v3",
         quick,
         threads: rayon::current_num_threads(),
         workloads,
         all_paths_agree,
+        compose_ok,
     }
 }
 
@@ -575,15 +780,25 @@ mod tests {
             );
             assert!(sb.recall > 0.0, "{}", w.name);
         }
+        let jacobi = &report.workloads[0];
+        let c = jacobi.compose.as_ref().expect("jacobi compose stanza");
+        assert!(report.compose_ok, "compose gate failed: {c:?}");
+        assert!(c.n_sections >= 4, "{} sections", c.n_sections);
+        let i = c.incremental.as_ref().expect("incremental leg");
+        assert_eq!(i.dirty_sections, 1, "edit must dirty exactly one section");
+        assert_eq!(i.reused_sections, c.n_sections - 1);
+        assert!(i.n_injections < c.n_injections);
     }
 
     #[test]
     fn report_serialises() {
         let report = run_suite(true);
         let json = serde_json::to_string_pretty(&report).unwrap();
-        assert!(json.contains("\"schema\": \"ftb-bench/extraction-v2\""));
+        assert!(json.contains("\"schema\": \"ftb-bench/extraction-v3\""));
         assert!(json.contains("jacobi"));
         assert!(json.contains("\"staticbound\""));
         assert!(json.contains("\"n_injections_static\": 0"));
+        assert!(json.contains("\"compose\""));
+        assert!(json.contains("\"dirty_sections\": 1"));
     }
 }

@@ -5,7 +5,7 @@
 use ftb_inject::ExtractionMode;
 use ftb_kernels::{
     CgConfig, CgStorage, FftConfig, GemmConfig, JacobiConfig, KernelConfig, LuConfig, MatvecConfig,
-    SpmvConfig, StencilConfig,
+    SpmvConfig, StencilConfig, SweepTweak,
 };
 use ftb_trace::Precision;
 use std::collections::HashMap;
@@ -26,6 +26,11 @@ COMMANDS:
     analyze static
                  zero-injection analytical boundary from the golden run's
                  dependence graph, validated against exhaustive truth
+    analyze compose
+                 compositional boundary: segment the golden run into
+                 sections, run per-section campaigns, compose them through
+                 error-transfer summaries; incremental re-analysis via a
+                 sectioned ledger (--checkpoint / --resume)
     adaptive     adaptive progressive sampling (paper §3.4); seeds from
                  the static boundary with --static-prior
     report       per-static-instruction / per-region vulnerability table
@@ -61,6 +66,14 @@ ANALYSIS OPTIONS:
                            campaign, print only the zero-injection bound
     --static-prior         adaptive: seed the sampler with the static
                            boundary (instrumented kernels only)
+    --max-sections N       analyze compose: coalesce the section map to at
+                           most N sections (32)
+    --secant               analyze compose: additionally bound each
+                           section's transfer amplification with the DDG
+                           secant quotient (instrumented kernels only)
+    --tweak-sweep N        jacobi only: weighted-relaxation edit to sweep
+                           N's body (the incremental re-analysis demo)
+    --tweak-omega F        relaxation weight of the tweaked sweep (0.5)
     --json PATH            also write results as JSON
 
 CHECKPOINT / OBSERVABILITY OPTIONS (campaign, exhaustive, adaptive):
@@ -109,6 +122,11 @@ pub struct Args {
     pub no_validate: bool,
     /// `adaptive`: seed the sampler with the static boundary.
     pub static_prior: bool,
+    /// `analyze compose`: section-map coalescing cap.
+    pub max_sections: usize,
+    /// `analyze compose`: secant-bound transfer amplifications with the
+    /// DDG quotient.
+    pub secant: bool,
 }
 
 /// Parse failure.
@@ -148,13 +166,18 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
     if !COMMANDS.contains(&command.as_str()) {
         return Err(err(format!("unknown command '{command}'")));
     }
-    // `analyze static` is a two-word subcommand of `analyze`
+    // `analyze static` / `analyze compose` are two-word subcommands
     let mut flag_start = 1;
-    let command = if command == "analyze" && raw.get(1).map(String::as_str) == Some("static") {
-        flag_start = 2;
-        "analyze-static".to_string()
-    } else {
-        command
+    let command = match (command.as_str(), raw.get(1).map(String::as_str)) {
+        ("analyze", Some("static")) => {
+            flag_start = 2;
+            "analyze-static".to_string()
+        }
+        ("analyze", Some("compose")) => {
+            flag_start = 2;
+            "analyze-compose".to_string()
+        }
+        _ => command,
     };
 
     // collect --key value / --flag pairs
@@ -166,7 +189,7 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
             .ok_or_else(|| err(format!("expected a --flag, got '{}'", raw[i])))?;
         let boolean = matches!(
             key,
-            "f32" | "f64" | "csr" | "resume" | "no-validate" | "static-prior"
+            "f32" | "f64" | "csr" | "resume" | "no-validate" | "static-prior" | "secant"
         );
         if boolean {
             flags.insert(key.to_string(), "true".to_string());
@@ -268,6 +291,20 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
                 }
                 re
             },
+            tweak: if flags.contains_key("tweak-sweep") {
+                Some(SweepTweak {
+                    sweep: get_usize("tweak-sweep", 0)?,
+                    omega: {
+                        let w = get_f64("tweak-omega", 0.5)?;
+                        if !(w.is_finite() && w > 0.0 && w <= 1.0) {
+                            return Err(err("--tweak-omega must be in (0, 1]"));
+                        }
+                        w
+                    },
+                })
+            } else {
+                None
+            },
         }),
         "gemm" => KernelConfig::Gemm(GemmConfig {
             n: get_usize("n", 12)?,
@@ -325,6 +362,14 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
         },
         no_validate: flags.contains_key("no-validate"),
         static_prior: flags.contains_key("static-prior"),
+        max_sections: {
+            let m = get_usize("max-sections", 32)?;
+            if m == 0 {
+                return Err(err("--max-sections must be at least 1"));
+            }
+            m
+        },
+        secant: flags.contains_key("secant"),
     })
 }
 
@@ -343,6 +388,92 @@ mod tests {
         assert!(matches!(a.kernel, KernelConfig::Cg(_)));
         assert_eq!(a.rate, 0.01);
         assert_eq!(a.filter, "per-site");
+    }
+
+    #[test]
+    fn parses_analyze_compose_subcommand() {
+        let a = parse(&v(&[
+            "analyze",
+            "compose",
+            "--kernel",
+            "jacobi",
+            "--tolerance",
+            "1e-4",
+        ]))
+        .unwrap();
+        assert_eq!(a.command, "analyze-compose");
+        assert_eq!(a.max_sections, 32);
+        assert!(!a.secant);
+
+        let a = parse(&v(&[
+            "analyze",
+            "compose",
+            "--kernel",
+            "jacobi",
+            "--max-sections",
+            "8",
+            "--secant",
+        ]))
+        .unwrap();
+        assert_eq!(a.max_sections, 8);
+        assert!(a.secant);
+
+        assert!(parse(&v(&[
+            "analyze",
+            "compose",
+            "--kernel",
+            "jacobi",
+            "--max-sections",
+            "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_jacobi_sweep_tweak() {
+        let a = parse(&v(&[
+            "golden",
+            "--kernel",
+            "jacobi",
+            "--grid",
+            "4",
+            "--tweak-sweep",
+            "2",
+        ]))
+        .unwrap();
+        let KernelConfig::Jacobi(cfg) = &a.kernel else {
+            panic!("wrong kernel")
+        };
+        let tweak = cfg.tweak.expect("tweak must be set");
+        assert_eq!(tweak.sweep, 2);
+        assert_eq!(tweak.omega, 0.5);
+
+        let a = parse(&v(&[
+            "golden",
+            "--kernel",
+            "jacobi",
+            "--tweak-sweep",
+            "1",
+            "--tweak-omega",
+            "0.8",
+        ]))
+        .unwrap();
+        let KernelConfig::Jacobi(cfg) = &a.kernel else {
+            panic!("wrong kernel")
+        };
+        assert_eq!(cfg.tweak.unwrap().omega, 0.8);
+
+        // omega outside (0, 1] is refused
+        assert!(parse(&v(&[
+            "golden",
+            "--kernel",
+            "jacobi",
+            "--tweak-sweep",
+            "1",
+            "--tweak-omega",
+            "1.5"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -6,9 +6,9 @@ use ftb_core::prelude::*;
 use ftb_core::{AdaptiveState, StaticValidation};
 use ftb_inject::{
     exhaustive_plan, monte_carlo_plan, CampaignBinding, CampaignMetrics, ChunkedCampaign,
-    MetricsSnapshot,
+    ExhaustiveResult, MetricsSnapshot,
 };
-use ftb_report::{boundary_comparison, BoundaryMethodRow, Table};
+use ftb_report::{boundary_comparison, sections_table, BoundaryMethodRow, SectionRow, Table};
 use ftb_trace::FaultSpec;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -83,6 +83,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "exhaustive" => exhaustive(args),
         "analyze" => analyze(args),
         "analyze-static" => analyze_static(args),
+        "analyze-compose" => analyze_compose(args),
         "adaptive" => adaptive(args),
         "report" => report(args),
         "protect" => protect(args),
@@ -352,6 +353,194 @@ fn analyze_static(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// JSON artifact of `ftb analyze compose`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ComposeReport {
+    kernel: String,
+    tolerance: f64,
+    n_sites: usize,
+    n_sections: usize,
+    reran: Vec<usize>,
+    reused: Vec<usize>,
+    n_injections: u64,
+    conservative_fraction: Option<f64>,
+    sections: Vec<SectionRow>,
+    comparison: Vec<BoundaryMethodRow>,
+}
+
+/// Per-site smallest SDC-causing injected error, from exhaustive truth.
+fn min_sdc_per_site(golden: &ftb_trace::GoldenRun, truth: &ExhaustiveResult) -> Vec<f64> {
+    (0..golden.n_sites())
+        .map(|site| {
+            let errs = golden.flip_errors(site);
+            (0..truth.bits)
+                .filter(|&bit| truth.outcome(site, bit).is_sdc())
+                .map(|bit| errs[bit as usize])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect()
+}
+
+fn analyze_compose(args: &Args) -> Result<String, CliError> {
+    let kernel = args.kernel.build();
+    let injector = Injector::new(kernel.as_ref(), Classifier::new(args.tolerance))
+        .with_extraction(args.extraction);
+    let cfg = ftb_core::ComposeConfig {
+        tolerance: args.tolerance,
+        rate: args.rate,
+        seed: args.seed,
+        safety: args.safety,
+        extrapolate: true,
+        max_sections: args.max_sections,
+        secant: args.secant,
+    };
+    let ledger = args.checkpoint.as_ref().map(Path::new);
+    let t0 = Instant::now();
+    let r = compose_analysis(kernel.as_ref(), &args.kernel, &injector, &cfg, ledger)
+        .map_err(|e| CliError(format!("compose analysis: {e}")))?;
+    let compose_seconds = t0.elapsed().as_secs_f64();
+
+    let m = r.map.n_sections();
+    let sections: Vec<SectionRow> = (0..m)
+        .map(|t| {
+            let (lo, hi) = r.map.range(t);
+            SectionRow {
+                index: t,
+                lo,
+                hi,
+                injections: if r.reused.contains(&t) {
+                    0
+                } else {
+                    r.summaries[t].n_experiments
+                },
+                amp_in: r.summaries[t].amp_in,
+                budget: r.budgets[t],
+                reused: r.reused.contains(&t),
+            }
+        })
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "kernel:            {}", kernel.name());
+    let _ = writeln!(out, "dynamic sites:     {}", injector.n_sites());
+    let _ = writeln!(out, "sections:          {m}");
+    let _ = writeln!(
+        out,
+        "sections re-run:   {} of {m} ({} reused from ledger)",
+        r.reran.len(),
+        r.reused.len()
+    );
+    let _ = writeln!(out, "injections spent:  {}", r.n_experiments);
+    let _ = writeln!(out, "wall time:         {:.1} ms", compose_seconds * 1e3);
+    let _ = writeln!(out, "\nper-section summary:\n");
+    let _ = write!(out, "{}", sections_table(&sections));
+
+    let mut report = ComposeReport {
+        kernel: kernel.name().to_string(),
+        tolerance: args.tolerance,
+        n_sites: injector.n_sites(),
+        n_sections: m,
+        reran: r.reran.clone(),
+        reused: r.reused.clone(),
+        n_injections: r.n_experiments,
+        conservative_fraction: None,
+        sections,
+        comparison: Vec::new(),
+    };
+
+    if args.no_validate {
+        maybe_write_json(args, &report)?;
+        return Ok(out);
+    }
+
+    // four-way scorecard: composed vs inferred vs static vs exhaustive
+    let truth = injector.exhaustive();
+    let golden = injector.golden();
+    let composed_eval =
+        BoundaryEval::against_exhaustive(&Predictor::new(golden, &r.boundary), &truth);
+    let min_sdc = min_sdc_per_site(golden, &truth);
+    let conservative = (0..golden.n_sites())
+        .filter(|&s| r.boundary.threshold(s) < min_sdc[s] || min_sdc[s].is_infinite())
+        .count() as f64
+        / golden.n_sites().max(1) as f64;
+    report.conservative_fraction = Some(conservative);
+
+    let n_val_sites = ((args.rate * injector.n_sites() as f64).ceil() as usize).max(4);
+    let samples = SampleSet::sample_sites(&injector, n_val_sites, args.seed);
+    let inference = infer_boundary(&injector, &samples, FilterMode::PerSite);
+    let inferred_eval =
+        BoundaryEval::against_exhaustive(&Predictor::new(golden, &inference.boundary), &truth);
+
+    let gb = golden_boundary(golden, &truth);
+    let golden_eval = BoundaryEval::against_exhaustive(&Predictor::new(golden, &gb), &truth);
+
+    report.comparison = vec![
+        BoundaryMethodRow {
+            method: "composed".into(),
+            injections: r.n_experiments,
+            coverage: r.boundary.coverage(),
+            precision: composed_eval.precision,
+            recall: composed_eval.recall,
+            uncertainty: None,
+        },
+        BoundaryMethodRow {
+            method: "inferred".into(),
+            injections: samples.len() as u64,
+            coverage: inference.boundary.coverage(),
+            precision: inferred_eval.precision,
+            recall: inferred_eval.recall,
+            uncertainty: None,
+        },
+    ];
+    // the static row needs provenance instrumentation; skip it (with a
+    // note) for kernels that lack it rather than failing the command
+    let (_, ddg) = kernel.golden_with_ddg();
+    let static_cfg = ftb_core::StaticBoundConfig {
+        tolerance: args.tolerance,
+        safety: args.safety,
+    };
+    match static_bound(&ddg, &static_cfg) {
+        Ok(sb) => {
+            let sb_boundary = sb.boundary();
+            let static_eval =
+                BoundaryEval::against_exhaustive(&Predictor::new(golden, &sb_boundary), &truth);
+            report.comparison.push(BoundaryMethodRow {
+                method: "static".into(),
+                injections: 0,
+                coverage: sb_boundary.coverage(),
+                precision: static_eval.precision,
+                recall: static_eval.recall,
+                uncertainty: None,
+            });
+        }
+        Err(e) => {
+            let _ = writeln!(out, "\n(static row skipped: {e})");
+        }
+    }
+    report.comparison.push(BoundaryMethodRow {
+        method: "golden (exhaustive)".into(),
+        injections: truth.n_experiments(),
+        coverage: gb.coverage(),
+        precision: golden_eval.precision,
+        recall: golden_eval.recall,
+        uncertainty: None,
+    });
+
+    let _ = writeln!(
+        out,
+        "\nconservative:      {:.1}% of sites stay below their smallest SDC error",
+        conservative * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "\ncomposed vs inferred vs static vs exhaustive (rate {:.1}%):\n",
+        args.rate * 100.0
+    );
+    let _ = write!(out, "{}", boundary_comparison(&report.comparison));
+    maybe_write_json(args, &report)?;
+    Ok(out)
+}
+
 /// On-disk format of an adaptive `--checkpoint` file: the complete
 /// sampler state (including the per-site information counts) plus the
 /// campaign binding a resume must agree with.
@@ -514,7 +703,8 @@ fn report(args: &Args) -> Result<String, CliError> {
     let per_site = predictor.sdc_ratio_per_site(Some(&samples));
 
     let registry = kernel.registry();
-    let rows = by_static_instruction(analysis.golden(), &registry, &per_site);
+    let rows = by_static_instruction(analysis.golden(), &registry, &per_site)
+        .map_err(|e| CliError(e.to_string()))?;
     maybe_write_json(args, &rows)?;
 
     let mut table = Table::new(&["static instruction", "region", "dyn sites", "predicted SDC"]);
@@ -534,7 +724,8 @@ fn report(args: &Args) -> Result<String, CliError> {
     );
     let _ = write!(out, "{}", table.render());
 
-    let regions = by_region(analysis.golden(), &registry, &per_site);
+    let regions =
+        by_region(analysis.golden(), &registry, &per_site).map_err(|e| CliError(e.to_string()))?;
     let mut rt = Table::new(&["region", "dyn sites", "predicted SDC"]);
     for r in &regions {
         rt.row(&[
@@ -677,6 +868,86 @@ mod tests {
             !out.contains("| static"),
             "validation table must be absent: {out}"
         );
+    }
+
+    #[test]
+    fn analyze_compose_reports_sections_and_comparison() {
+        let args = parse(&v(&[
+            "analyze",
+            "compose",
+            "--kernel",
+            "jacobi",
+            "--grid",
+            "3",
+            "--sweeps",
+            "4",
+            "--tolerance",
+            "1e-4",
+            "--rate",
+            "0.4",
+        ]))
+        .unwrap();
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("per-section summary"), "{out}");
+        assert!(out.contains("| composed"), "{out}");
+        assert!(out.contains("| inferred"), "{out}");
+        assert!(out.contains("golden (exhaustive)"), "{out}");
+        assert!(out.contains("sections re-run:"), "{out}");
+        assert!(out.contains("conservative:"), "{out}");
+    }
+
+    #[test]
+    fn analyze_compose_incremental_reuses_sections() {
+        let dir = std::env::temp_dir().join("ftb-cli-compose-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ledger = dir.join("sections.jsonl");
+        let _ = std::fs::remove_file(&ledger);
+        let base = [
+            "analyze",
+            "compose",
+            "--kernel",
+            "jacobi",
+            "--grid",
+            "3",
+            "--sweeps",
+            "4",
+            "--tolerance",
+            "1e-4",
+            "--rate",
+            "0.4",
+            "--no-validate",
+            "--checkpoint",
+            ledger.to_str().unwrap(),
+        ];
+        let args = parse(&v(&base)).unwrap();
+        let first = dispatch(&args).unwrap();
+        let m = first
+            .lines()
+            .find(|l| l.starts_with("sections:"))
+            .and_then(|l| l.split_whitespace().last())
+            .unwrap()
+            .to_string();
+        assert!(
+            first.contains(&format!("sections re-run:   {m} of {m}")),
+            "{first}"
+        );
+        // unchanged config: everything reuses, zero injections
+        let second = dispatch(&args).unwrap();
+        assert!(
+            second.contains(&format!("sections re-run:   0 of {m} ({m} reused")),
+            "{second}"
+        );
+        assert!(second.contains("injections spent:  0"), "{second}");
+    }
+
+    #[test]
+    fn analyze_compose_secant_refuses_uninstrumented_kernel() {
+        let args = parse(&v(&[
+            "analyze", "compose", "--kernel", "lu", "--n", "8", "--secant",
+        ]))
+        .unwrap();
+        let e = dispatch(&args).unwrap_err();
+        assert!(e.0.contains("secant mode needs"), "{}", e.0);
     }
 
     #[test]

@@ -56,6 +56,24 @@ impl Boundary {
         }
     }
 
+    /// Construct from the compositional analyzer's composed thresholds
+    /// (`ftb-core::compose`). Non-finite or negative entries clamp to
+    /// the conservative floor `0` — unlike the static bound, a composed
+    /// threshold is rooted in finite empirical budgets, so an unbounded
+    /// value can only mean "no information". Positive thresholds carry
+    /// support 1: one composed certificate.
+    pub fn from_composed(thresholds: Vec<f64>) -> Self {
+        let thresholds: Vec<f64> = thresholds
+            .into_iter()
+            .map(|t| if t.is_finite() { t.max(0.0) } else { 0.0 })
+            .collect();
+        let support = thresholds.iter().map(|&t| u32::from(t > 0.0)).collect();
+        Boundary {
+            thresholds,
+            support,
+        }
+    }
+
     /// Seed this boundary with a prior (typically a static analysis):
     /// thresholds take the pointwise max — both are valid lower-bound
     /// certificates — and the prior's support counts add in. Merging a

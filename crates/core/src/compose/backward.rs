@@ -1,0 +1,317 @@
+//! The backward composition sweep: turn per-section transfer summaries
+//! into whole-program thresholds.
+//!
+//! Mirrors the static analyzer's backward pass, but over *sections*
+//! instead of dependence edges: starting from the output tolerance `T`
+//! at the terminal sections, an **error budget** — the largest frontier
+//! perturbation the downstream suffix of the program is known to absorb
+//! — is propagated backwards through each section's empirical transfer
+//! summary. Within a section, the budget is divided by the site's
+//! observed frontier amplification to extrapolate a per-site threshold
+//! beyond what local injections certified directly.
+//!
+//! Everything here is pure arithmetic over [`SectionSummary`] values, so
+//! the composition properties (monotonicity, order-invariance,
+//! single-section degeneration) are testable without running a kernel.
+
+use ftb_inject::SectionSummary;
+
+/// The section-level dependence DAG: which sections consume a section's
+/// output frontier. [`SectionMap`](ftb_trace::SectionMap) segmentations
+/// are linear in time, so the driver uses [`SectionDag::chain`]; the
+/// general form exists for composition over independent phases (and for
+/// exercising order-invariance in tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionDag {
+    /// `succs[t]` = sections that read section `t`'s output frontier.
+    pub succs: Vec<Vec<usize>>,
+}
+
+impl SectionDag {
+    /// The linear chain `0 → 1 → … → m-1`.
+    pub fn chain(m: usize) -> Self {
+        SectionDag {
+            succs: (0..m)
+                .map(|t| if t + 1 < m { vec![t + 1] } else { vec![] })
+                .collect(),
+        }
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the DAG is empty.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+}
+
+/// Result of [`compose_thresholds`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Composed {
+    /// Per-site thresholds, dense over the whole program (sites not
+    /// covered by any section stay `0`).
+    pub thresholds: Vec<f64>,
+    /// Per-section backward error budget: the largest perturbation at
+    /// the section's output frontier certified to stay within tolerance
+    /// end-to-end.
+    pub budgets: Vec<f64>,
+    /// Per-site flag: the threshold exceeds what local injections
+    /// certified directly (i.e. it rests on the budget extrapolation).
+    pub extrapolated: Vec<bool>,
+}
+
+/// Knobs of the backward sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComposeParams {
+    /// Output tolerance `T`: the budget of every terminal section.
+    pub tolerance: f64,
+    /// Extrapolated thresholds are divided by this margin (`≥ 1`).
+    pub safety: f64,
+    /// Whether to extrapolate beyond the locally-certified fold at all.
+    /// Off, the composed boundary is exactly the per-section local folds
+    /// (clamped below known SDC) — the conservative floor.
+    pub extrapolate: bool,
+}
+
+/// Reduce a candidate strictly below `cap` (the §3.5 filter shape):
+/// a threshold equal to an error known to cause SDC must not certify.
+fn below(x: f64, cap: f64) -> f64 {
+    if cap.is_finite() && x >= cap {
+        cap.next_down().max(0.0)
+    } else {
+        x
+    }
+}
+
+/// The error budget a *predecessor* of section `s` inherits, given `s`
+/// holds budget `b` at its own frontier: the inlet perturbation must
+/// stay within the largest observed masked crossing (`cap_in` — beyond
+/// it nothing is certified), amplify through `s` into at most `b`
+/// (`amp_in`; an inlet that never measurably reached the frontier keeps
+/// the observation cap only), and sit strictly below the smallest inlet
+/// error known to cause SDC.
+fn inlet_budget(s: &SectionSummary, b: f64) -> f64 {
+    if s.cap_in <= 0.0 || s.cap_in.is_nan() {
+        return 0.0; // no masked inlet observation: nothing certified
+    }
+    let through = if s.amp_in > 0.0 {
+        (b / s.amp_in).min(s.cap_in)
+    } else {
+        s.cap_in
+    };
+    below(through, s.min_sdc_in)
+}
+
+/// Compose per-section summaries into whole-program per-site thresholds
+/// via a backward sweep over `dag`.
+///
+/// `summaries[t]` must describe section `t` of the DAG; `n_sites` is the
+/// whole program's dynamic-instruction count.
+///
+/// # Panics
+/// Panics if `summaries` and `dag` disagree on the section count.
+pub fn compose_thresholds(
+    summaries: &[SectionSummary],
+    dag: &SectionDag,
+    n_sites: usize,
+    params: &ComposeParams,
+) -> Composed {
+    assert_eq!(summaries.len(), dag.len(), "summary/DAG section mismatch");
+    let m = summaries.len();
+
+    // Backward budgets. Sections are numbered in execution order and
+    // edges point forward, so a reverse index sweep is a valid reverse
+    // topological order.
+    let mut budgets = vec![f64::INFINITY; m];
+    for t in (0..m).rev() {
+        let succs = &dag.succs[t];
+        budgets[t] = if succs.is_empty() {
+            params.tolerance
+        } else {
+            succs
+                .iter()
+                .map(|&u| inlet_budget(&summaries[u], budgets[u]))
+                .fold(f64::INFINITY, f64::min)
+        };
+    }
+
+    // Per-site thresholds: the locally-certified fold, raised to the
+    // budget extrapolation where an observed frontier amplification
+    // makes it meaningful, always strictly below the site's known SDC.
+    let mut thresholds = vec![0.0f64; n_sites];
+    let mut extrapolated = vec![false; n_sites];
+    let safety = params.safety.max(1.0);
+    for (t, s) in summaries.iter().enumerate() {
+        for li in 0..(s.hi - s.lo) {
+            let loc = s.local_max[li];
+            let mut val = loc;
+            if params.extrapolate && s.site_amp[li] > 0.0 {
+                // amplifications below 1 are clamped: we never certify a
+                // site for *more* error than its own frontier absorbs
+                let ext = budgets[t] / s.site_amp[li].max(1.0) / safety;
+                if ext > val {
+                    val = ext;
+                    extrapolated[s.lo + li] = true;
+                }
+            }
+            val = below(val, s.min_sdc[li]);
+            // the clamp may pull an extrapolated value back to the fold
+            if val <= loc {
+                val = loc;
+                extrapolated[s.lo + li] = false;
+            }
+            thresholds[s.lo + li] = val;
+        }
+    }
+
+    Composed {
+        thresholds,
+        budgets,
+        extrapolated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(lo: usize, hi: usize) -> SectionSummary {
+        SectionSummary {
+            index: 0,
+            lo,
+            hi,
+            n_experiments: 1,
+            local_max: vec![0.0; hi - lo],
+            min_sdc: vec![f64::INFINITY; hi - lo],
+            site_amp: vec![0.0; hi - lo],
+            amp_in: 0.0,
+            cap_in: 0.0,
+            min_sdc_in: f64::INFINITY,
+            slot_amp: vec![],
+            static_amp: vec![],
+        }
+    }
+
+    fn params() -> ComposeParams {
+        ComposeParams {
+            tolerance: 1e-4,
+            safety: 1.0,
+            extrapolate: true,
+        }
+    }
+
+    #[test]
+    fn terminal_budget_is_the_tolerance() {
+        let s = summary(0, 3);
+        let c = compose_thresholds(&[s], &SectionDag::chain(1), 3, &params());
+        assert_eq!(c.budgets, vec![1e-4]);
+    }
+
+    #[test]
+    fn no_masked_inlet_means_zero_upstream_budget() {
+        let mut a = summary(0, 2);
+        a.local_max = vec![0.5, 0.25];
+        let b = summary(2, 4); // cap_in == 0: nothing crossed b masked
+        let c = compose_thresholds(&[a, b], &SectionDag::chain(2), 4, &params());
+        assert_eq!(c.budgets[0], 0.0);
+        // local certificates survive regardless of the budget
+        assert_eq!(&c.thresholds[..2], &[0.5, 0.25]);
+    }
+
+    #[test]
+    fn budget_divides_by_amplification_and_respects_the_cap() {
+        let a = summary(0, 1);
+        let mut b = summary(1, 2);
+        b.amp_in = 2.0;
+        b.cap_in = 1.0;
+        let dag = SectionDag::chain(2);
+        let c = compose_thresholds(&[a.clone(), b.clone()], &dag, 2, &params());
+        // T / amp_in = 5e-5, well under the cap
+        assert!((c.budgets[0] - 5e-5).abs() < 1e-18);
+
+        b.cap_in = 1e-5; // observed crossings stop earlier than T/amp
+        let c = compose_thresholds(&[a, b], &dag, 2, &params());
+        assert_eq!(c.budgets[0], 1e-5);
+    }
+
+    #[test]
+    fn inlet_sdc_caps_the_budget_strictly_below() {
+        let a = summary(0, 1);
+        let mut b = summary(1, 2);
+        b.amp_in = 1.0;
+        b.cap_in = 1.0;
+        b.min_sdc_in = 1e-5;
+        let c = compose_thresholds(&[a, b], &SectionDag::chain(2), 2, &params());
+        assert!(c.budgets[0] < 1e-5);
+        assert!(c.budgets[0] > 0.9e-5);
+    }
+
+    #[test]
+    fn extrapolation_rests_on_site_amp_and_is_flagged() {
+        let mut s = summary(0, 2);
+        s.local_max = vec![1e-6, 1e-6];
+        s.site_amp = vec![2.0, 0.0]; // site 1 never reached the frontier
+        let c = compose_thresholds(&[s], &SectionDag::chain(1), 2, &params());
+        assert!((c.thresholds[0] - 5e-5).abs() < 1e-18);
+        assert!(c.extrapolated[0]);
+        assert_eq!(c.thresholds[1], 1e-6); // no amp: local fold only
+        assert!(!c.extrapolated[1]);
+    }
+
+    #[test]
+    fn sub_unit_amplification_never_certifies_above_the_budget() {
+        let mut s = summary(0, 1);
+        s.site_amp = vec![0.25]; // decays — but we clamp the divisor at 1
+        let c = compose_thresholds(&[s], &SectionDag::chain(1), 1, &params());
+        assert!(c.thresholds[0] <= params().tolerance);
+    }
+
+    #[test]
+    fn extrapolation_off_reproduces_the_local_folds() {
+        let mut s = summary(0, 2);
+        s.local_max = vec![3.0, 4.0];
+        s.site_amp = vec![2.0, 2.0];
+        let p = ComposeParams {
+            extrapolate: false,
+            ..params()
+        };
+        let c = compose_thresholds(&[s], &SectionDag::chain(1), 2, &p);
+        assert_eq!(c.thresholds, vec![3.0, 4.0]);
+        assert!(!c.extrapolated.iter().any(|&e| e));
+    }
+
+    #[test]
+    fn local_sdc_clamps_extrapolated_thresholds() {
+        let mut s = summary(0, 1);
+        s.site_amp = vec![1.0];
+        s.min_sdc = vec![1e-6]; // SDC observed well under the tolerance
+        let c = compose_thresholds(&[s], &SectionDag::chain(1), 1, &params());
+        assert!(c.thresholds[0] < 1e-6);
+    }
+
+    #[test]
+    fn fan_dag_takes_the_tightest_successor() {
+        // 0 feeds both 1 and 2 (independent terminal phases)
+        let a = summary(0, 1);
+        let mut b = summary(1, 2);
+        b.amp_in = 1.0;
+        b.cap_in = 1.0;
+        let mut c2 = summary(2, 3);
+        c2.amp_in = 10.0;
+        c2.cap_in = 1.0;
+        let dag = SectionDag {
+            succs: vec![vec![1, 2], vec![], vec![]],
+        };
+        let c = compose_thresholds(&[a, b, c2], &dag, 3, &params());
+        assert!((c.budgets[0] - 1e-5).abs() < 1e-18); // min(T/1, T/10)
+    }
+
+    #[test]
+    #[should_panic]
+    fn section_count_mismatch_panics() {
+        let _ = compose_thresholds(&[summary(0, 1)], &SectionDag::chain(2), 1, &params());
+    }
+}

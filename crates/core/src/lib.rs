@@ -56,6 +56,7 @@
 pub mod adaptive;
 pub mod analysis;
 pub mod boundary;
+pub mod compose;
 pub mod infer;
 pub mod metrics;
 pub mod pilot;
@@ -71,12 +72,16 @@ pub use adaptive::{
 };
 pub use analysis::Analysis;
 pub use boundary::{golden_boundary, Boundary};
+pub use compose::{
+    compose_analysis, compose_thresholds, plan_incremental, ComposeConfig, ComposeError,
+    ComposeParams, ComposeResult, Composed, IncrementalPlan, SectionDag,
+};
 pub use infer::{infer_boundary, infer_boundary_streaming, FilterMode, Inference};
 pub use metrics::{delta_sdc, BoundaryEval, SdcProfile};
 pub use pilot::{pilot_estimate, PilotConfig, PilotEstimate};
 pub use predict::{crash_known_set, PredictedOutcome, Predictor};
 pub use protection::ProtectionPlan;
-pub use region::{by_region, by_static_instruction, RegionProfile, StaticProfile};
+pub use region::{by_region, by_static_instruction, RegionError, RegionProfile, StaticProfile};
 pub use sample::SampleSet;
 pub use staticbound::{
     static_bound, validate_static, StaticBound, StaticBoundConfig, StaticBoundError,
@@ -91,12 +96,16 @@ pub mod prelude {
     };
     pub use crate::analysis::Analysis;
     pub use crate::boundary::{golden_boundary, Boundary};
+    pub use crate::compose::{
+        compose_analysis, compose_thresholds, ComposeConfig, ComposeError, ComposeParams,
+        ComposeResult, SectionDag,
+    };
     pub use crate::infer::{infer_boundary, FilterMode, Inference};
     pub use crate::metrics::{delta_sdc, BoundaryEval, SdcProfile};
     pub use crate::pilot::{pilot_estimate, PilotConfig, PilotEstimate};
     pub use crate::predict::{crash_known_set, PredictedOutcome, Predictor};
     pub use crate::protection::ProtectionPlan;
-    pub use crate::region::{by_region, by_static_instruction};
+    pub use crate::region::{by_region, by_static_instruction, RegionError};
     pub use crate::sample::SampleSet;
     pub use crate::staticbound::{
         static_bound, validate_static, StaticBound, StaticBoundConfig, StaticValidation,

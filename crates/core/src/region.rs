@@ -9,6 +9,34 @@
 use ftb_trace::{GoldenRun, Region, StaticRegistry};
 use serde::Serialize;
 
+/// Why a profile fold could not run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionError {
+    /// The per-site metric vector does not match the golden run's site
+    /// count — folding it would attribute values to the wrong
+    /// instructions (or index out of bounds), so it is refused.
+    MetricLengthMismatch {
+        /// The golden run's dynamic-instruction count.
+        expected: usize,
+        /// The metric vector's length.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionError::MetricLengthMismatch { expected, got } => write!(
+                f,
+                "per-site metric has {got} entries but the golden run has \
+                 {expected} dynamic instructions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
 /// Aggregated statistics for one static instruction.
 #[derive(Debug, Clone, Serialize)]
 pub struct StaticProfile {
@@ -27,18 +55,20 @@ pub struct StaticProfile {
 /// Fold a per-site metric by static instruction, returning one row per
 /// static instruction that actually executed, sorted by descending mean.
 ///
-/// # Panics
-/// Panics if `per_site` does not match the golden run's site count.
+/// # Errors
+/// [`RegionError::MetricLengthMismatch`] if `per_site` does not match
+/// the golden run's site count.
 pub fn by_static_instruction(
     golden: &GoldenRun,
     registry: &StaticRegistry,
     per_site: &[f64],
-) -> Vec<StaticProfile> {
-    assert_eq!(
-        per_site.len(),
-        golden.n_sites(),
-        "metric length does not match golden run"
-    );
+) -> Result<Vec<StaticProfile>, RegionError> {
+    if per_site.len() != golden.n_sites() {
+        return Err(RegionError::MetricLengthMismatch {
+            expected: golden.n_sites(),
+            got: per_site.len(),
+        });
+    }
     let n = registry.len();
     let mut count = vec![0usize; n];
     let mut sum = vec![0.0f64; n];
@@ -68,7 +98,7 @@ pub fn by_static_instruction(
             .partial_cmp(&a.mean)
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    rows
+    Ok(rows)
 }
 
 /// Aggregated statistics for one coarse [`Region`].
@@ -83,12 +113,16 @@ pub struct RegionProfile {
 }
 
 /// Fold a per-site metric by coarse region, sorted by descending mean.
+///
+/// # Errors
+/// [`RegionError::MetricLengthMismatch`] if `per_site` does not match
+/// the golden run's site count.
 pub fn by_region(
     golden: &GoldenRun,
     registry: &StaticRegistry,
     per_site: &[f64],
-) -> Vec<RegionProfile> {
-    let statics = by_static_instruction(golden, registry, per_site);
+) -> Result<Vec<RegionProfile>, RegionError> {
+    let statics = by_static_instruction(golden, registry, per_site)?;
     let mut merged: Vec<RegionProfile> = Vec::new();
     for s in statics {
         match merged.iter_mut().find(|r| r.region == s.region) {
@@ -109,7 +143,7 @@ pub fn by_region(
             .partial_cmp(&a.mean)
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    merged
+    Ok(merged)
 }
 
 #[cfg(test)]
@@ -122,7 +156,7 @@ mod tests {
         let k = StencilKernel::new(StencilConfig::small());
         let g = k.golden();
         let metric = vec![1.0; g.n_sites()];
-        let rows = by_static_instruction(&g, &k.registry(), &metric);
+        let rows = by_static_instruction(&g, &k.registry(), &metric).unwrap();
         let total: usize = rows.iter().map(|r| r.dynamic_sites).sum();
         assert_eq!(total, g.n_sites());
         for r in &rows {
@@ -137,7 +171,7 @@ mod tests {
         let g = k.golden();
         // metric = site index, so later instructions average higher
         let metric: Vec<f64> = (0..g.n_sites()).map(|i| i as f64).collect();
-        let rows = by_static_instruction(&g, &k.registry(), &metric);
+        let rows = by_static_instruction(&g, &k.registry(), &metric).unwrap();
         for w in rows.windows(2) {
             assert!(w[0].mean >= w[1].mean);
         }
@@ -148,7 +182,7 @@ mod tests {
         let k = StencilKernel::new(StencilConfig::small());
         let g = k.golden();
         let metric = vec![2.0; g.n_sites()];
-        let regions = by_region(&g, &k.registry(), &metric);
+        let regions = by_region(&g, &k.registry(), &metric).unwrap();
         let total: usize = regions.iter().map(|r| r.dynamic_sites).sum();
         assert_eq!(total, g.n_sites());
         // stencil has init / compute / move regions
@@ -159,10 +193,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn length_mismatch_panics() {
+    fn length_mismatch_is_a_typed_error_not_a_panic() {
         let k = StencilKernel::new(StencilConfig::small());
         let g = k.golden();
-        let _ = by_static_instruction(&g, &k.registry(), &[1.0, 2.0]);
+        let n = g.n_sites();
+        let err = by_static_instruction(&g, &k.registry(), &[1.0, 2.0]).unwrap_err();
+        assert_eq!(
+            err,
+            RegionError::MetricLengthMismatch {
+                expected: n,
+                got: 2
+            }
+        );
+        // the message names both lengths so the caller can spot the bug
+        let msg = err.to_string();
+        assert!(
+            msg.contains("2 entries") && msg.contains(&n.to_string()),
+            "{msg}"
+        );
+        // by_region forwards the same error
+        assert_eq!(
+            by_region(&g, &k.registry(), &[]).unwrap_err(),
+            RegionError::MetricLengthMismatch {
+                expected: n,
+                got: 0
+            }
+        );
     }
 }

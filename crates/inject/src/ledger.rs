@@ -62,8 +62,14 @@ pub struct LedgerHeader {
 impl LedgerHeader {
     /// Header for a binding, stamped with the current format tag.
     pub fn new(binding: CampaignBinding) -> Self {
+        Self::with_format(LEDGER_FORMAT, binding)
+    }
+
+    /// Header with an explicit format tag (sectioned ledgers carry their
+    /// own tag — see [`crate::sections`]).
+    pub fn with_format(format: &str, binding: CampaignBinding) -> Self {
         LedgerHeader {
-            format: LEDGER_FORMAT.to_string(),
+            format: format.to_string(),
             binding,
         }
     }
@@ -129,6 +135,24 @@ pub struct LedgerRecovery {
 
 /// Read and validate a ledger, tolerating a torn final line.
 pub fn read_ledger(path: &Path) -> Result<LedgerRecovery, LedgerError> {
+    let (header, experiments, valid_len, dropped_trailing) = read_records(path, LEDGER_FORMAT)?;
+    Ok(LedgerRecovery {
+        header,
+        experiments,
+        valid_len,
+        dropped_trailing,
+    })
+}
+
+/// Generic JSONL-ledger recovery: parse the header (checking its format
+/// tag), then every record line of type `T`, tolerating exactly a torn
+/// *final* line. Shared by the experiment ledger ([`read_ledger`]) and
+/// the sectioned campaign ledger ([`crate::sections::read_section_ledger`]),
+/// so the two formats cannot drift in crash-recovery behaviour.
+pub(crate) fn read_records<T: serde::de::DeserializeOwned>(
+    path: &Path,
+    expected_format: &str,
+) -> Result<(LedgerHeader, Vec<T>, u64, bool), LedgerError> {
     let data = std::fs::read(path)?;
     let mut lines: Vec<(usize, &[u8])> = Vec::new(); // (start offset, bytes)
     let mut start = 0;
@@ -151,17 +175,17 @@ pub fn read_ledger(path: &Path) -> Result<LedgerRecovery, LedgerError> {
             line: 1,
             msg: format!("unreadable header: {e}"),
         })?;
-    if header.format != LEDGER_FORMAT {
+    if header.format != expected_format {
         return Err(LedgerError::Format {
             line: 1,
             msg: format!(
-                "unsupported format tag {:?} (expected {LEDGER_FORMAT:?})",
+                "unsupported format tag {:?} (expected {expected_format:?})",
                 header.format
             ),
         });
     }
 
-    let mut experiments = Vec::new();
+    let mut records = Vec::new();
     let mut valid_len = lines
         .get(1)
         .map_or(data.len() as u64, |&(off, _)| off as u64);
@@ -179,9 +203,9 @@ pub fn read_ledger(path: &Path) -> Result<LedgerRecovery, LedgerError> {
             valid_len = off as u64;
             break;
         }
-        match serde_json::from_slice::<Experiment>(bytes) {
+        match serde_json::from_slice::<T>(bytes) {
             Ok(e) => {
-                experiments.push(e);
+                records.push(e);
                 let end = off + bytes.len();
                 // include the newline if one followed
                 valid_len = if data.get(end) == Some(&b'\n') {
@@ -208,12 +232,7 @@ pub fn read_ledger(path: &Path) -> Result<LedgerRecovery, LedgerError> {
         }
     }
 
-    Ok(LedgerRecovery {
-        header,
-        experiments,
-        valid_len,
-        dropped_trailing,
-    })
+    Ok((header, records, valid_len, dropped_trailing))
 }
 
 /// Append-only ledger writer. Each [`append_chunk`](Self::append_chunk)
@@ -257,8 +276,15 @@ impl LedgerWriter {
     /// Append one chunk of completed experiments: one JSON line per
     /// record, one write, one flush.
     pub fn append_chunk(&mut self, experiments: &[Experiment]) -> Result<(), LedgerError> {
+        self.append_records(experiments)
+    }
+
+    /// Append arbitrary serialisable records (the sectioned ledger's
+    /// record type differs from [`Experiment`]): one JSON line per
+    /// record, one write, one flush.
+    pub fn append_records<T: Serialize>(&mut self, records: &[T]) -> Result<(), LedgerError> {
         let mut buf = String::new();
-        for e in experiments {
+        for e in records {
             buf.push_str(
                 &serde_json::to_string(e).map_err(|err| LedgerError::Format {
                     line: 0,

@@ -40,6 +40,7 @@ pub mod monte_carlo;
 pub mod obs;
 pub mod outcome;
 pub mod runner;
+pub mod sections;
 
 pub use campaign::{ExhaustiveResult, ExtractionSummary, Injector};
 pub use experiment::Experiment;
@@ -50,3 +51,8 @@ pub use monte_carlo::{monte_carlo, MonteCarloEstimate};
 pub use obs::{CampaignMetrics, MetricsSnapshot, ProgressReporter};
 pub use outcome::{Classifier, CrashKind, Outcome};
 pub use runner::{exhaustive_plan, monte_carlo_plan, ChunkedCampaign, DEFAULT_CHUNK};
+pub use sections::{
+    create_section_ledger, read_section_ledger, run_section_campaign, SectionCampaign,
+    SectionCampaignConfig, SectionLedgerRecovery, SectionRecord, SectionSummary, SlotAmp,
+    SECTIONS_FORMAT,
+};

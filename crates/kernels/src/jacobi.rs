@@ -61,6 +61,26 @@ pub struct JacobiConfig {
     /// stores.
     #[serde(default)]
     pub residual_every: usize,
+    /// Optional single-sweep code edit: replace one sweep's update with
+    /// the weighted-Jacobi relaxation `x ← (1−ω)·x + ω·x_jacobi`. This is
+    /// the compositional analyzer's incremental-re-analysis demo: it
+    /// changes the *arithmetic* of exactly one phase (reflected in
+    /// [`Kernel::code_version`](crate::Kernel::code_version)) while
+    /// leaving the dynamic-instruction stream's shape untouched.
+    #[serde(default)]
+    pub tweak: Option<SweepTweak>,
+}
+
+/// A localized code edit to one Jacobi sweep (see [`JacobiConfig::tweak`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepTweak {
+    /// Zero-based index of the sweep whose body is modified.
+    pub sweep: usize,
+    /// Relaxation weight ω of the modified sweep (`1.0` reproduces the
+    /// plain Jacobi update bit-for-bit in exact arithmetic, but still
+    /// counts as an edit — the stamp hashes the parameters, not the
+    /// values they happen to produce).
+    pub omega: f64,
 }
 
 impl JacobiConfig {
@@ -73,6 +93,7 @@ impl JacobiConfig {
             seed: 42,
             fine_grained: false,
             residual_every: 1,
+            tweak: None,
         }
     }
 }
@@ -166,6 +187,34 @@ impl Kernel for JacobiKernel {
         2 * n + self.cfg.sweeps * per_sweep + resid_sites
     }
 
+    fn code_version(&self, lo: usize, hi: usize) -> u64 {
+        let Some(tw) = self.cfg.tweak else {
+            return 0;
+        };
+        if tw.sweep >= self.cfg.sweeps {
+            return 0;
+        }
+        // site layout: [0,2n) init, then per sweep `per_sweep` stores with
+        // one residual store after every `residual_every`-th sweep
+        let n = self.cfg.grid * self.cfg.grid;
+        let per_sweep = if self.cfg.fine_grained {
+            self.off_cols.len() + n
+        } else {
+            n
+        };
+        let re = self.cfg.residual_every.max(1);
+        let start = 2 * n + tw.sweep * per_sweep + tw.sweep / re;
+        let end = start + per_sweep;
+        if start < hi && lo < end {
+            let mut h = ftb_trace::Fnv1a::new();
+            h.write_u64(tw.sweep as u64);
+            h.write_u64(tw.omega.to_bits());
+            h.finish()
+        } else {
+            0
+        }
+    }
+
     fn run(&self, t: &mut Tracer) -> Vec<f64> {
         let n = self.cfg.grid * self.cfg.grid;
 
@@ -195,6 +244,13 @@ impl Kernel for JacobiKernel {
         let mut ax = vec![0.0; n];
         let resid_every = self.cfg.residual_every.max(1);
         for sweep in 0..self.cfg.sweeps {
+            // weighted-relaxation factor when this sweep's body is the
+            // tweaked one; `None` keeps the plain path byte-identical to
+            // an untweaked build
+            let omega = match self.cfg.tweak {
+                Some(tw) if tw.sweep == sweep => Some(tw.omega),
+                _ => None,
+            };
             for (r, nr) in next.iter_mut().enumerate() {
                 let lo = self.off_ptr[r] as usize;
                 let hi = self.off_ptr[r + 1] as usize;
@@ -212,28 +268,52 @@ impl Kernel for JacobiKernel {
                         off = t.value(sid::SWEEP_ACC, off + v * x[c as usize]);
                     }
                     if ddg {
-                        // x_r = (b_r − off) / d_r
-                        t.dep(def_b[r], OpKind::DivNum(self.diag[r]));
-                        if acc_def != usize::MAX {
-                            t.dep(acc_def, OpKind::DivNum(self.diag[r]));
+                        // x_r = (b_r − off) / d_r, damped by ω when tweaked
+                        if let Some(w) = omega {
+                            t.dep(def_b[r], OpKind::Scale(w / self.diag[r]));
+                            if acc_def != usize::MAX {
+                                t.dep(acc_def, OpKind::Scale(w / self.diag[r]));
+                            }
+                            t.dep(def_x[r], OpKind::Scale(1.0 - w));
+                        } else {
+                            t.dep(def_b[r], OpKind::DivNum(self.diag[r]));
+                            if acc_def != usize::MAX {
+                                t.dep(acc_def, OpKind::DivNum(self.diag[r]));
+                            }
                         }
                         def_next[r] = t.cursor();
                     }
                 } else {
                     if ddg {
                         // x_r = (b_r − Σ_c v_c x_c) / d_r: each operand's
-                        // |∂| at the golden values
+                        // |∂| at the golden values, damped by ω when tweaked
                         for (&c, &v) in self.off_cols[lo..hi].iter().zip(&self.off_vals[lo..hi]) {
-                            t.dep(def_x[c as usize], OpKind::Scale(v / self.diag[r]));
+                            let amp = match omega {
+                                Some(w) => w * v / self.diag[r],
+                                None => v / self.diag[r],
+                            };
+                            t.dep(def_x[c as usize], OpKind::Scale(amp));
                         }
-                        t.dep(def_b[r], OpKind::DivNum(self.diag[r]));
+                        if let Some(w) = omega {
+                            t.dep(def_b[r], OpKind::Scale(w / self.diag[r]));
+                            t.dep(def_x[r], OpKind::Scale(1.0 - w));
+                        } else {
+                            t.dep(def_b[r], OpKind::DivNum(self.diag[r]));
+                        }
                         def_next[r] = t.cursor();
                     }
                     for (&c, &v) in self.off_cols[lo..hi].iter().zip(&self.off_vals[lo..hi]) {
                         off += v * x[c as usize];
                     }
                 }
-                *nr = t.value(sid::SWEEP_X, (b[r] - off) / self.diag[r]);
+                let xj = (b[r] - off) / self.diag[r];
+                *nr = t.value(
+                    sid::SWEEP_X,
+                    match omega {
+                        Some(w) => (1.0 - w) * x[r] + w * xj,
+                        None => xj,
+                    },
+                );
             }
             std::mem::swap(&mut x, &mut next);
             if ddg {
@@ -329,5 +409,68 @@ mod tests {
         let g = k.golden();
         assert!(k.estimated_sites() >= g.n_sites());
         assert!(k.estimated_sites() <= g.n_sites() + 8);
+    }
+
+    #[test]
+    fn tweak_changes_one_sweep_but_not_the_shape() {
+        let base = JacobiKernel::new(JacobiConfig::small());
+        let tweaked = JacobiKernel::new(JacobiConfig {
+            tweak: Some(SweepTweak {
+                sweep: 3,
+                omega: 0.7,
+            }),
+            ..JacobiConfig::small()
+        });
+        let g0 = base.golden();
+        let g1 = tweaked.golden();
+        // identical dynamic-instruction stream shape …
+        assert_eq!(g0.static_ids, g1.static_ids);
+        // … but different values from the tweaked sweep onward
+        let n = base.config().grid * base.config().grid;
+        let sweep3 = 2 * n + 3 * (n + 1);
+        assert_eq!(g0.values[..sweep3], g1.values[..sweep3]);
+        assert_ne!(g0.values[sweep3..], g1.values[sweep3..]);
+        // a damped sweep still converges
+        let err = Norm::LInf.distance(&g1.output, &g0.output);
+        assert!(err.is_finite());
+    }
+
+    #[test]
+    fn code_version_localizes_the_edit() {
+        let cfg = JacobiConfig {
+            tweak: Some(SweepTweak {
+                sweep: 2,
+                omega: 0.5,
+            }),
+            ..JacobiConfig::small()
+        };
+        let k = JacobiKernel::new(cfg.clone());
+        let n = cfg.grid * cfg.grid;
+        // sweep s occupies [2n + s(n+1), 2n + s(n+1) + n) with
+        // residual_every = 1
+        let start = 2 * n + 2 * (n + 1);
+        assert_ne!(k.code_version(start, start + n + 1), 0);
+        // neighbouring sweeps are untouched
+        assert_eq!(k.code_version(2 * n + (n + 1), start), 0);
+        assert_eq!(k.code_version(start + n + 1, start + 2 * (n + 1)), 0);
+        // an untweaked build stamps everything 0
+        let plain = JacobiKernel::new(JacobiConfig::small());
+        assert_eq!(plain.code_version(0, plain.estimated_sites()), 0);
+    }
+
+    #[test]
+    fn tweaked_ddg_stays_instrumented() {
+        let k = JacobiKernel::new(JacobiConfig {
+            grid: 4,
+            sweeps: 6,
+            tweak: Some(SweepTweak {
+                sweep: 1,
+                omega: 0.6,
+            }),
+            ..JacobiConfig::small()
+        });
+        let (g, ddg) = k.golden_with_ddg();
+        assert!(ddg.is_instrumented());
+        assert_eq!(ddg.n_sites, g.n_sites());
     }
 }

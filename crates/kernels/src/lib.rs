@@ -49,7 +49,7 @@ pub use cg::{CgConfig, CgKernel, CgStorage};
 pub use csr::Csr;
 pub use fft::{FftConfig, FftKernel};
 pub use gemm::{GemmConfig, GemmKernel};
-pub use jacobi::{JacobiConfig, JacobiKernel};
+pub use jacobi::{JacobiConfig, JacobiKernel, SweepTweak};
 pub use lu::{LuConfig, LuKernel};
 pub use matvec::{MatvecConfig, MatvecKernel};
 pub use spmv::{SpmvConfig, SpmvKernel};
@@ -81,6 +81,19 @@ pub trait Kernel: Send + Sync {
 
     /// Expected branch-event count (`0` = unknown).
     fn estimated_branches(&self) -> usize {
+        0
+    }
+
+    /// Version stamp of the *code* that produces dynamic instructions
+    /// `[lo, hi)` — the compositional analyzer's invalidation hook. Two
+    /// builds of a kernel must return the same stamp for a range iff the
+    /// arithmetic producing that range is unchanged; input values do not
+    /// count (the golden run captures those). The default claims the
+    /// whole program is version `0`, i.e. editing the config rebuilds
+    /// everything — correct but never incremental. Kernels with
+    /// localized, configurable variants (e.g. [`JacobiConfig::tweak`])
+    /// override this to confine invalidation to the edited phase.
+    fn code_version(&self, _lo: usize, _hi: usize) -> u64 {
         0
     }
 

@@ -13,6 +13,7 @@ pub mod boundary_cmp;
 pub mod grouping;
 pub mod histo;
 pub mod plot;
+pub mod sections_table;
 pub mod series;
 pub mod table;
 
@@ -20,5 +21,6 @@ pub use boundary_cmp::{boundary_comparison, BoundaryMethodRow};
 pub use grouping::{group_means, group_sums};
 pub use histo::render_histogram;
 pub use plot::LinePlot;
+pub use sections_table::{sections_table, SectionRow};
 pub use series::Series;
 pub use table::Table;

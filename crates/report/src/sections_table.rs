@@ -1,0 +1,85 @@
+//! Per-section view of a compositional analysis: one row per section
+//! with its extent, campaign cost, transfer summary, backward budget and
+//! incremental status.
+//!
+//! Like the rest of this crate, the rows are plain data computed
+//! elsewhere — rendering only.
+
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+
+/// One section's line in the compose report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SectionRow {
+    /// Section index.
+    pub index: usize,
+    /// First site.
+    pub lo: usize,
+    /// One past the last site.
+    pub hi: usize,
+    /// Kernel executions the section's campaign spent (0 when reused).
+    pub injections: u64,
+    /// Largest observed inlet-to-frontier amplification.
+    pub amp_in: f64,
+    /// Backward error budget at the section's output frontier.
+    pub budget: f64,
+    /// Whether the campaign was reused from a prior ledger.
+    pub reused: bool,
+}
+
+/// Render section rows as an aligned table.
+pub fn sections_table(rows: &[SectionRow]) -> String {
+    let mut t = Table::new(&[
+        "section",
+        "sites",
+        "injections",
+        "amp_in",
+        "budget",
+        "status",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.index.to_string(),
+            format!("[{}, {})", r.lo, r.hi),
+            r.injections.to_string(),
+            format!("{:.3}", r.amp_in),
+            format!("{:.3e}", r.budget),
+            if r.reused { "reused" } else { "ran" }.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_ran_and_reused_sections() {
+        let rows = vec![
+            SectionRow {
+                index: 0,
+                lo: 0,
+                hi: 18,
+                injections: 0,
+                amp_in: 0.0,
+                budget: 2.5e-5,
+                reused: true,
+            },
+            SectionRow {
+                index: 1,
+                lo: 18,
+                hi: 28,
+                injections: 640,
+                amp_in: 1.25,
+                budget: 1e-4,
+                reused: false,
+            },
+        ];
+        let s = sections_table(&rows);
+        assert!(s.contains("reused"), "{s}");
+        assert!(s.contains("| ran"), "{s}");
+        assert!(s.contains("[18, 28)"), "{s}");
+        assert!(s.contains("640"), "{s}");
+    }
+}

@@ -47,6 +47,7 @@ pub mod compare;
 pub mod ddg;
 pub mod golden;
 pub mod norms;
+pub mod section;
 pub mod serde_float;
 pub mod site;
 pub mod streamed;
@@ -57,6 +58,7 @@ pub use compact::CompactGolden;
 pub use compare::{divergence_cursor, propagation, Propagation};
 pub use ddg::{Ddg, OpKind, StaticEdge};
 pub use golden::{GoldenRun, RunTrace};
+pub use section::{Fnv1a, SectionMap};
 pub use site::{Region, StaticId, StaticInstr, StaticRegistry};
 pub use streamed::{streamed_propagation, CompareScratch, StreamedWindow};
 pub use tracer::{FaultSpec, RecordMode, StreamEvent, Tracer};

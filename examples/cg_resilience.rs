@@ -40,7 +40,8 @@ fn main() {
 
     // aggregate by static instruction via the region API
     let registry = kernel.registry();
-    let rows = by_static_instruction(analysis.golden(), &registry, &per_site);
+    let rows = by_static_instruction(analysis.golden(), &registry, &per_site)
+        .expect("per_site comes from the same golden run");
 
     let mut table = Table::new(&["static instruction", "region", "dyn sites", "predicted SDC"]);
     for r in &rows {

@@ -1,0 +1,217 @@
+//! Differential harness for the compositional analyzer: composed
+//! boundaries vs exhaustive ground truth, vs the monolithic inferred
+//! boundary, across every propagation-extraction path and thread count.
+
+use ftb_core::prelude::*;
+use ftb_core::{compose_analysis, ComposeConfig};
+use ftb_inject::{Classifier, ExtractionMode, Injector};
+use ftb_integration::tiny_suite;
+use ftb_kernels::KernelConfig;
+
+/// The jacobi / gemm / cg members of the tiny suite.
+fn compose_suite() -> Vec<(KernelConfig, f64)> {
+    tiny_suite()
+        .into_iter()
+        .filter(|(k, _)| matches!(k.name(), "jacobi" | "gemm" | "cg"))
+        .collect()
+}
+
+fn cfg(tol: f64) -> ComposeConfig {
+    ComposeConfig {
+        rate: 0.4,
+        seed: 41,
+        ..ComposeConfig::new(tol)
+    }
+}
+
+/// Per-site smallest SDC-causing injected error from exhaustive truth.
+fn min_sdc_per_site(inj: &Injector<'_>, truth: &ftb_inject::ExhaustiveResult) -> Vec<f64> {
+    let golden = inj.golden();
+    (0..golden.n_sites())
+        .map(|site| {
+            let errs = golden.flip_errors(site);
+            (0..truth.bits)
+                .filter(|&bit| truth.outcome(site, bit).is_sdc())
+                .map(|bit| errs[bit as usize])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect()
+}
+
+#[test]
+fn composed_is_precise_and_conservative_vs_exhaustive() {
+    for (config, tol) in compose_suite() {
+        let kernel = config.build();
+        let inj = Injector::new(kernel.as_ref(), Classifier::new(tol));
+        let r = compose_analysis(kernel.as_ref(), &config, &inj, &cfg(tol), None).unwrap();
+        let truth = inj.exhaustive();
+
+        let eval =
+            BoundaryEval::against_exhaustive(&Predictor::new(inj.golden(), &r.boundary), &truth);
+        assert!(
+            eval.precision >= 0.95,
+            "{}: composed precision {:.4} below 0.95",
+            config.name(),
+            eval.precision
+        );
+
+        // conservative: no composed threshold may reach a site's
+        // smallest SDC-causing error. CG is the paper's non-monotonic
+        // hard case (its Figure 5): a few *local folds* there certify a
+        // masked perturbation above an SDC error the campaign never
+        // sampled — the same limitation the monolithic inferred
+        // boundary has. Composition itself must add no unsoundness, so
+        // extrapolated sites are held to zero violations everywhere.
+        let min_sdc = min_sdc_per_site(&inj, &truth);
+        let violating: Vec<usize> = (0..inj.n_sites())
+            .filter(|&s| min_sdc[s].is_finite() && r.boundary.threshold(s) >= min_sdc[s])
+            .collect();
+        let extrapolated_violations = violating.iter().filter(|&&s| r.extrapolated[s]).count();
+        assert_eq!(
+            extrapolated_violations,
+            0,
+            "{}: budget extrapolation certified above a known SDC error",
+            config.name()
+        );
+        if config.name() == "cg" {
+            // baseline: the monolithic inferred boundary on the union of
+            // the same local experiments. Composition may not violate on
+            // more sites than plain Algorithm-1 inference does.
+            let mut samples = SampleSet::new();
+            for c in r.campaigns.iter().flatten() {
+                for e in &c.local_experiments {
+                    samples.insert(e.clone());
+                }
+            }
+            let inferred = infer_boundary(&inj, &samples, FilterMode::PerSite);
+            let inferred_violations = (0..inj.n_sites())
+                .filter(|&s| min_sdc[s].is_finite() && inferred.boundary.threshold(s) >= min_sdc[s])
+                .count();
+            assert!(
+                violating.len() <= inferred_violations,
+                "cg: composed violates on {} sites, monolithic inferred on {}",
+                violating.len(),
+                inferred_violations
+            );
+        } else {
+            assert_eq!(
+                violating.len(),
+                0,
+                "{}: sites {violating:?} certified at/above a known SDC error",
+                config.name()
+            );
+        }
+
+        // and it is not vacuous: near-total coverage, high recall
+        assert!(
+            r.boundary.coverage() > 0.9,
+            "{}: coverage {:.3}",
+            config.name(),
+            r.boundary.coverage()
+        );
+        assert!(
+            eval.recall > 0.85,
+            "{}: recall {:.3}",
+            config.name(),
+            eval.recall
+        );
+    }
+}
+
+#[test]
+fn composed_never_looser_than_monolithic_inferred_on_local_sites() {
+    // The monolithic baseline is fed the union of the per-section LOCAL
+    // experiments (inlet probes excluded: they would inject at section
+    // t's frontier from section t+1's campaign and change the per-site
+    // SDC floors), so both analyses fold the same observations. On every
+    // non-extrapolated site, composition can then only discard
+    // information (cross-section propagation), never invent it.
+    for (config, tol) in compose_suite() {
+        let kernel = config.build();
+        let inj = Injector::new(kernel.as_ref(), Classifier::new(tol));
+        let r = compose_analysis(kernel.as_ref(), &config, &inj, &cfg(tol), None).unwrap();
+
+        let mut samples = SampleSet::new();
+        for c in r.campaigns.iter().flatten() {
+            for e in &c.local_experiments {
+                samples.insert(e.clone());
+            }
+        }
+        let inferred = infer_boundary(&inj, &samples, FilterMode::PerSite);
+        let mut shared = 0usize;
+        for site in 0..inj.n_sites() {
+            if r.extrapolated[site] {
+                continue;
+            }
+            assert!(
+                r.boundary.threshold(site) <= inferred.boundary.threshold(site),
+                "{}: composed {} > inferred {} at non-extrapolated site {site}",
+                config.name(),
+                r.boundary.threshold(site),
+                inferred.boundary.threshold(site)
+            );
+            shared += 1;
+        }
+        assert!(shared > 0, "{}: no shared sites compared", config.name());
+    }
+}
+
+#[test]
+fn composed_is_identical_across_extraction_paths() {
+    for (config, tol) in compose_suite() {
+        let kernel = config.build();
+        let mut results = Vec::new();
+        for mode in [
+            ExtractionMode::Buffered,
+            ExtractionMode::Lockstep { capacity: 64 },
+            ExtractionMode::Streamed,
+        ] {
+            let inj = Injector::new(kernel.as_ref(), Classifier::new(tol)).with_extraction(mode);
+            let r = compose_analysis(kernel.as_ref(), &config, &inj, &cfg(tol), None).unwrap();
+            results.push((mode, r));
+        }
+        let bits =
+            |b: &Boundary| -> Vec<u64> { b.thresholds().iter().map(|t| t.to_bits()).collect() };
+        let reference = bits(&results[0].1.boundary);
+        for (mode, r) in &results[1..] {
+            assert_eq!(
+                bits(&r.boundary),
+                reference,
+                "{}: {mode:?} diverged from Buffered",
+                config.name()
+            );
+            assert_eq!(r.summaries, results[0].1.summaries, "{}", config.name());
+            assert_eq!(r.budgets, results[0].1.budgets, "{}", config.name());
+        }
+    }
+}
+
+#[test]
+fn composed_is_identical_across_thread_counts() {
+    let (config, tol) = tiny_suite()
+        .into_iter()
+        .find(|(k, _)| k.name() == "jacobi")
+        .unwrap();
+    let kernel = config.build();
+    let run = || {
+        let inj = Injector::new(kernel.as_ref(), Classifier::new(tol));
+        let r = compose_analysis(kernel.as_ref(), &config, &inj, &cfg(tol), None).unwrap();
+        (
+            r.boundary
+                .thresholds()
+                .iter()
+                .map(|t| t.to_bits())
+                .collect::<Vec<u64>>(),
+            r.summaries,
+        )
+    };
+    let reference = run();
+    for threads in [1usize, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let got = pool.install(run);
+        assert_eq!(got, reference, "{threads} threads diverged");
+    }
+}

@@ -208,3 +208,217 @@ proptest! {
         prop_assert!(set.distinct_sites() <= set.len());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Compositional-analysis properties: the backward sweep is pure arithmetic
+// over transfer summaries, so its contracts are checkable without kernels.
+
+use ftb_core::{compose_thresholds, ComposeParams, SectionDag};
+use ftb_inject::SectionSummary;
+
+/// Per-site generator payload: (local_max, raw site_amp, raw min_sdc).
+type SiteGen = (f64, f64, f64);
+/// Per-section payload: sites, amp_in, cap_in, raw min_sdc_in, and the
+/// worsening factors (amp_mul, cap_mul, sdc_mul, loc_mul, site_amp_mul).
+type SectionGen = (Vec<SiteGen>, f64, f64, f64, (f64, f64, f64, f64, f64));
+
+/// Raw SDC selectors below 3 mean "no SDC observed" (infinite floor);
+/// the rest land in [3e-4, 1e-3], commensurate with the local folds.
+fn sdc_of(raw: f64) -> f64 {
+    if raw < 3.0 {
+        f64::INFINITY
+    } else {
+        raw * 1e-4
+    }
+}
+
+/// Build a chain of summaries over contiguous site ranges. Raw site
+/// amplifications below 1 mean "never reached the frontier" (zero).
+fn chain_summaries(secs: &[SectionGen]) -> Vec<SectionSummary> {
+    let mut lo = 0usize;
+    secs.iter()
+        .enumerate()
+        .map(|(t, (sites, amp_in, cap_in, sdc_in, _))| {
+            let hi = lo + sites.len();
+            let s = SectionSummary {
+                index: t,
+                lo,
+                hi,
+                n_experiments: 1,
+                local_max: sites.iter().map(|&(l, _, _)| l).collect(),
+                min_sdc: sites.iter().map(|&(_, _, m)| sdc_of(m)).collect(),
+                site_amp: sites
+                    .iter()
+                    .map(|&(_, a, _)| if a < 1.0 { 0.0 } else { a })
+                    .collect(),
+                amp_in: *amp_in,
+                cap_in: *cap_in,
+                min_sdc_in: sdc_of(*sdc_in),
+                slot_amp: vec![],
+                static_amp: vec![],
+            };
+            lo = hi;
+            s
+        })
+        .collect()
+}
+
+fn compose_params() -> ComposeParams {
+    ComposeParams {
+        tolerance: 1e-4,
+        safety: 1.0,
+        extrapolate: true,
+    }
+}
+
+proptest! {
+    /// Worsening any summary — larger amplifications, smaller masked
+    /// caps, smaller SDC floors, smaller local folds — never loosens any
+    /// composed threshold: composition is monotone in summary tightness.
+    #[test]
+    fn composition_is_monotone_in_summary_tightness(
+        secs in proptest::collection::vec(
+            (
+                proptest::collection::vec(
+                    (0.0f64..1e-3, 0.0f64..8.0, 0.0f64..10.0),
+                    1..4,
+                ),
+                0.0f64..8.0,
+                0.0f64..2.0,
+                0.0f64..10.0,
+                (1.0f64..4.0, 0.1f64..1.0, 0.1f64..1.0, 0.1f64..1.0, 1.0f64..4.0),
+            ),
+            1..5,
+        )
+    ) {
+        let base = chain_summaries(&secs);
+        let worse: Vec<SectionSummary> = base
+            .iter()
+            .zip(&secs)
+            .map(|(s, (_, _, _, _, (amp_mul, cap_mul, sdc_mul, loc_mul, samp_mul)))| {
+                let mut w = s.clone();
+                w.amp_in *= amp_mul;
+                w.cap_in *= cap_mul;
+                w.min_sdc_in *= sdc_mul; // infinities stay infinite
+                for v in &mut w.local_max {
+                    *v *= loc_mul;
+                }
+                for v in &mut w.min_sdc {
+                    *v *= sdc_mul;
+                }
+                for v in &mut w.site_amp {
+                    *v *= samp_mul; // zeros (unreached) stay zero
+                }
+                w
+            })
+            .collect();
+        let n = base.last().map_or(0, |s| s.hi);
+        let dag = SectionDag::chain(base.len());
+        let a = compose_thresholds(&base, &dag, n, &compose_params());
+        let b = compose_thresholds(&worse, &dag, n, &compose_params());
+        for site in 0..n {
+            prop_assert!(
+                b.thresholds[site] <= a.thresholds[site],
+                "worsened summaries loosened site {}: {} > {}",
+                site, b.thresholds[site], a.thresholds[site]
+            );
+        }
+        for t in 0..base.len() {
+            prop_assert!(b.budgets[t] <= a.budgets[t], "budget {} loosened", t);
+        }
+    }
+
+    /// Independent (mutually unordered) sections compose order-invariantly:
+    /// relabeling the terminal fan of a summary DAG changes no threshold
+    /// and no shared-ancestor budget, bit for bit.
+    #[test]
+    fn composition_is_order_invariant_for_independent_sections(
+        secs in proptest::collection::vec(
+            (
+                proptest::collection::vec(
+                    (0.0f64..1e-3, 0.0f64..8.0, 0.0f64..10.0),
+                    1..4,
+                ),
+                0.0f64..8.0,
+                0.0f64..2.0,
+                0.0f64..10.0,
+                (1.0f64..1.1, 1.0f64..1.1, 1.0f64..1.1, 1.0f64..1.1, 1.0f64..1.1),
+            ),
+            3..6, // section 0 + at least two independent successors
+        )
+    ) {
+        let summaries = chain_summaries(&secs);
+        let n = summaries.last().map_or(0, |s| s.hi);
+        let m = summaries.len();
+        // fan: section 0 feeds every other section; 1..m are terminal
+        // and independent of each other
+        let fan = SectionDag {
+            succs: std::iter::once((1..m).collect::<Vec<_>>())
+                .chain((1..m).map(|_| vec![]))
+                .collect(),
+        };
+        let a = compose_thresholds(&summaries, &fan, n, &compose_params());
+
+        // relabel the independent fan: reverse sections 1..m (each keeps
+        // its own site range), successor list follows the relabeling
+        let mut relabeled = vec![summaries[0].clone()];
+        relabeled.extend(summaries[1..].iter().rev().cloned());
+        let b = compose_thresholds(&relabeled, &fan, n, &compose_params());
+
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&a.thresholds), bits(&b.thresholds));
+        prop_assert_eq!(a.budgets[0].to_bits(), b.budgets[0].to_bits());
+        prop_assert_eq!(a.extrapolated, b.extrapolated);
+    }
+}
+
+/// Degeneration: analyzing the whole program as one section with
+/// extrapolation off reproduces the monolithic Algorithm-1 inference —
+/// same experiments in, bit-identical thresholds out.
+#[test]
+fn single_whole_program_section_reproduces_monolithic_inference() {
+    use ftb_inject::{run_section_campaign, Classifier, Injector, SectionCampaignConfig};
+    use ftb_trace::SectionMap;
+
+    let (config, tol) = ftb_integration::tiny_suite()
+        .into_iter()
+        .find(|(k, _)| k.name() == "jacobi")
+        .unwrap();
+    let kernel = config.build();
+    let inj = Injector::new(kernel.as_ref(), Classifier::new(tol));
+    let registry = kernel.registry();
+    let map = SectionMap::whole(inj.n_sites());
+    let campaign = run_section_campaign(
+        &inj,
+        &registry,
+        &map,
+        0,
+        &SectionCampaignConfig::new(0.4, 41),
+    );
+
+    let composed = compose_thresholds(
+        &[campaign.summary.clone()],
+        &SectionDag::chain(1),
+        inj.n_sites(),
+        &ComposeParams {
+            tolerance: tol,
+            safety: 1.0,
+            extrapolate: false,
+        },
+    );
+
+    let mut samples = SampleSet::new();
+    for e in &campaign.local_experiments {
+        samples.insert(*e);
+    }
+    let inferred = infer_boundary(&inj, &samples, FilterMode::PerSite);
+    for site in 0..inj.n_sites() {
+        assert_eq!(
+            composed.thresholds[site].to_bits(),
+            inferred.boundary.threshold(site).to_bits(),
+            "site {site}: composed {} vs inferred {}",
+            composed.thresholds[site],
+            inferred.boundary.threshold(site),
+        );
+    }
+}

@@ -21,6 +21,7 @@ fn jacobi_tiny() -> JacobiKernel {
         seed: 42,
         fine_grained: false,
         residual_every: 1,
+        tweak: None,
     })
 }
 
