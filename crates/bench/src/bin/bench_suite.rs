@@ -90,6 +90,23 @@ fn main() {
                 sb.conservative_fraction * 100.0,
             );
         }
+        if let Some(b) = &w.bits_map {
+            println!(
+                "  bits      {:.2}x reduction ({} of {} bits certified, {:.1} ms analysis): \
+                 unpruned {:.0} exp/s ({} exp), pruned {:.0} exp/s ({} exp), \
+                 violations {}, agree {}",
+                b.reduction_factor,
+                b.certified_measured,
+                b.total_measured,
+                b.analysis_secs * 1e3,
+                b.unpruned_eps,
+                b.unpruned_experiments,
+                b.pruned_eps,
+                b.pruned_experiments,
+                b.violations,
+                b.agree_non_certified,
+            );
+        }
         println!();
     }
 
@@ -103,6 +120,13 @@ fn main() {
     }
     if !report.compose_ok {
         eprintln!("FAIL: a compositional-analysis stanza missed its quality gate");
+        std::process::exit(1);
+    }
+    if !report.bits_ok {
+        eprintln!(
+            "FAIL: a bit-prune stanza missed its gate (certified-bit violation, \
+             pruned/unpruned divergence, or reduction below floor)"
+        );
         std::process::exit(1);
     }
 }

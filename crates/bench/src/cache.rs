@@ -78,6 +78,7 @@ pub fn exhaustive_cached(bench: &Benchmark, injector: &Injector<'_>) -> Exhausti
         n_sites: injector.n_sites(),
         bits: injector.bits(),
         plan: "exhaustive".to_string(),
+        bit_prune: None,
     };
     let plan = exhaustive_plan(injector.n_sites(), injector.bits());
     let ex =

@@ -253,6 +253,151 @@ pub fn run_compose(cw: &ComposeWorkload) -> Option<ComposeStats> {
     })
 }
 
+/// Pinned configuration for the bit-level vulnerability-map stanza:
+/// forward interval analysis certifies masked bits, then a pruned and an
+/// unpruned exhaustive campaign run over the same (possibly strided)
+/// site set to measure the work saving and check cell-for-cell agreement.
+pub struct BitsWorkload {
+    /// Config the stanza runs at. The paper-scale tier reuses the perf
+    /// config with a site stride; validation-sized tiers run the full
+    /// site set.
+    pub config: KernelConfig,
+    /// Classifier tolerance (also the static bound's error budget).
+    pub tolerance: f64,
+    /// Relative input widening for the forward pass.
+    pub widen: f64,
+    /// Site stride of the measured campaigns (1 = every site).
+    pub site_stride: usize,
+    /// CI floor on the certified-bit campaign reduction factor.
+    pub min_reduction: f64,
+}
+
+/// Bit-level vulnerability-map numbers for one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct BitsStats {
+    /// Config the stanza ran at.
+    pub config: KernelConfig,
+    /// Classifier tolerance.
+    pub tolerance: f64,
+    /// Forward-pass input widening.
+    pub widen: f64,
+    /// Site stride of the measured campaigns.
+    pub site_stride: usize,
+    /// CI floor on `reduction_factor` (from the pinned workload).
+    pub min_reduction: f64,
+    /// Sites in the golden run (before striding).
+    pub n_sites: usize,
+    /// Bits per site.
+    pub bits: u8,
+    /// Wall seconds for DDG + static bound + forward pass + masks.
+    pub analysis_secs: f64,
+    /// Certified-masked bits over the measured sites.
+    pub certified_measured: u64,
+    /// All bits over the measured sites.
+    pub total_measured: u64,
+    /// `total / (total - certified)` over the measured sites — the
+    /// campaign work factor `--bit-prune` saves.
+    pub reduction_factor: f64,
+    /// Experiments and wall time of the unpruned campaign.
+    pub unpruned_experiments: u64,
+    /// Unpruned campaign wall seconds.
+    pub unpruned_secs: f64,
+    /// Unpruned experiments per second.
+    pub unpruned_eps: f64,
+    /// Experiments and wall time of the pruned campaign.
+    pub pruned_experiments: u64,
+    /// Pruned campaign wall seconds.
+    pub pruned_secs: f64,
+    /// Pruned experiments per second.
+    pub pruned_eps: f64,
+    /// Certified bits whose measured outcome is not masked — soundness
+    /// demands zero.
+    pub violations: u64,
+    /// Whether pruned and unpruned campaigns agree on every measured
+    /// non-certified `(site, bit)` cell.
+    pub agree_non_certified: bool,
+}
+
+/// Run the bit-level stanza. Returns `None` for kernels without
+/// provenance instrumentation.
+pub fn run_bits(bw: &BitsWorkload) -> Option<BitsStats> {
+    let kernel = bw.config.build();
+    let t0 = Instant::now();
+    let (golden, ddg) = kernel.golden_with_ddg();
+    let sb = static_bound(&ddg, &StaticBoundConfig::new(bw.tolerance)).ok()?;
+    let fw = forward_pass(&ddg, &golden, &ForwardConfig { widen: bw.widen }).ok()?;
+    let masks = safe_bit_masks(&fw, &sb.boundary(), MaskSource::Static);
+    let analysis_secs = t0.elapsed().as_secs_f64();
+
+    let injector = Injector::with_golden(kernel.as_ref(), golden, Classifier::new(bw.tolerance));
+    let bits = injector.bits();
+    let certified = masks.certified_masks();
+    let sites: Vec<usize> = (0..injector.n_sites()).step_by(bw.site_stride).collect();
+    let unpruned_plan: Vec<ftb_trace::FaultSpec> = sites
+        .iter()
+        .flat_map(|&site| (0..bits).map(move |bit| ftb_trace::FaultSpec { site, bit }))
+        .collect();
+    let pruned_plan: Vec<ftb_trace::FaultSpec> = sites
+        .iter()
+        .flat_map(|&site| {
+            let mask = certified[site];
+            (0..bits)
+                .filter(move |&bit| mask & (1u64 << bit) == 0)
+                .map(move |bit| ftb_trace::FaultSpec { site, bit })
+        })
+        .collect();
+
+    let t1 = Instant::now();
+    let unpruned = injector.run_batch(&unpruned_plan);
+    let unpruned_secs = t1.elapsed().as_secs_f64();
+    let t2 = Instant::now();
+    let pruned = injector.run_batch(&pruned_plan);
+    let pruned_secs = t2.elapsed().as_secs_f64();
+
+    let truth: std::collections::HashMap<(usize, u8), u8> = unpruned
+        .iter()
+        .map(|e| (e.key(), e.outcome.code()))
+        .collect();
+    let violations = unpruned
+        .iter()
+        .filter(|e| certified[e.site] & (1u64 << e.bit) != 0 && !e.outcome.is_masked())
+        .count() as u64;
+    let agree_non_certified = pruned
+        .iter()
+        .all(|e| truth.get(&e.key()) == Some(&e.outcome.code()));
+
+    let certified_measured: u64 = sites
+        .iter()
+        .map(|&s| u64::from(certified[s].count_ones()))
+        .sum();
+    let total_measured = (sites.len() * bits as usize) as u64;
+    Some(BitsStats {
+        config: bw.config.clone(),
+        tolerance: bw.tolerance,
+        widen: bw.widen,
+        site_stride: bw.site_stride,
+        min_reduction: bw.min_reduction,
+        n_sites: injector.n_sites(),
+        bits,
+        analysis_secs,
+        certified_measured,
+        total_measured,
+        reduction_factor: if certified_measured == total_measured {
+            f64::INFINITY
+        } else {
+            total_measured as f64 / (total_measured - certified_measured) as f64
+        },
+        unpruned_experiments: unpruned_plan.len() as u64,
+        unpruned_secs,
+        unpruned_eps: unpruned_plan.len() as f64 / unpruned_secs.max(1e-9),
+        pruned_experiments: pruned_plan.len() as u64,
+        pruned_secs,
+        pruned_eps: pruned_plan.len() as f64 / pruned_secs.max(1e-9),
+        violations,
+        agree_non_certified,
+    })
+}
+
 /// One pinned workload of the performance suite.
 pub struct PerfWorkload {
     /// Display name ("jacobi", "gemm", "cg").
@@ -278,6 +423,8 @@ pub struct PerfWorkload {
     /// Pinned compositional-analysis stanza; `None` skips it. Like the
     /// static stanza, it runs at a validation-sized config.
     pub compose: Option<ComposeWorkload>,
+    /// Pinned bit-level vulnerability-map stanza; `None` skips it.
+    pub bits: Option<BitsWorkload>,
 }
 
 /// The pinned jacobi compose stanza shared by both tiers: a
@@ -341,6 +488,21 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     1e-6,
                 )),
                 compose: Some(jacobi_compose_stanza()),
+                bits: Some(BitsWorkload {
+                    config: KernelConfig::Jacobi(JacobiConfig {
+                        grid: 4,
+                        sweeps: 10,
+                        precision: Precision::F64,
+                        seed: 42,
+                        fine_grained: true,
+                        residual_every: 1,
+                        tweak: None,
+                    }),
+                    tolerance: 1e-6,
+                    widen: 0.0,
+                    site_stride: 1,
+                    min_reduction: 2.0,
+                }),
             },
             PerfWorkload {
                 name: "gemm",
@@ -362,6 +524,17 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     1e-6,
                 )),
                 compose: None,
+                bits: Some(BitsWorkload {
+                    config: KernelConfig::Gemm(GemmConfig {
+                        n: 5,
+                        precision: Precision::F64,
+                        seed: 42,
+                    }),
+                    tolerance: 1e-6,
+                    widen: 0.0,
+                    site_stride: 1,
+                    min_reduction: 1.0,
+                }),
             },
             PerfWorkload {
                 name: "cg",
@@ -389,6 +562,20 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     1e-1,
                 )),
                 compose: None,
+                bits: Some(BitsWorkload {
+                    config: KernelConfig::Cg(CgConfig {
+                        grid: 4,
+                        rtol: 1e-4,
+                        max_iters: 50,
+                        precision: Precision::F32,
+                        seed: 42,
+                        storage: CgStorage::MatrixFree,
+                    }),
+                    tolerance: 1e-1,
+                    widen: 0.0,
+                    site_stride: 1,
+                    min_reduction: 1.0,
+                }),
             },
         ]
     } else {
@@ -445,6 +632,26 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     1e-4,
                 )),
                 compose: Some(jacobi_compose_stanza()),
+                // The acceptance stanza: paper-scale Jacobi, strided so
+                // the pruned-vs-unpruned comparison finishes in minutes.
+                // Static certification on an F32 run at 1e-3 clears the
+                // low mantissa bits at every surviving site; the floor
+                // asserts the headline ≥2× campaign-work reduction.
+                bits: Some(BitsWorkload {
+                    config: KernelConfig::Jacobi(JacobiConfig {
+                        grid: 128,
+                        sweeps: 600,
+                        precision: Precision::F32,
+                        seed: 42,
+                        fine_grained: false,
+                        residual_every: 8,
+                        tweak: None,
+                    }),
+                    tolerance: 1e-3,
+                    widen: 0.0,
+                    site_stride: 614_000,
+                    min_reduction: 2.0,
+                }),
             },
             PerfWorkload {
                 name: "gemm",
@@ -466,6 +673,17 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     1e-6,
                 )),
                 compose: None,
+                bits: Some(BitsWorkload {
+                    config: KernelConfig::Gemm(GemmConfig {
+                        n: 10,
+                        precision: Precision::F64,
+                        seed: 42,
+                    }),
+                    tolerance: 1e-6,
+                    widen: 0.0,
+                    site_stride: 1,
+                    min_reduction: 1.0,
+                }),
             },
             PerfWorkload {
                 name: "cg",
@@ -493,6 +711,20 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     1e-1,
                 )),
                 compose: None,
+                bits: Some(BitsWorkload {
+                    config: KernelConfig::Cg(CgConfig {
+                        grid: 6,
+                        rtol: 1e-4,
+                        max_iters: 100,
+                        precision: Precision::F32,
+                        seed: 42,
+                        storage: CgStorage::MatrixFree,
+                    }),
+                    tolerance: 1e-1,
+                    widen: 0.0,
+                    site_stride: 1,
+                    min_reduction: 1.0,
+                }),
             },
         ]
     }
@@ -595,6 +827,9 @@ pub struct WorkloadReport {
     pub staticbound: Option<StaticBoundStats>,
     /// Compositional-analysis stanza (`None` when the workload skips it).
     pub compose: Option<ComposeStats>,
+    /// Bit-level vulnerability-map stanza (`None` when the workload
+    /// skips it).
+    pub bits_map: Option<BitsStats>,
 }
 
 fn run_path(
@@ -702,6 +937,7 @@ pub fn run_workload(w: &PerfWorkload) -> WorkloadReport {
             .as_ref()
             .and_then(|(cfg, tol)| run_staticbound(cfg, *tol)),
         compose: w.compose.as_ref().and_then(run_compose),
+        bits_map: w.bits.as_ref().and_then(run_bits),
     }
 }
 
@@ -723,6 +959,11 @@ pub struct PerfReport {
     /// exactly one dirty section at recall at least 0.9). `true` when
     /// no stanza ran.
     pub compose_ok: bool,
+    /// Conjunction of every bits stanza's gate: zero certification
+    /// violations, pruned/unpruned agreement on every non-certified
+    /// cell, and the workload's pinned reduction floor met. `true` when
+    /// no stanza ran.
+    pub bits_ok: bool,
 }
 
 /// The compose stanza's CI gate (see [`PerfReport::compose_ok`]).
@@ -734,6 +975,14 @@ pub fn compose_gate(c: &ComposeStats) -> bool {
     fresh_ok && incr_ok
 }
 
+/// The bits stanza's CI gate (see [`PerfReport::bits_ok`]): the map must
+/// be sound (no certified bit observed as SDC/crash), the pruned
+/// campaign must reproduce the unpruned outcome on every cell it still
+/// runs, and the work saving must meet the workload's pinned floor.
+pub fn bits_gate(b: &BitsStats) -> bool {
+    b.violations == 0 && b.agree_non_certified && b.reduction_factor >= b.min_reduction
+}
+
 /// Run the full suite at the chosen tier.
 pub fn run_suite(quick: bool) -> PerfReport {
     let workloads: Vec<WorkloadReport> = perf_suite(quick).iter().map(run_workload).collect();
@@ -742,13 +991,18 @@ pub fn run_suite(quick: bool) -> PerfReport {
         .iter()
         .filter_map(|w| w.compose.as_ref())
         .all(compose_gate);
+    let bits_ok = workloads
+        .iter()
+        .filter_map(|w| w.bits_map.as_ref())
+        .all(bits_gate);
     PerfReport {
-        schema: "ftb-bench/extraction-v3",
+        schema: "ftb-bench/extraction-v4",
         quick,
         threads: rayon::current_num_threads(),
         workloads,
         all_paths_agree,
         compose_ok,
+        bits_ok,
     }
 }
 
@@ -788,17 +1042,38 @@ mod tests {
         assert_eq!(i.dirty_sections, 1, "edit must dirty exactly one section");
         assert_eq!(i.reused_sections, c.n_sections - 1);
         assert!(i.n_injections < c.n_injections);
+        assert!(report.bits_ok, "bit-prune gate failed");
+        for w in &report.workloads {
+            let b = w
+                .bits_map
+                .as_ref()
+                .unwrap_or_else(|| panic!("{}: bits stanza missing", w.name));
+            assert_eq!(b.violations, 0, "{}: certified bit was not masked", w.name);
+            assert!(b.agree_non_certified, "{}: pruned run diverged", w.name);
+            assert!(
+                b.reduction_factor >= b.min_reduction,
+                "{}: reduction {} < floor {}",
+                w.name,
+                b.reduction_factor,
+                b.min_reduction
+            );
+            assert!(b.pruned_experiments < b.unpruned_experiments, "{}", w.name);
+        }
     }
 
     #[test]
     fn report_serialises() {
         let report = run_suite(true);
         let json = serde_json::to_string_pretty(&report).unwrap();
-        assert!(json.contains("\"schema\": \"ftb-bench/extraction-v3\""));
+        assert!(json.contains("\"schema\": \"ftb-bench/extraction-v4\""));
         assert!(json.contains("jacobi"));
         assert!(json.contains("\"staticbound\""));
         assert!(json.contains("\"n_injections_static\": 0"));
         assert!(json.contains("\"compose\""));
         assert!(json.contains("\"dirty_sections\": 1"));
+        assert!(json.contains("\"bits_map\""));
+        assert!(json.contains("\"reduction_factor\""));
+        assert!(json.contains("\"agree_non_certified\""));
+        assert!(json.contains("\"bits_ok\""));
     }
 }

@@ -31,6 +31,11 @@ COMMANDS:
                  sections, run per-section campaigns, compose them through
                  error-transfer summaries; incremental re-analysis via a
                  sectioned ledger (--checkpoint / --resume)
+    analyze bits
+                 bit-level vulnerability map: forward interval analysis
+                 over the dependence graph classifies every (site, bit)
+                 flip as certified-masked / crash-likely / unknown, with a
+                 conservatism scorecard against exhaustive ground truth
     adaptive     adaptive progressive sampling (paper §3.4); seeds from
                  the static boundary with --static-prior
     report       per-static-instruction / per-region vulnerability table
@@ -62,8 +67,9 @@ ANALYSIS OPTIONS:
                            meaningful with --extraction lockstep
     --safety F             analyze static: divide analytical thresholds
                            by F >= 1 as a rounding margin (1.0)
-    --no-validate          analyze static: skip the exhaustive validation
-                           campaign, print only the zero-injection bound
+    --no-validate          analyze static/bits: skip the exhaustive
+                           validation campaign, print only the
+                           zero-injection artifact
     --static-prior         adaptive: seed the sampler with the static
                            boundary (instrumented kernels only)
     --max-sections N       analyze compose: coalesce the section map to at
@@ -74,6 +80,13 @@ ANALYSIS OPTIONS:
     --tweak-sweep N        jacobi only: weighted-relaxation edit to sweep
                            N's body (the incremental re-analysis demo)
     --tweak-omega F        relaxation weight of the tweaked sweep (0.5)
+    --widen F              analyze bits: relative input widening for the
+                           forward interval pass, >= 0 (0 = envelopes
+                           around the concrete golden run)
+    --bit-prune            exhaustive/adaptive: skip (exhaustive) or
+                           deprioritise (adaptive) bits the forward
+                           interval analysis certifies as masked
+                           (instrumented kernels only)
     --json PATH            also write results as JSON
 
 CHECKPOINT / OBSERVABILITY OPTIONS (campaign, exhaustive, adaptive):
@@ -127,6 +140,10 @@ pub struct Args {
     /// `analyze compose`: secant-bound transfer amplifications with the
     /// DDG quotient.
     pub secant: bool,
+    /// `exhaustive`/`adaptive`: prune statically certified bits.
+    pub bit_prune: bool,
+    /// `analyze bits`: relative input widening for the forward pass.
+    pub widen: f64,
 }
 
 /// Parse failure.
@@ -177,6 +194,10 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
             flag_start = 2;
             "analyze-compose".to_string()
         }
+        ("analyze", Some("bits")) => {
+            flag_start = 2;
+            "analyze-bits".to_string()
+        }
         _ => command,
     };
 
@@ -189,7 +210,14 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
             .ok_or_else(|| err(format!("expected a --flag, got '{}'", raw[i])))?;
         let boolean = matches!(
             key,
-            "f32" | "f64" | "csr" | "resume" | "no-validate" | "static-prior" | "secant"
+            "f32"
+                | "f64"
+                | "csr"
+                | "resume"
+                | "no-validate"
+                | "static-prior"
+                | "secant"
+                | "bit-prune"
         );
         if boolean {
             flags.insert(key.to_string(), "true".to_string());
@@ -370,6 +398,14 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
             m
         },
         secant: flags.contains_key("secant"),
+        bit_prune: flags.contains_key("bit-prune"),
+        widen: {
+            let w = get_f64("widen", 0.0)?;
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(err("--widen must be a finite number >= 0"));
+            }
+            w
+        },
     })
 }
 
@@ -427,6 +463,45 @@ mod tests {
             "0"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_analyze_bits_subcommand() {
+        let a = parse(&v(&["analyze", "bits", "--kernel", "jacobi"])).unwrap();
+        assert_eq!(a.command, "analyze-bits");
+        assert_eq!(a.widen, 0.0);
+        assert!(!a.no_validate);
+
+        let a = parse(&v(&[
+            "analyze",
+            "bits",
+            "--kernel",
+            "gemm",
+            "--widen",
+            "1e-6",
+            "--no-validate",
+        ]))
+        .unwrap();
+        assert_eq!(a.widen, 1e-6);
+        assert!(a.no_validate);
+
+        // negative or non-finite widening is refused
+        assert!(parse(&v(&[
+            "analyze", "bits", "--kernel", "gemm", "--widen", "-1"
+        ]))
+        .is_err());
+        assert!(parse(&v(&[
+            "analyze", "bits", "--kernel", "gemm", "--widen", "inf"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_bit_prune_flag() {
+        let a = parse(&v(&["exhaustive", "--kernel", "jacobi", "--bit-prune"])).unwrap();
+        assert!(a.bit_prune);
+        let a = parse(&v(&["adaptive", "--kernel", "jacobi"])).unwrap();
+        assert!(!a.bit_prune);
     }
 
     #[test]

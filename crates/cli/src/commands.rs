@@ -5,10 +5,13 @@ use crate::args::{Args, CliError};
 use ftb_core::prelude::*;
 use ftb_core::{AdaptiveState, StaticValidation};
 use ftb_inject::{
-    exhaustive_plan, monte_carlo_plan, CampaignBinding, CampaignMetrics, ChunkedCampaign,
-    ExhaustiveResult, MetricsSnapshot,
+    exhaustive_plan, monte_carlo_plan, pruned_exhaustive_plan, BitPruneBinding, CampaignBinding,
+    CampaignMetrics, ChunkedCampaign, ExhaustiveResult, MetricsSnapshot,
 };
-use ftb_report::{boundary_comparison, sections_table, BoundaryMethodRow, SectionRow, Table};
+use ftb_report::{
+    bits_vuln_table, boundary_comparison, sections_table, BitsVulnRow, BoundaryMethodRow,
+    SectionRow, Table,
+};
 use ftb_trace::FaultSpec;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -50,6 +53,7 @@ fn campaign_binding(args: &Args, injector: &Injector<'_>, plan: &str) -> Campaig
         n_sites: injector.n_sites(),
         bits: injector.bits(),
         plan: plan.to_string(),
+        bit_prune: None,
     }
 }
 
@@ -60,11 +64,13 @@ fn run_chunked<'k>(
     injector: &'k Injector<'k>,
     plan_desc: &str,
     plan: Vec<FaultSpec>,
+    bit_prune: Option<BitPruneBinding>,
 ) -> Result<ChunkedCampaign<'k>, CliError> {
     let mut cc = ChunkedCampaign::new(injector, plan, args.chunk)
         .with_reporter(format!("ftb {}", args.command), Duration::from_secs(2));
     if let Some(path) = &args.checkpoint {
-        let binding = campaign_binding(args, injector, plan_desc);
+        let mut binding = campaign_binding(args, injector, plan_desc);
+        binding.bit_prune = bit_prune;
         cc = cc
             .with_ledger(Path::new(path), binding, args.resume)
             .map_err(|e| CliError(format!("checkpoint {path}: {e}")))?;
@@ -84,6 +90,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "analyze" => analyze(args),
         "analyze-static" => analyze_static(args),
         "analyze-compose" => analyze_compose(args),
+        "analyze-bits" => analyze_bits(args),
         "adaptive" => adaptive(args),
         "report" => report(args),
         "protect" => protect(args),
@@ -131,7 +138,7 @@ fn campaign(args: &Args) -> Result<String, CliError> {
     let injector = analysis.injector();
     let plan_desc = format!("monte-carlo n={} seed={}", args.samples, args.seed);
     let plan = monte_carlo_plan(injector.n_sites(), injector.bits(), args.samples, args.seed);
-    let cc = run_chunked(args, injector, &plan_desc, plan)?;
+    let cc = run_chunked(args, injector, &plan_desc, plan, None)?;
     let est = ftb_inject::monte_carlo::summarize(cc.experiments(), 0.95);
     maybe_write_json(args, &est)?;
     let mut out = String::new();
@@ -157,18 +164,66 @@ fn campaign(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Forward-interval safe-bit masks for `--bit-prune` and `analyze bits`:
+/// static backward boundary × forward value envelopes, both derived from
+/// the golden run's provenance DDG with zero injections.
+fn static_bit_masks(args: &Args, kernel: &dyn ftb_kernels::Kernel) -> Result<BitMasks, CliError> {
+    let (golden, ddg) = kernel.golden_with_ddg();
+    let sb = static_bound(
+        &ddg,
+        &ftb_core::StaticBoundConfig {
+            tolerance: args.tolerance,
+            safety: args.safety,
+        },
+    )
+    .map_err(|e| CliError(format!("bit masks: {e}")))?;
+    let fw = forward_pass(&ddg, &golden, &ForwardConfig { widen: args.widen })
+        .map_err(|e| CliError(format!("forward pass: {e}")))?;
+    Ok(safe_bit_masks(&fw, &sb.boundary(), MaskSource::Static))
+}
+
 fn exhaustive(args: &Args) -> Result<String, CliError> {
     let kernel = args.kernel.build();
     let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance))
         .with_extraction(args.extraction);
     let injector = analysis.injector();
-    let plan = exhaustive_plan(injector.n_sites(), injector.bits());
-    let cc = run_chunked(args, injector, "exhaustive", plan)?;
-    let ex = cc.into_exhaustive();
+
+    let masks = if args.bit_prune {
+        Some(static_bit_masks(args, kernel.as_ref())?)
+    } else {
+        None
+    };
+    let (ex, skipped) = match &masks {
+        Some(masks) => {
+            let certified = masks.certified_masks();
+            let plan = pruned_exhaustive_plan(injector.n_sites(), injector.bits(), &certified);
+            let binding = BitPruneBinding {
+                certified: masks.certified_total(),
+                digest: masks.digest(),
+            };
+            let cc = run_chunked(args, injector, "exhaustive bit-prune", plan, Some(binding))?;
+            (
+                cc.into_exhaustive_with_certified(&certified),
+                masks.certified_total(),
+            )
+        }
+        None => {
+            let plan = exhaustive_plan(injector.n_sites(), injector.bits());
+            let cc = run_chunked(args, injector, "exhaustive", plan, None)?;
+            (cc.into_exhaustive(), 0)
+        }
+    };
     maybe_write_json(args, &ex)?;
     let (m, s, c) = ex.counts();
     let mut out = String::new();
-    let _ = writeln!(out, "experiments:  {}", ex.n_experiments());
+    let _ = writeln!(out, "experiments:  {}", ex.n_experiments() - skipped);
+    if let Some(masks) = &masks {
+        let _ = writeln!(
+            out,
+            "bit-prune:    {skipped} certified bits skipped ({:.2}x campaign reduction)",
+            masks.reduction_factor()
+        );
+    }
     let _ = writeln!(out, "outcomes:     {m} masked, {s} SDC, {c} crash");
     let _ = writeln!(out, "SDC ratio:    {:.3}%", ex.overall_sdc_ratio() * 100.0);
     Ok(out)
@@ -541,6 +596,209 @@ fn analyze_compose(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Conservatism scorecard of the masks against exhaustive ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BitsScorecard {
+    /// Certified bits whose true outcome is SDC or Crash. Soundness
+    /// demands zero.
+    violations: u64,
+    /// Bits that really are masked in the exhaustive table.
+    truly_masked: u64,
+    /// Fraction of truly-masked bits the analysis certified without an
+    /// injection (the map's recall; 1 - this is the conservatism cost).
+    certified_recall: f64,
+    /// Crash-likely bits whose true outcome really is a crash.
+    crash_likely_hits: u64,
+    /// Injections the validation spent.
+    n_injections: u64,
+}
+
+/// Machine-readable result of `ftb analyze bits`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BitsAnalysisReport {
+    kernel: String,
+    tolerance: f64,
+    safety: f64,
+    widen: f64,
+    source: String,
+    n_sites: usize,
+    bits: u8,
+    /// Sites whose forward envelope escaped to NaN/overflow.
+    n_unbounded: usize,
+    certified_total: u64,
+    crash_likely_total: u64,
+    total_bits: u64,
+    /// `total / (total - certified)` — campaign work factor saved by
+    /// `--bit-prune`.
+    reduction_factor: f64,
+    /// Order-sensitive digest of the certified masks (binds pruned
+    /// ledgers).
+    digest: u64,
+    per_instruction: Vec<BitsVulnRow>,
+    /// Per-site certified-masked bit fraction (the vulnerability map).
+    per_site_safe_fraction: Vec<f64>,
+    /// Per-site provable crash-likely exponent-bit band, if any.
+    crash_bands: Vec<Option<(u8, u8)>>,
+    scorecard: Option<BitsScorecard>,
+}
+
+fn analyze_bits(args: &Args) -> Result<String, CliError> {
+    let kernel = args.kernel.build();
+    let t0 = Instant::now();
+    let masks = static_bit_masks(args, kernel.as_ref())?;
+    let (golden, ddg) = kernel.golden_with_ddg();
+    let fw = forward_pass(&ddg, &golden, &ForwardConfig { widen: args.widen })
+        .map_err(|e| CliError(format!("forward pass: {e}")))?;
+    let analysis_seconds = t0.elapsed().as_secs_f64();
+    let n = masks.n_sites();
+    let bits = masks.bits;
+
+    // aggregate the per-site map by static instruction
+    let registry = kernel.registry();
+    let mut counts = vec![0usize; registry.len()];
+    let mut safe_sum = vec![0.0f64; registry.len()];
+    let mut crash_sites = vec![0usize; registry.len()];
+    for site in 0..n {
+        let id = golden.static_id(site).index();
+        counts[id] += 1;
+        safe_sum[id] += masks.safe_fraction(site);
+        crash_sites[id] += usize::from(masks.crash_band(site).is_some());
+    }
+    let per_instruction: Vec<BitsVulnRow> = registry
+        .iter()
+        .filter(|(id, _)| counts[id.index()] > 0)
+        .map(|(id, instr)| BitsVulnRow {
+            name: instr.name.to_string(),
+            region: instr.region.label().to_string(),
+            dynamic_sites: counts[id.index()],
+            mean_safe_fraction: safe_sum[id.index()] / counts[id.index()] as f64,
+            crash_band_sites: crash_sites[id.index()],
+        })
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "kernel:             {}", kernel.name());
+    let _ = writeln!(out, "fault space:        {n} sites x {bits} bits");
+    let _ = writeln!(
+        out,
+        "forward envelopes:  {} unbounded of {n} sites (widen {:e})",
+        fw.n_unbounded, args.widen
+    );
+    let _ = writeln!(
+        out,
+        "certified masked:   {} of {} bits ({:.1}%)",
+        masks.certified_total(),
+        masks.total_bits(),
+        masks.certified_total() as f64 / masks.total_bits().max(1) as f64 * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "crash-likely:       {} bits",
+        masks.crash_likely_total()
+    );
+    let _ = writeln!(
+        out,
+        "campaign reduction: {:.2}x under --bit-prune",
+        masks.reduction_factor()
+    );
+    let _ = writeln!(
+        out,
+        "wall time:          {:.1} ms (certification source: static, 0 injections)",
+        analysis_seconds * 1e3
+    );
+    let _ = writeln!(out, "\nper-instruction vulnerability map:\n");
+    let _ = write!(out, "{}", bits_vuln_table(&per_instruction));
+
+    let mut report = BitsAnalysisReport {
+        kernel: kernel.name().to_string(),
+        tolerance: args.tolerance,
+        safety: args.safety,
+        widen: args.widen,
+        source: "static".into(),
+        n_sites: n,
+        bits,
+        n_unbounded: fw.n_unbounded,
+        certified_total: masks.certified_total(),
+        crash_likely_total: masks.crash_likely_total(),
+        total_bits: masks.total_bits(),
+        reduction_factor: masks.reduction_factor(),
+        digest: masks.digest(),
+        per_instruction,
+        per_site_safe_fraction: (0..n).map(|s| masks.safe_fraction(s)).collect(),
+        crash_bands: (0..n).map(|s| masks.crash_band(s)).collect(),
+        scorecard: None,
+    };
+
+    if args.no_validate {
+        maybe_write_json(args, &report)?;
+        return Ok(out);
+    }
+
+    // conservatism scorecard: every certified bit must really be masked
+    let injector = Injector::with_golden(kernel.as_ref(), golden, Classifier::new(args.tolerance))
+        .with_extraction(args.extraction);
+    let truth = injector.exhaustive();
+    let (mut violations, mut truly_masked, mut certified_ok, mut crash_hits) =
+        (0u64, 0u64, 0u64, 0u64);
+    for site in 0..n {
+        for bit in 0..bits {
+            let o = truth.outcome(site, bit);
+            let masked = matches!(o, Outcome::Masked);
+            truly_masked += u64::from(masked);
+            match masks.class(site, bit) {
+                BitClass::CertifiedMasked => {
+                    if masked {
+                        certified_ok += 1;
+                    } else {
+                        violations += 1;
+                    }
+                }
+                BitClass::CrashLikely => {
+                    crash_hits += u64::from(matches!(o, Outcome::Crash(_)));
+                }
+                BitClass::Unknown => {}
+            }
+        }
+    }
+    let scorecard = BitsScorecard {
+        violations,
+        truly_masked,
+        certified_recall: certified_ok as f64 / truly_masked.max(1) as f64,
+        crash_likely_hits: crash_hits,
+        n_injections: truth.n_experiments(),
+    };
+    let _ = writeln!(
+        out,
+        "\nconservatism vs exhaustive ({} injections):",
+        scorecard.n_injections
+    );
+    let _ = writeln!(
+        out,
+        "  violations:        {} of {} certified bits ({})",
+        scorecard.violations,
+        masks.certified_total(),
+        if scorecard.violations == 0 {
+            "sound"
+        } else {
+            "UNSOUND"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  certified recall:  {:.1}% of truly-masked bits certified with 0 injections",
+        scorecard.certified_recall * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  crash-likely hits: {} of {} provably non-finite flips crashed",
+        scorecard.crash_likely_hits,
+        masks.crash_likely_total()
+    );
+    report.scorecard = Some(scorecard);
+    maybe_write_json(args, &report)?;
+    Ok(out)
+}
+
 /// On-disk format of an adaptive `--checkpoint` file: the complete
 /// sampler state (including the per-site information counts) plus the
 /// campaign binding a resume must agree with.
@@ -618,7 +876,16 @@ fn adaptive(args: &Args) -> Result<String, CliError> {
         "adaptive seed={} filter={} static-prior={}",
         args.seed, args.filter, args.static_prior
     );
-    let binding = campaign_binding(args, injector, &plan_desc);
+    let masks = if args.bit_prune {
+        Some(static_bit_masks(args, kernel.as_ref())?)
+    } else {
+        None
+    };
+    let mut binding = campaign_binding(args, injector, &plan_desc);
+    binding.bit_prune = masks.as_ref().map(|m| BitPruneBinding {
+        certified: m.certified_total(),
+        digest: m.digest(),
+    });
 
     let mut state = match &args.checkpoint {
         Some(path) if args.resume && Path::new(path).exists() => {
@@ -638,6 +905,15 @@ fn adaptive(args: &Args) -> Result<String, CliError> {
         }
         _ => AdaptiveState::new(injector, &cfg),
     };
+    // Prune certified bits from the candidate space so the round budget
+    // re-weights toward Unknown bits. Idempotent, so re-applying after a
+    // resume (whose checkpoint already carries the pruned space) is a
+    // no-op — and the binding's bit_prune digest guarantees the masks
+    // have not drifted since the checkpoint was written.
+    let mut bits_pruned = 0u64;
+    if let Some(masks) = &masks {
+        bits_pruned = state.apply_bit_masks(masks);
+    }
 
     let total_space = injector.n_sites() as u64 * u64::from(injector.bits());
     let mut metrics = CampaignMetrics::new(total_space);
@@ -669,6 +945,14 @@ fn adaptive(args: &Args) -> Result<String, CliError> {
 
     let mut out = String::new();
     let _ = writeln!(out, "rounds:             {}", result.rounds.len());
+    if let Some(masks) = &masks {
+        let _ = writeln!(
+            out,
+            "bit-prune:          {bits_pruned} certified bits removed from the sample \
+             space ({} certified total)",
+            masks.certified_total()
+        );
+    }
     let _ = writeln!(
         out,
         "experiments:        {} ({:.2}% of the exhaustive campaign)",
@@ -955,6 +1239,211 @@ mod tests {
         let args = parse(&v(&["analyze", "static", "--kernel", "lu", "--n", "8"])).unwrap();
         let e = dispatch(&args).unwrap_err();
         assert!(e.0.contains("not provenance-instrumented"), "{}", e.0);
+    }
+
+    #[test]
+    fn analyze_bits_prints_map_and_scorecard() {
+        let args = parse(&v(&[
+            "analyze",
+            "bits",
+            "--kernel",
+            "jacobi",
+            "--grid",
+            "4",
+            "--sweeps",
+            "10",
+            "--tolerance",
+            "1e-4",
+        ]))
+        .unwrap();
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("certified masked:"), "{out}");
+        assert!(out.contains("per-instruction vulnerability map"), "{out}");
+        assert!(out.contains("campaign reduction:"), "{out}");
+        assert!(out.contains("violations:"), "{out}");
+        assert!(
+            out.contains("(sound)"),
+            "certification must be conservative: {out}"
+        );
+    }
+
+    #[test]
+    fn analyze_bits_no_validate_skips_scorecard() {
+        let args = parse(&v(&[
+            "analyze",
+            "bits",
+            "--kernel",
+            "gemm",
+            "--n",
+            "4",
+            "--no-validate",
+        ]))
+        .unwrap();
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("certified masked:"), "{out}");
+        assert!(!out.contains("violations:"), "{out}");
+    }
+
+    #[test]
+    fn analyze_bits_rejects_uninstrumented_kernel() {
+        let args = parse(&v(&["analyze", "bits", "--kernel", "lu", "--n", "8"])).unwrap();
+        let e = dispatch(&args).unwrap_err();
+        assert!(e.0.contains("not provenance-instrumented"), "{}", e.0);
+    }
+
+    #[test]
+    fn exhaustive_bit_prune_agrees_with_unpruned() {
+        let base = [
+            "exhaustive",
+            "--kernel",
+            "jacobi",
+            "--grid",
+            "4",
+            "--sweeps",
+            "10",
+            "--tolerance",
+            "1e-4",
+        ];
+        let full = dispatch(&parse(&v(&base)).unwrap()).unwrap();
+        let mut pruned_args = base.to_vec();
+        pruned_args.push("--bit-prune");
+        let pruned = dispatch(&parse(&v(&pruned_args)).unwrap()).unwrap();
+        assert!(pruned.contains("bit-prune:"), "{pruned}");
+        // the certified cells are filled with Masked, so outcome counts
+        // and the SDC ratio line must be identical to the full campaign
+        let tail = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with("outcomes:") || l.starts_with("SDC ratio:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            tail(&full),
+            tail(&pruned),
+            "\nfull:\n{full}\npruned:\n{pruned}"
+        );
+        // and the pruned campaign really ran fewer experiments
+        let n = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("experiments:"))
+                .and_then(|l| l.split_whitespace().last())
+                .and_then(|w| w.parse::<u64>().ok())
+                .unwrap()
+        };
+        assert!(n(&pruned) < n(&full), "\nfull:\n{full}\npruned:\n{pruned}");
+    }
+
+    #[test]
+    fn adaptive_bit_prune_runs() {
+        let args = parse(&v(&[
+            "adaptive",
+            "--kernel",
+            "jacobi",
+            "--grid",
+            "4",
+            "--sweeps",
+            "10",
+            "--tolerance",
+            "1e-4",
+            "--bit-prune",
+        ]))
+        .unwrap();
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("bit-prune:"), "{out}");
+        assert!(out.contains("rounds:"), "{out}");
+    }
+
+    #[test]
+    fn analyze_static_json_schema() {
+        let path = std::env::temp_dir().join("ftb_cli_static.json");
+        let _ = std::fs::remove_file(&path);
+        let args = parse(&v(&[
+            "analyze",
+            "static",
+            "--kernel",
+            "gemm",
+            "--n",
+            "5",
+            "--json",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&args).unwrap();
+        let data = std::fs::read_to_string(&path).unwrap();
+        for key in [
+            "\"kernel\"",
+            "\"tolerance\"",
+            "\"safety\"",
+            "\"n_sites\"",
+            "\"n_edges\"",
+            "\"n_constrained\"",
+            "\"n_injections_static\"",
+            "\"validation\"",
+            "\"comparison\"",
+        ] {
+            assert!(data.contains(key), "missing key {key}: {data}");
+        }
+        // the artifact round-trips through its schema struct
+        let r: StaticAnalysisReport = serde_json::from_str(&data).unwrap();
+        assert_eq!(r.n_injections_static, 0);
+        assert!(r.validation.is_some());
+        assert_eq!(r.comparison.len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn analyze_bits_json_schema() {
+        let path = std::env::temp_dir().join("ftb_cli_bits.json");
+        let _ = std::fs::remove_file(&path);
+        let args = parse(&v(&[
+            "analyze",
+            "bits",
+            "--kernel",
+            "jacobi",
+            "--grid",
+            "4",
+            "--sweeps",
+            "10",
+            "--tolerance",
+            "1e-4",
+            "--json",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&args).unwrap();
+        let data = std::fs::read_to_string(&path).unwrap();
+        for key in [
+            "\"kernel\"",
+            "\"tolerance\"",
+            "\"widen\"",
+            "\"source\"",
+            "\"n_sites\"",
+            "\"bits\"",
+            "\"n_unbounded\"",
+            "\"certified_total\"",
+            "\"crash_likely_total\"",
+            "\"total_bits\"",
+            "\"reduction_factor\"",
+            "\"digest\"",
+            "\"per_instruction\"",
+            "\"per_site_safe_fraction\"",
+            "\"crash_bands\"",
+            "\"scorecard\"",
+        ] {
+            assert!(data.contains(key), "missing key {key}");
+        }
+        // the artifact round-trips through its schema struct
+        let r: BitsAnalysisReport = serde_json::from_str(&data).unwrap();
+        assert_eq!(r.source, "static");
+        assert_eq!(r.per_site_safe_fraction.len(), r.n_sites);
+        assert_eq!(r.crash_bands.len(), r.n_sites);
+        let sc = r
+            .scorecard
+            .expect("scorecard present without --no-validate");
+        assert_eq!(sc.violations, 0, "certification must be conservative");
+        assert!(sc.certified_recall > 0.0, "some masked bits must certify");
+        assert!(r.certified_total > 0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! The forward abstract-interpretation pass over the provenance DDG.
+//!
+//! Where the backward pass (`staticbound`) pushes *error budgets* from
+//! the sinks toward every site, this pass pushes *value envelopes* from
+//! the sources toward every site: each dynamic instruction `i` gets a
+//! sound interval on the value it can hold when the kernel's source
+//! values are perturbed within a configurable relative radius
+//! ([`ForwardConfig::widen`]).
+//!
+//! The transfer function reuses the DDG's secant machinery: an edge
+//! `def → use` with amplification `amp` and curvature cap `cap`
+//! guarantees `|Δuse| ≤ amp · |Δdef|` for `|Δdef| ≤ cap`, so deviation
+//! radii fold forward as `r_use = Σ_edges amp · r_def` — with the sum
+//! rounded *upward* at every step and widened to `+∞` the moment any
+//! def's radius escapes its cap (the certificate does not extend there).
+//! The site's interval is then the outward-rounded ball of that radius
+//! around its golden value.
+//!
+//! At `widen = 0` every radius is zero and each interval collapses to
+//! the golden point — the forward analysis degenerates to the concrete
+//! golden run, which is exactly the validation hook the soundness
+//! harness exercises ([`ForwardIntervals::contains_golden`]).
+
+use super::interval::Interval;
+use ftb_trace::bits::{biased_exponent, min_magnitude, sup_magnitude};
+use ftb_trace::{Ddg, GoldenRun, Precision};
+use std::fmt;
+
+/// Configuration of the forward pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForwardConfig {
+    /// Relative widening of source sites: a site with no recorded
+    /// in-edges is seeded with the interval `golden ± widen·|golden|`.
+    /// `0` (the default) analyses the concrete golden run itself.
+    pub widen: f64,
+}
+
+impl Default for ForwardConfig {
+    fn default() -> Self {
+        ForwardConfig { widen: 0.0 }
+    }
+}
+
+/// Why the forward pass refused to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbsIntError {
+    /// The DDG and golden run disagree on the number of dynamic
+    /// instructions.
+    SiteMismatch {
+        /// Sites in the DDG.
+        ddg: usize,
+        /// Sites in the golden run.
+        golden: usize,
+    },
+    /// `widen` is negative or non-finite.
+    BadWiden(f64),
+}
+
+impl fmt::Display for AbsIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsIntError::SiteMismatch { ddg, golden } => {
+                write!(f, "DDG spans {ddg} sites but the golden run has {golden}")
+            }
+            AbsIntError::BadWiden(w) => {
+                write!(f, "widening radius must be finite and ≥ 0, got {w}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AbsIntError {}
+
+/// Per-site value envelopes produced by [`forward_pass`].
+#[derive(Debug, Clone)]
+pub struct ForwardIntervals {
+    /// Element precision of the analysed kernel.
+    pub precision: Precision,
+    /// Sound per-site value interval.
+    pub intervals: Vec<Interval>,
+    /// Sound per-site deviation radius from the golden value
+    /// (`+∞` where a curvature cap was exceeded — no finite certificate).
+    pub radii: Vec<f64>,
+    /// Number of source sites (no recorded in-edges).
+    pub n_sources: usize,
+    /// Number of sites whose radius escaped to `+∞`.
+    pub n_unbounded: usize,
+}
+
+/// Round up by one ulp; NaN (e.g. `∞ · 0` in degenerate-amplification
+/// corners) conservatively becomes `+∞`.
+#[inline]
+fn up(x: f64) -> f64 {
+    if x.is_nan() {
+        f64::INFINITY
+    } else {
+        x.next_up()
+    }
+}
+
+/// Run the forward interval pass. Works on any recorded DDG, including
+/// sink-less ones — unlike the backward pass, value envelopes need no
+/// anchor to the classifier.
+pub fn forward_pass(
+    ddg: &Ddg,
+    golden: &GoldenRun,
+    cfg: &ForwardConfig,
+) -> Result<ForwardIntervals, AbsIntError> {
+    if ddg.n_sites != golden.n_sites() {
+        return Err(AbsIntError::SiteMismatch {
+            ddg: ddg.n_sites,
+            golden: golden.n_sites(),
+        });
+    }
+    if !(cfg.widen >= 0.0 && cfg.widen.is_finite()) {
+        return Err(AbsIntError::BadWiden(cfg.widen));
+    }
+    let n = ddg.n_sites;
+
+    // per-site curvature cap: the tightest cap registered for the site
+    let mut cap = vec![f64::INFINITY; n];
+    for &(site, c) in &ddg.caps {
+        let s = &mut cap[site as usize];
+        *s = s.min(c);
+    }
+
+    let mut has_inedge = vec![false; n];
+    for &u in &ddg.uses {
+        has_inedge[u as usize] = true;
+    }
+
+    // seed sources, then fold edges forward. `uses` is non-decreasing and
+    // every def strictly precedes its use, so a single sweep sees each
+    // def's radius in its final state.
+    let mut radius = vec![0.0f64; n];
+    let mut n_sources = 0usize;
+    for (i, r) in radius.iter_mut().enumerate() {
+        if !has_inedge[i] {
+            n_sources += 1;
+            if cfg.widen > 0.0 {
+                *r = up(cfg.widen * golden.value(i).abs());
+            }
+        }
+    }
+    for ((&d, &u), &amp) in ddg.defs.iter().zip(&ddg.uses).zip(&ddg.amps) {
+        let (d, u) = (d as usize, u as usize);
+        let r = radius[d];
+        // |Δdef| = 0 induces no deviation regardless of amplification
+        // (the secant bound amp·|δ| at δ = 0), so degenerate ∞
+        // amplifications stay harmless on the concrete run
+        if r == 0.0 {
+            continue;
+        }
+        if r > cap[d] {
+            // perturbation outside the secant certificate: unbounded
+            radius[u] = f64::INFINITY;
+        } else {
+            radius[u] = up(radius[u] + up(amp * r));
+        }
+    }
+
+    let mut n_unbounded = 0;
+    let intervals: Vec<Interval> = (0..n)
+        .map(|i| {
+            if !radius[i].is_finite() {
+                n_unbounded += 1;
+            }
+            Interval::centered(golden.value(i), radius[i])
+        })
+        .collect();
+
+    Ok(ForwardIntervals {
+        precision: golden.precision,
+        intervals,
+        radii: radius,
+        n_sources,
+        n_unbounded,
+    })
+}
+
+impl ForwardIntervals {
+    /// Number of sites covered.
+    pub fn n_sites(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// The validation hook: does every concrete golden value lie inside
+    /// its forward interval? (Must hold for any widening — the golden
+    /// run is the zero-perturbation member of the abstracted family.)
+    pub fn contains_golden(&self, golden: &GoldenRun) -> bool {
+        self.intervals.len() == golden.n_sites()
+            && (0..self.intervals.len()).all(|i| self.intervals[i].contains(golden.value(i)))
+    }
+
+    /// Sound biased-exponent range `(eb_lo, eb_hi)` of site `i` in the
+    /// kernel's element precision, or `None` when the envelope reaches
+    /// overflow/NaN territory (nothing exponent-level can be certified
+    /// there).
+    ///
+    /// `eb_lo = 0` means zero/subnormal values are reachable.
+    pub fn exp_range(&self, site: usize) -> Option<(u32, u32)> {
+        let iv = self.intervals[site];
+        if iv.maybe_nan() || iv.overflows(self.precision) {
+            return None;
+        }
+        let (minabs, maxabs) = iv.abs_bounds();
+        let prec = self.precision;
+        let mut eb_hi = biased_exponent(prec, maxabs);
+        // quantisation rounds to nearest: nudge outward if the band
+        // boundary was crossed
+        if sup_magnitude(prec, eb_hi) < maxabs {
+            eb_hi += 1;
+        }
+        let mut eb_lo = biased_exponent(prec, minabs);
+        if eb_lo > 0 && min_magnitude(prec, eb_lo) > minabs {
+            eb_lo -= 1;
+        }
+        debug_assert!(eb_lo <= eb_hi);
+        Some((eb_lo, eb_hi))
+    }
+
+    /// Largest interval width over all sites (`+∞` if any site is
+    /// unbounded) — the scalar the monotonicity harness tracks.
+    pub fn max_width(&self) -> f64 {
+        self.intervals
+            .iter()
+            .map(|iv| iv.width())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftb_kernels::{Kernel, MatvecConfig, MatvecKernel};
+
+    fn matvec() -> (GoldenRun, Ddg) {
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 4,
+            ..MatvecConfig::small()
+        });
+        k.golden_with_ddg()
+    }
+
+    #[test]
+    fn zero_widening_gives_point_intervals() {
+        let (golden, ddg) = matvec();
+        let fw = forward_pass(&ddg, &golden, &ForwardConfig::default()).unwrap();
+        assert_eq!(fw.n_sites(), golden.n_sites());
+        assert!(fw.contains_golden(&golden));
+        assert_eq!(fw.n_unbounded, 0);
+        assert!(fw.radii.iter().all(|&r| r == 0.0));
+        assert_eq!(fw.max_width(), 0.0);
+        assert!(fw.n_sources > 0, "matvec has source sites");
+    }
+
+    #[test]
+    fn widening_is_monotone_in_width() {
+        let (golden, ddg) = matvec();
+        let widths: Vec<f64> = [0.0, 1e-9, 1e-6, 1e-3]
+            .iter()
+            .map(|&w| {
+                let fw = forward_pass(&ddg, &golden, &ForwardConfig { widen: w }).unwrap();
+                assert!(fw.contains_golden(&golden), "widen={w}");
+                fw.max_width()
+            })
+            .collect();
+        for pair in widths.windows(2) {
+            assert!(pair[0] <= pair[1], "widths not monotone: {widths:?}");
+        }
+        assert!(widths[3] > 0.0);
+    }
+
+    #[test]
+    fn widened_intervals_enclose_narrower_ones() {
+        let (golden, ddg) = matvec();
+        let narrow = forward_pass(&ddg, &golden, &ForwardConfig { widen: 1e-8 }).unwrap();
+        let wide = forward_pass(&ddg, &golden, &ForwardConfig { widen: 1e-4 }).unwrap();
+        for i in 0..narrow.n_sites() {
+            assert!(
+                wide.intervals[i].encloses(narrow.intervals[i]),
+                "site {i}: {} does not enclose {}",
+                wide.intervals[i],
+                narrow.intervals[i]
+            );
+        }
+    }
+
+    #[test]
+    fn forward_deviation_bound_is_sound_on_a_linear_chain() {
+        // hand-built DDG: x0 (source) → x1 = 3·x0 → x2 = x1 + x0.
+        // perturbing x0 by δ changes x1 by 3δ and x2 by 4δ; the radii
+        // must dominate those deviations at the configured widening.
+        use ftb_trace::{Precision, StaticId, Tracer};
+        let x0 = 2.0;
+        let mut t = Tracer::golden(Precision::F64).with_ddg();
+        t.value(StaticId(0), x0); // site 0
+        t.dep(0, ftb_trace::OpKind::Scale(3.0));
+        t.value(StaticId(1), 3.0 * x0); // site 1
+        t.dep(0, ftb_trace::OpKind::Linear);
+        t.dep(1, ftb_trace::OpKind::Linear);
+        t.value(StaticId(2), 3.0 * x0 + x0); // site 2
+        t.out_dep(2, 1.0);
+        let (golden, ddg) = t.finish_golden_with_ddg(vec![3.0 * x0 + x0]);
+
+        let w = 1e-3;
+        let fw = forward_pass(&ddg, &golden, &ForwardConfig { widen: w }).unwrap();
+        let delta = w * x0; // the largest admitted source perturbation
+        assert!(fw.radii[1] >= 3.0 * delta);
+        assert!(fw.radii[2] >= 4.0 * delta);
+        // and the intervals contain the concretely perturbed values
+        assert!(fw.intervals[1].contains(3.0 * (x0 + delta)));
+        assert!(fw.intervals[2].contains(4.0 * (x0 - delta)));
+    }
+
+    #[test]
+    fn cap_escape_goes_unbounded_not_wrong() {
+        // Square(x) caps the def's perturbation at |x|; widen beyond it
+        use ftb_trace::{Precision, StaticId, Tracer};
+        let x0 = 0.5;
+        let mut t = Tracer::golden(Precision::F64).with_ddg();
+        t.value(StaticId(0), x0); // site 0
+        t.dep(0, ftb_trace::OpKind::Square(x0));
+        t.value(StaticId(1), x0 * x0); // site 1
+        t.out_dep(1, 1.0);
+        let (golden, ddg) = t.finish_golden_with_ddg(vec![x0 * x0]);
+
+        // widen 2.0: source radius 1.0 > cap 0.5 ⇒ downstream unbounded
+        let fw = forward_pass(&ddg, &golden, &ForwardConfig { widen: 2.0 }).unwrap();
+        assert_eq!(fw.n_unbounded, 1);
+        assert!(fw.radii[1].is_infinite());
+        assert!(fw.contains_golden(&golden), "still sound, just not tight");
+        // inside the cap the bound stays finite
+        let fw2 = forward_pass(&ddg, &golden, &ForwardConfig { widen: 0.5 }).unwrap();
+        assert_eq!(fw2.n_unbounded, 0);
+    }
+
+    #[test]
+    fn exp_range_brackets_the_golden_exponent() {
+        let (golden, ddg) = matvec();
+        let fw = forward_pass(&ddg, &golden, &ForwardConfig { widen: 1e-6 }).unwrap();
+        for site in 0..fw.n_sites() {
+            let (lo, hi) = fw.exp_range(site).expect("finite envelope");
+            let eb = biased_exponent(golden.precision, golden.value(site));
+            assert!(lo <= eb && eb <= hi, "site {site}: {eb} ∉ [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn mismatched_golden_is_rejected() {
+        let (golden, _) = matvec();
+        let ddg = Ddg {
+            n_sites: golden.n_sites() + 1,
+            ..Ddg::default()
+        };
+        match forward_pass(&ddg, &golden, &ForwardConfig::default()) {
+            Err(AbsIntError::SiteMismatch { .. }) => {}
+            other => panic!("expected SiteMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_widen_is_rejected() {
+        let (golden, ddg) = matvec();
+        for w in [-1.0, f64::NAN, f64::INFINITY] {
+            match forward_pass(&ddg, &golden, &ForwardConfig { widen: w }) {
+                Err(AbsIntError::BadWiden(_)) => {}
+                other => panic!("widen={w}: expected BadWiden, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! The outward-rounded interval domain.
+//!
+//! An [`Interval`] abstracts a set of real values as `[lo, hi]` plus a
+//! NaN-reachability flag. Every arithmetic operation rounds its result
+//! endpoints *outward* (one ulp down on `lo`, one ulp up on `hi`), so the
+//! soundness invariant — every concrete result of the abstracted
+//! operation lies inside the abstract result — survives the `f64`
+//! rounding of the analysis itself.
+//!
+//! Overflow reachability is encoded in the endpoints: an endpoint at
+//! `±∞` means values beyond the largest finite `f64` are reachable, and
+//! [`Interval::overflows`] asks the same question against a kernel's
+//! element precision (an interval can be finite in `f64` yet overflow
+//! binary32). NaN reachability is a separate flag because NaN is not
+//! ordered and cannot live in the endpoints.
+
+use ftb_trace::Precision;
+use std::fmt;
+
+/// A closed interval `[lo, hi]` over the extended reals, with NaN
+/// reachability tracked out-of-band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+    nan: bool,
+}
+
+/// Round an upper endpoint up by one ulp (identity at `+∞`).
+#[inline]
+fn up(x: f64) -> f64 {
+    if x.is_nan() {
+        x
+    } else {
+        x.next_up()
+    }
+}
+
+/// Round a lower endpoint down by one ulp (identity at `−∞`).
+#[inline]
+fn down(x: f64) -> f64 {
+    if x.is_nan() {
+        x
+    } else {
+        x.next_down()
+    }
+}
+
+// `neg`/`add`/`sub`/`mul` shadow the std operator names on purpose: the
+// domain's arithmetic rounds outward and tracks NaN reachability, and a
+// spelled-out method call keeps that visible at every use site.
+#[allow(clippy::should_implement_trait)]
+impl Interval {
+    /// The degenerate interval `[v, v]` (no rounding: the point is
+    /// exactly representable because it *is* an `f64`). A NaN input
+    /// yields the NaN-reachable full interval.
+    pub fn point(v: f64) -> Self {
+        if v.is_nan() {
+            return Interval::everything().with_nan();
+        }
+        Interval {
+            lo: v,
+            hi: v,
+            nan: false,
+        }
+    }
+
+    /// The interval `[lo, hi]`, endpoints taken as given (callers supply
+    /// already-sound endpoints). NaN endpoints yield the NaN-reachable
+    /// full interval.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        if lo.is_nan() || hi.is_nan() {
+            return Interval::everything().with_nan();
+        }
+        assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        Interval { lo, hi, nan: false }
+    }
+
+    /// The interval centred on `c` with radius `r ≥ 0`, endpoints rounded
+    /// outward. An infinite or NaN radius yields the full interval.
+    pub fn centered(c: f64, r: f64) -> Self {
+        if !r.is_finite() || c.is_nan() {
+            let iv = Interval::everything();
+            return if c.is_nan() || r.is_nan() {
+                iv.with_nan()
+            } else {
+                iv
+            };
+        }
+        debug_assert!(r >= 0.0, "negative radius {r}");
+        if r == 0.0 {
+            return Interval::point(c);
+        }
+        Interval {
+            lo: down(c - r),
+            hi: up(c + r),
+            nan: false,
+        }
+    }
+
+    /// The full interval `[−∞, +∞]` (overflow reachable on both sides).
+    pub fn everything() -> Self {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+            nan: false,
+        }
+    }
+
+    /// This interval with NaN marked reachable.
+    pub fn with_nan(mut self) -> Self {
+        self.nan = true;
+        self
+    }
+
+    /// Lower endpoint.
+    #[inline]
+    pub fn lo(self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[inline]
+    pub fn hi(self) -> f64 {
+        self.hi
+    }
+
+    /// Whether NaN is reachable.
+    #[inline]
+    pub fn maybe_nan(self) -> bool {
+        self.nan
+    }
+
+    /// Whether values beyond `precision`'s largest finite magnitude (or
+    /// `±∞` itself) are reachable — the overflow-reachability query the
+    /// bit classifier refuses to certify through.
+    pub fn overflows(self, precision: Precision) -> bool {
+        self.nan || self.lo < -precision.max_finite() || self.hi > precision.max_finite()
+    }
+
+    /// Whether `v` lies inside the interval (NaN is inside iff NaN is
+    /// reachable).
+    pub fn contains(self, v: f64) -> bool {
+        if v.is_nan() {
+            return self.nan;
+        }
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Width `hi − lo` (`+∞` for unbounded intervals, `0` for points).
+    pub fn width(self) -> f64 {
+        let w = self.hi - self.lo;
+        if w.is_nan() {
+            // (−∞) − (−∞) etc. cannot occur for valid intervals, but be
+            // total anyway
+            f64::INFINITY
+        } else {
+            w
+        }
+    }
+
+    /// Magnitude envelope `(min |x|, max |x|)` over the interval.
+    pub fn abs_bounds(self) -> (f64, f64) {
+        let min = if self.lo <= 0.0 && self.hi >= 0.0 {
+            0.0
+        } else {
+            self.lo.abs().min(self.hi.abs())
+        };
+        (min, self.lo.abs().max(self.hi.abs()))
+    }
+
+    /// Whether the interval contains another (NaN reachability must be
+    /// contained too).
+    pub fn encloses(self, other: Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi && (self.nan || !other.nan)
+    }
+
+    /// Convex hull (join) of two intervals.
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            nan: self.nan || other.nan,
+        }
+    }
+
+    /// Interval negation (exact: negation never rounds).
+    pub fn neg(self) -> Interval {
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+            nan: self.nan,
+        }
+    }
+
+    /// Outward-rounded interval addition. If one operand reaches `+∞`
+    /// and the other `−∞`, the member-wise sum contains `∞ − ∞`: NaN is
+    /// marked reachable and the result widens to everything.
+    pub fn add(self, other: Interval) -> Interval {
+        let opposing = (self.hi == f64::INFINITY && other.lo == f64::NEG_INFINITY)
+            || (self.lo == f64::NEG_INFINITY && other.hi == f64::INFINITY);
+        let lo = self.lo + other.lo;
+        let hi = self.hi + other.hi;
+        if opposing || lo.is_nan() || hi.is_nan() {
+            return Interval::everything().with_nan();
+        }
+        Interval {
+            lo: down(lo),
+            hi: up(hi),
+            nan: self.nan || other.nan,
+        }
+    }
+
+    /// Outward-rounded interval subtraction.
+    pub fn sub(self, other: Interval) -> Interval {
+        self.add(other.neg())
+    }
+
+    /// Outward-rounded interval multiplication (four-products rule).
+    /// If one operand contains `0` and the other reaches `±∞`, the
+    /// member-wise product contains `0 × ∞`: NaN is marked reachable and
+    /// the result widens to everything.
+    pub fn mul(self, other: Interval) -> Interval {
+        let zero_times_inf = (self.contains(0.0)
+            && (other.lo == f64::NEG_INFINITY || other.hi == f64::INFINITY))
+            || (other.contains(0.0) && (self.lo == f64::NEG_INFINITY || self.hi == f64::INFINITY));
+        if zero_times_inf {
+            return Interval::everything().with_nan();
+        }
+        let products = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        if products.iter().any(|p| p.is_nan()) {
+            return Interval::everything().with_nan();
+        }
+        let lo = products.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = products.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Interval {
+            lo: down(lo),
+            hi: up(hi),
+            nan: self.nan || other.nan,
+        }
+    }
+
+    /// Outward-rounded scaling by a non-negative factor (the forward
+    /// pass's amplification step). An infinite factor against a non-point
+    /// interval widens to everything.
+    pub fn scale(self, k: f64) -> Interval {
+        debug_assert!(k >= 0.0 || k.is_nan(), "negative scale {k}");
+        self.mul(Interval::point(k).hull(Interval::point(k).neg()))
+    }
+
+    /// Outward-rounded widening by radius `r ≥ 0` on both sides.
+    pub fn expand(self, r: f64) -> Interval {
+        if !r.is_finite() {
+            return Interval {
+                nan: self.nan || r.is_nan(),
+                ..Interval::everything()
+            };
+        }
+        if r == 0.0 {
+            return self;
+        }
+        Interval {
+            lo: down(self.lo - r),
+            hi: up(self.hi + r),
+            nan: self.nan,
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:e}, {:e}]", self.lo, self.hi)?;
+        if self.nan {
+            write!(f, "∪NaN")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_is_tight_and_contains_itself() {
+        let iv = Interval::point(1.5);
+        assert_eq!(iv.lo(), 1.5);
+        assert_eq!(iv.hi(), 1.5);
+        assert_eq!(iv.width(), 0.0);
+        assert!(iv.contains(1.5));
+        assert!(!iv.contains(1.5 + 1e-9));
+        assert!(!iv.maybe_nan());
+    }
+
+    #[test]
+    fn add_rounds_outward() {
+        let a = Interval::point(0.1);
+        let b = Interval::point(0.2);
+        let s = a.add(b);
+        // concrete 0.1 + 0.2 (with its rounding error) must be inside
+        assert!(s.contains(0.1 + 0.2));
+        assert!(s.lo() < s.hi(), "outward rounding must open the point");
+    }
+
+    #[test]
+    fn mul_covers_all_sign_corners() {
+        let a = Interval::new(-2.0, 3.0);
+        let b = Interval::new(-5.0, 7.0);
+        let m = a.mul(b);
+        for &x in &[-2.0, 0.0, 1.0, 3.0] {
+            for &y in &[-5.0, 0.0, 2.0, 7.0] {
+                assert!(m.contains(x * y), "{x}·{y} escaped {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn soundness_sampled_over_ops() {
+        // concrete op results stay inside abstract op results
+        let cases = [
+            (Interval::new(-1.0, 2.0), Interval::new(0.5, 3.0)),
+            (Interval::new(-4.5, -1.25), Interval::new(-2.0, 2.0)),
+            (Interval::point(0.0), Interval::new(-1e300, 1e300)),
+        ];
+        for (a, b) in cases {
+            for i in 0..=10 {
+                for j in 0..=10 {
+                    let x = a.lo() + (a.hi() - a.lo()) * i as f64 / 10.0;
+                    let y = b.lo() + (b.hi() - b.lo()) * j as f64 / 10.0;
+                    assert!(a.add(b).contains(x + y));
+                    assert!(a.sub(b).contains(x - y));
+                    assert!(a.mul(b).contains(x * y));
+                    assert!(a.neg().contains(-x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_inputs_poison() {
+        let iv = Interval::point(f64::NAN);
+        assert!(iv.maybe_nan());
+        assert!(iv.contains(f64::NAN));
+        assert!(iv.contains(1e308));
+        let sum = Interval::point(1.0).add(iv);
+        assert!(sum.maybe_nan());
+    }
+
+    #[test]
+    fn inf_minus_inf_marks_nan() {
+        let a = Interval::everything();
+        let s = a.add(a.neg());
+        assert!(s.maybe_nan());
+    }
+
+    #[test]
+    fn zero_times_everything_marks_nan() {
+        let m = Interval::point(0.0).mul(Interval::everything());
+        assert!(m.maybe_nan());
+    }
+
+    #[test]
+    fn overflow_reachability_is_precision_relative() {
+        let big = Interval::point(1e39); // beyond f32::MAX, fine for f64
+        assert!(big.overflows(Precision::F32));
+        assert!(!big.overflows(Precision::F64));
+        assert!(Interval::everything().overflows(Precision::F64));
+        assert!(!Interval::point(1.0).overflows(Precision::F32));
+    }
+
+    #[test]
+    fn abs_bounds_handles_straddling_zero() {
+        assert_eq!(Interval::new(-3.0, 2.0).abs_bounds(), (0.0, 3.0));
+        assert_eq!(Interval::new(1.0, 4.0).abs_bounds(), (1.0, 4.0));
+        assert_eq!(Interval::new(-4.0, -1.0).abs_bounds(), (1.0, 4.0));
+        assert_eq!(Interval::point(0.0).abs_bounds(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn hull_and_encloses() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(2.0, 3.0);
+        let h = a.hull(b);
+        assert!(h.encloses(a) && h.encloses(b));
+        assert!(h.contains(1.5));
+        assert!(!a.encloses(h));
+        assert!(!a.encloses(a.with_nan()));
+        assert!(a.with_nan().encloses(a));
+    }
+
+    #[test]
+    fn expand_widens_monotonically() {
+        let a = Interval::point(1.0);
+        let w1 = a.expand(0.1);
+        let w2 = a.expand(0.5);
+        assert!(w2.encloses(w1));
+        assert!(w1.encloses(a));
+        assert!(w1.width() >= 0.2);
+        assert!(a.expand(f64::INFINITY).encloses(Interval::everything()));
+    }
+
+    #[test]
+    fn centered_contains_ball() {
+        let iv = Interval::centered(3.0, 0.25);
+        assert!(iv.contains(2.75) && iv.contains(3.25));
+        assert!(Interval::centered(1.0, f64::INFINITY).encloses(Interval::everything()));
+        assert_eq!(Interval::centered(2.0, 0.0), Interval::point(2.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_interval_panics() {
+        let _ = Interval::new(2.0, 1.0);
+    }
+}

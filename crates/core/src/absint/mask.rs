@@ -1,0 +1,401 @@
+//! Boundary → safe-bit-mask conversion: the bit-level vulnerability map.
+//!
+//! The single-bit-flip fault model makes most of the `sites × bits`
+//! campaign statically decidable: flipping mantissa bit `b` of a value
+//! with biased exponent `eb` injects an error of exactly `2^b` ulps, so
+//! once the forward pass bounds a site's exponent range and the boundary
+//! supplies its tolerable error `Δe_i`, each bit classifies as
+//!
+//! * [`BitClass::CertifiedMasked`] — the worst-case injected error of
+//!   that flip, over **every** exponent in the site's range, is `≤ Δe_i`;
+//!   the experiment is Masked by construction and needs no injection;
+//! * [`BitClass::CrashLikely`] — an exponent-bit flip that provably lands
+//!   in the all-ones exponent (Inf/NaN) for every exponent in the range:
+//!   the NaN-exception crash trigger;
+//! * [`BitClass::Unknown`] — everything else; injection budget belongs
+//!   here.
+//!
+//! Conservatism contract: a `CertifiedMasked` call is only as sound as
+//! the boundary it came from. Thresholds from the static analyzer
+//! (`staticbound`) are analytical certificates, so certification from
+//! [`MaskSource::Static`] inherits their zero-injection soundness; an
+//! inferred boundary is empirical, and masks derived from it
+//! ([`MaskSource::Inferred`]) carry the same §3.6 uncertainty as the
+//! boundary itself. The source is recorded in the mask set so campaign
+//! ledgers and reports can state what the pruning relied on.
+
+use super::forward::ForwardIntervals;
+use crate::boundary::Boundary;
+use ftb_trace::bits::{flip_always_nonfinite, flip_error_sup};
+use serde::{Deserialize, Serialize};
+
+/// Classification of one `(site, bit)` flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BitClass {
+    /// Provably Masked: worst-case injected error within the boundary.
+    CertifiedMasked,
+    /// Provably lands non-finite: the NaN-exception crash trigger.
+    CrashLikely,
+    /// Statically undecided; needs injection.
+    Unknown,
+}
+
+/// Which boundary the certification leaned on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MaskSource {
+    /// Analytical thresholds from the backward pass (zero injections,
+    /// sound by construction).
+    Static,
+    /// Empirically inferred boundary (Algorithm 1 / adaptive): masks are
+    /// predictions with the boundary's own uncertainty.
+    Inferred,
+}
+
+/// Per-site bit masks (LSB = bit 0, matching the flip indexing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteMask {
+    /// Bits classified [`BitClass::CertifiedMasked`].
+    pub certified: u64,
+    /// Bits classified [`BitClass::CrashLikely`].
+    pub crash_likely: u64,
+}
+
+/// The full per-site vulnerability map of one analysed kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitMasks {
+    /// Bits per site (32 or 64).
+    pub bits: u8,
+    /// Which boundary certified the masks.
+    pub source: MaskSource,
+    /// One mask pair per dynamic instruction.
+    pub sites: Vec<SiteMask>,
+}
+
+/// Build the per-site safe-bit masks from forward value envelopes and a
+/// boundary. `source` documents (and is bound into ledgers with) where
+/// the thresholds came from; it does not change the arithmetic.
+///
+/// # Panics
+/// Panics if the envelope and boundary disagree on the site count.
+pub fn safe_bit_masks(fw: &ForwardIntervals, boundary: &Boundary, source: MaskSource) -> BitMasks {
+    assert_eq!(
+        fw.n_sites(),
+        boundary.n_sites(),
+        "envelope covers {} sites but boundary covers {}",
+        fw.n_sites(),
+        boundary.n_sites()
+    );
+    let prec = fw.precision;
+    let bits = prec.bits();
+    let mant = prec.mantissa_bits();
+    let sign = prec.sign_bit();
+    // beyond this many exponent bands, stop sweeping exponent-bit flips
+    // per band and leave them Unknown (mantissa/sign rows are monotone in
+    // eb and never need the sweep)
+    const MAX_BAND_SWEEP: u32 = 256;
+
+    let sites = (0..fw.n_sites())
+        .map(|site| {
+            let Some((eb_lo, eb_hi)) = fw.exp_range(site) else {
+                // overflow/NaN reachable: certify nothing
+                return SiteMask::default();
+            };
+            let t = boundary.threshold(site);
+            let mut mask = SiteMask::default();
+            for bit in 0..bits {
+                if bit < mant || bit == sign {
+                    // worst case is monotone in the exponent band
+                    if flip_error_sup(prec, eb_hi, bit) <= t {
+                        mask.certified |= 1 << bit;
+                    }
+                    continue;
+                }
+                // exponent bit: sweep the band range
+                if flip_always_nonfinite(prec, eb_lo, bit) && eb_lo == eb_hi {
+                    mask.crash_likely |= 1 << bit;
+                    continue;
+                }
+                if eb_hi - eb_lo <= MAX_BAND_SWEEP {
+                    let worst = (eb_lo..=eb_hi)
+                        .map(|eb| flip_error_sup(prec, eb, bit))
+                        .fold(0.0, f64::max);
+                    if worst <= t {
+                        mask.certified |= 1 << bit;
+                    }
+                }
+            }
+            mask
+        })
+        .collect();
+
+    BitMasks {
+        bits,
+        source,
+        sites,
+    }
+}
+
+impl BitMasks {
+    /// Number of sites covered.
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Classify one `(site, bit)` flip.
+    ///
+    /// # Panics
+    /// Panics if `bit ≥ self.bits`.
+    pub fn class(&self, site: usize, bit: u8) -> BitClass {
+        assert!(bit < self.bits, "bit {bit} out of range");
+        let m = self.sites[site];
+        if m.certified >> bit & 1 == 1 {
+            BitClass::CertifiedMasked
+        } else if m.crash_likely >> bit & 1 == 1 {
+            BitClass::CrashLikely
+        } else {
+            BitClass::Unknown
+        }
+    }
+
+    /// The per-site certified masks as plain words — the shape the
+    /// injection layer's pruned plans consume.
+    pub fn certified_masks(&self) -> Vec<u64> {
+        self.sites.iter().map(|m| m.certified).collect()
+    }
+
+    /// Total certified bits over all sites.
+    pub fn certified_total(&self) -> u64 {
+        self.sites
+            .iter()
+            .map(|m| u64::from(m.certified.count_ones()))
+            .sum()
+    }
+
+    /// Total crash-likely bits over all sites.
+    pub fn crash_likely_total(&self) -> u64 {
+        self.sites
+            .iter()
+            .map(|m| u64::from(m.crash_likely.count_ones()))
+            .sum()
+    }
+
+    /// Size of the full fault space, `sites × bits`.
+    pub fn total_bits(&self) -> u64 {
+        self.sites.len() as u64 * u64::from(self.bits)
+    }
+
+    /// Fraction of a site's flips that are certified safe.
+    pub fn safe_fraction(&self, site: usize) -> f64 {
+        f64::from(self.sites[site].certified.count_ones()) / f64::from(self.bits)
+    }
+
+    /// The site's crash-likely exponent band as an inclusive bit range,
+    /// or `None` if no bit is crash-likely.
+    pub fn crash_band(&self, site: usize) -> Option<(u8, u8)> {
+        let m = self.sites[site].crash_likely;
+        if m == 0 {
+            return None;
+        }
+        Some((m.trailing_zeros() as u8, 63 - m.leading_zeros() as u8))
+    }
+
+    /// Campaign-work reduction factor an exhaustive pruned campaign
+    /// achieves: `total / (total − certified)` (`∞` if everything is
+    /// certified).
+    pub fn reduction_factor(&self) -> f64 {
+        let total = self.total_bits();
+        let remaining = total - self.certified_total();
+        if remaining == 0 {
+            f64::INFINITY
+        } else {
+            total as f64 / remaining as f64
+        }
+    }
+
+    /// FNV-1a digest over the certified masks (plus geometry and
+    /// source) — the fingerprint campaign ledgers bind to, so a resumed
+    /// pruned campaign provably pruned the same bits.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(u64::from(self.bits));
+        eat(match self.source {
+            MaskSource::Static => 0,
+            MaskSource::Inferred => 1,
+        });
+        eat(self.sites.len() as u64);
+        for m in &self.sites {
+            eat(m.certified);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absint::forward::{forward_pass, ForwardConfig};
+    use crate::boundary::Boundary;
+    use ftb_trace::bits::injected_error;
+    use ftb_trace::{GoldenRun, Precision, StaticId, Tracer};
+
+    fn point_envelope(values: &[f64], prec: Precision) -> (ForwardIntervals, GoldenRun) {
+        let mut t = Tracer::golden(prec).with_ddg();
+        for &v in values {
+            t.value(StaticId(0), v);
+        }
+        t.out_dep(values.len() - 1, 1.0);
+        let (golden, ddg) = t.finish_golden_with_ddg(values.to_vec());
+        let fw = forward_pass(&ddg, &golden, &ForwardConfig::default()).unwrap();
+        (fw, golden)
+    }
+
+    #[test]
+    fn certified_bits_really_are_below_the_threshold() {
+        let values = [1.0, -0.375, 1e-8, 3.5e4, 0.0];
+        let (fw, golden) = point_envelope(&values, Precision::F64);
+        let thresholds = vec![1e-6; values.len()];
+        let b = Boundary::from_thresholds(thresholds);
+        let masks = safe_bit_masks(&fw, &b, MaskSource::Static);
+        assert!(masks.certified_total() > 0, "nothing certified at 1e-6");
+        for site in 0..values.len() {
+            for bit in 0..64u8 {
+                if masks.class(site, bit) == BitClass::CertifiedMasked {
+                    let e = injected_error(golden.precision, golden.value(site), bit);
+                    assert!(
+                        e <= b.threshold(site),
+                        "site {site} bit {bit}: certified but exact error {e:e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_likely_bits_really_flip_nonfinite() {
+        let values = [1.0, 2.0, -0.5];
+        let (fw, golden) = point_envelope(&values, Precision::F64);
+        let b = Boundary::zero(values.len());
+        let masks = safe_bit_masks(&fw, &b, MaskSource::Static);
+        let mut n_crash = 0;
+        for site in 0..values.len() {
+            for bit in 0..64u8 {
+                if masks.class(site, bit) == BitClass::CrashLikely {
+                    n_crash += 1;
+                    let prec = golden.precision;
+                    let flipped = prec.flip(prec.quantize(golden.value(site)), bit);
+                    assert!(!flipped.is_finite(), "site {site} bit {bit}");
+                }
+            }
+        }
+        // 1.0 (biased exponent 0b01111111111) is one flip from all-ones
+        assert!(n_crash >= 1, "found {n_crash} crash-likely bits");
+    }
+
+    #[test]
+    fn zero_boundary_certifies_only_error_free_flips() {
+        // Δe = 0 still certifies flips with exactly zero worst-case
+        // injected error — there are none in the sup model (even a sign
+        // flip of zero has a positive sup over the whole band), so the
+        // masks must be empty
+        let values = [1.0, 0.0];
+        let (fw, _) = point_envelope(&values, Precision::F64);
+        let masks = safe_bit_masks(&fw, &Boundary::zero(2), MaskSource::Static);
+        assert_eq!(masks.certified_total(), 0);
+    }
+
+    #[test]
+    fn f32_masks_have_32_bit_geometry() {
+        let values = [1.5, -2.25];
+        let (fw, _) = point_envelope(&values, Precision::F32);
+        let b = Boundary::from_thresholds(vec![1e-3; 2]);
+        let masks = safe_bit_masks(&fw, &b, MaskSource::Inferred);
+        assert_eq!(masks.bits, 32);
+        assert_eq!(masks.source, MaskSource::Inferred);
+        assert!(masks.certified_total() > 0);
+        assert!(masks.certified_masks().iter().all(|&m| m >> 32 == 0));
+        assert_eq!(masks.total_bits(), 64);
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let values = [1.0, 0.5, 2.0];
+        let (fw, _) = point_envelope(&values, Precision::F64);
+        let b = Boundary::from_thresholds(vec![1e-9, 0.0, 1e3]);
+        let masks = safe_bit_masks(&fw, &b, MaskSource::Static);
+        let by_class: u64 = (0..3)
+            .map(|s| {
+                (0..64u8)
+                    .filter(|&b| masks.class(s, b) == BitClass::CertifiedMasked)
+                    .count() as u64
+            })
+            .sum();
+        assert_eq!(by_class, masks.certified_total());
+        let f = masks.safe_fraction(2);
+        assert!(f > masks.safe_fraction(1), "1e3 certifies more than 0");
+        assert!((0.0..=1.0).contains(&f));
+        assert!(masks.reduction_factor() >= 1.0);
+        // site 2 at Δe = 1e3 tolerates everything but the near-overflow
+        // exponent flips; its crash band is the top exponent bit
+        assert!(masks.crash_band(0).is_some());
+        assert_eq!(masks.crash_band(0).unwrap(), (62, 62));
+    }
+
+    #[test]
+    fn digest_tracks_certified_content() {
+        let values = [1.0, 0.5];
+        let (fw, _) = point_envelope(&values, Precision::F64);
+        let a = safe_bit_masks(
+            &fw,
+            &Boundary::from_thresholds(vec![1e-6; 2]),
+            MaskSource::Static,
+        );
+        let b = safe_bit_masks(
+            &fw,
+            &Boundary::from_thresholds(vec![1e-6; 2]),
+            MaskSource::Static,
+        );
+        assert_eq!(a.digest(), b.digest(), "deterministic");
+        let c = safe_bit_masks(
+            &fw,
+            &Boundary::from_thresholds(vec![1e-3; 2]),
+            MaskSource::Static,
+        );
+        assert_ne!(a.digest(), c.digest(), "different masks, different digest");
+        let d = safe_bit_masks(
+            &fw,
+            &Boundary::from_thresholds(vec![1e-6; 2]),
+            MaskSource::Inferred,
+        );
+        assert_ne!(a.digest(), d.digest(), "source is part of the binding");
+    }
+
+    #[test]
+    fn unbounded_envelope_certifies_nothing() {
+        // an everything-interval (cap escape) must yield empty masks even
+        // against a huge threshold
+        use crate::absint::forward::ForwardConfig;
+        let mut t = Tracer::golden(Precision::F64).with_ddg();
+        t.value(StaticId(0), 0.5);
+        t.dep(0, ftb_trace::OpKind::Square(0.5));
+        t.value(StaticId(1), 0.25);
+        t.out_dep(1, 1.0);
+        let (golden, ddg) = t.finish_golden_with_ddg(vec![0.25]);
+        let fw = forward_pass(&ddg, &golden, &ForwardConfig { widen: 3.0 }).unwrap();
+        assert!(fw.radii[1].is_infinite());
+        let masks = safe_bit_masks(
+            &fw,
+            &Boundary::from_thresholds(vec![f64::MAX; 2]),
+            MaskSource::Static,
+        );
+        assert_eq!(masks.sites[1].certified, 0);
+        assert_eq!(masks.sites[1].crash_likely, 0);
+    }
+}

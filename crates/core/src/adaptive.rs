@@ -303,6 +303,43 @@ impl AdaptiveState {
         state
     }
 
+    /// Remove statically certified bits from the candidate space — the
+    /// `--bit-prune` hook. Every `CertifiedMasked` bit of `masks`
+    /// (`ftb-core::absint`) is dropped from the space before it can be
+    /// drawn, and each pruned bit counts into the site's §3.4 `S_i`
+    /// information tally: certified bits are knowledge the sampler no
+    /// longer has to buy, so the `1/S_i` weights re-point the round
+    /// budget toward sites that remain `Unknown`-heavy. Returns the
+    /// number of candidates pruned.
+    ///
+    /// Call before the first [`step`](AdaptiveState::step) (composes
+    /// with [`with_prior`](AdaptiveState::with_prior), which prunes via
+    /// exact per-golden-value prediction; the masks additionally hold
+    /// over the site's whole exponent range). The pruning is part of the
+    /// serialized state, so checkpoint/resume stays bit-identical.
+    ///
+    /// # Panics
+    /// Panics if the masks cover a different fault space.
+    pub fn apply_bit_masks(&mut self, masks: &crate::absint::BitMasks) -> u64 {
+        assert_eq!(
+            masks.n_sites(),
+            self.n_sites,
+            "masks cover a different fault space"
+        );
+        assert_eq!(masks.bits, self.bits, "masks have the wrong bit width");
+        let mut pruned = 0u64;
+        for (site, m) in masks.sites.iter().enumerate() {
+            let hit = m.certified & self.space.masks[site];
+            let k = hit.count_ones();
+            if k > 0 {
+                self.space.masks[site] &= !hit;
+                self.information[site] = self.information[site].saturating_add(k);
+                pruned += u64::from(k);
+            }
+        }
+        pruned
+    }
+
     /// Whether this (possibly deserialized) state belongs to the same
     /// fault space as `injector`.
     pub fn matches(&self, injector: &Injector<'_>) -> bool {
@@ -499,6 +536,62 @@ mod tests {
             s.remove(1, b);
         }
         assert!(!s.site_has_candidates(1));
+    }
+
+    #[test]
+    fn apply_bit_masks_prunes_the_space_and_reweights() {
+        use crate::absint::{BitMasks, MaskSource, SiteMask};
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 3,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let mut state = AdaptiveState::new(&inj, &AdaptiveConfig::default());
+        let before = state.space.remaining();
+        let info_before = state.information[0];
+
+        // certify the low 8 mantissa bits of site 0 only
+        let mut sites = vec![SiteMask::default(); inj.n_sites()];
+        sites[0] = SiteMask {
+            certified: 0xff,
+            crash_likely: 0,
+        };
+        let masks = BitMasks {
+            bits: inj.bits(),
+            source: MaskSource::Static,
+            sites,
+        };
+        let pruned = state.apply_bit_masks(&masks);
+        assert_eq!(pruned, 8);
+        assert_eq!(state.space.remaining(), before - 8);
+        // pruning is idempotent: the bits are already gone
+        assert_eq!(state.apply_bit_masks(&masks), 0);
+        // certified bits count as information, shifting weight away
+        assert_eq!(state.information[0], info_before + 8);
+        // and the sampler can never draw a certified bit again
+        let mut rng = ftb_stats::sampling::seeded_rng(11);
+        for _ in 0..200 {
+            let bit = state.space.random_bit(0, &mut rng);
+            assert!(bit >= 8, "drew certified bit {bit}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different fault space")]
+    fn apply_bit_masks_rejects_wrong_geometry() {
+        use crate::absint::{BitMasks, MaskSource};
+        let k = MatvecKernel::new(MatvecConfig {
+            n: 3,
+            ..MatvecConfig::small()
+        });
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let mut state = AdaptiveState::new(&inj, &AdaptiveConfig::default());
+        let masks = BitMasks {
+            bits: inj.bits(),
+            source: MaskSource::Static,
+            sites: Vec::new(),
+        };
+        state.apply_bit_masks(&masks);
     }
 
     #[test]

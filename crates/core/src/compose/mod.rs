@@ -259,6 +259,7 @@ pub fn compose_analysis(
         n_sites: injector.n_sites(),
         bits: injector.bits(),
         plan: scfg.plan(m),
+        bit_prune: None,
     };
 
     // Which sections does the prior ledger still cover?

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod absint;
 pub mod adaptive;
 pub mod analysis;
 pub mod boundary;
@@ -66,6 +67,10 @@ pub mod region;
 pub mod sample;
 pub mod staticbound;
 
+pub use absint::{
+    forward_pass, safe_bit_masks, AbsIntError, BitClass, BitMasks, ForwardConfig, ForwardIntervals,
+    Interval, MaskSource,
+};
 pub use adaptive::{
     adaptive_boundary, adaptive_boundary_with_prior, AdaptiveConfig, AdaptiveResult, AdaptiveState,
     RoundStats,
@@ -90,6 +95,10 @@ pub use staticbound::{
 
 /// Convenient single-import surface.
 pub mod prelude {
+    pub use crate::absint::{
+        forward_pass, safe_bit_masks, BitClass, BitMasks, ForwardConfig, ForwardIntervals,
+        Interval, MaskSource,
+    };
     pub use crate::adaptive::{
         adaptive_boundary, adaptive_boundary_with_prior, AdaptiveConfig, AdaptiveResult,
         AdaptiveState,

@@ -40,6 +40,25 @@ pub struct CampaignBinding {
     /// `"monte-carlo n=1000 seed=42"`. Part of the binding: resuming an
     /// exhaustive ledger under a Monte-Carlo plan must fail.
     pub plan: String,
+    /// Bit-prune identity, present iff the campaign skips statically
+    /// certified bits (`--bit-prune`). Part of the binding: a pruned
+    /// ledger must not resume under different masks (the plans would
+    /// silently disagree pair-for-pair). `None` on unpruned campaigns
+    /// and defaulted on read, so pre-existing ledgers keep matching.
+    #[serde(default)]
+    pub bit_prune: Option<BitPruneBinding>,
+}
+
+/// Identity of the certified-bit masks a pruned campaign was planned
+/// under: enough to detect any mask drift without embedding the full
+/// per-site mask vector in every ledger header.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitPruneBinding {
+    /// Total number of certified (skipped) `(site, bit)` cells.
+    pub certified: u64,
+    /// Order-sensitive digest of the per-site certified masks
+    /// (`BitMasks::digest` in `ftb-core`).
+    pub digest: u64,
 }
 
 impl CampaignBinding {
@@ -320,6 +339,7 @@ mod tests {
             n_sites: 20,
             bits: 64,
             plan: plan.to_string(),
+            bit_prune: None,
         }
     }
 

@@ -45,12 +45,16 @@ pub mod sections;
 pub use campaign::{ExhaustiveResult, ExtractionSummary, Injector};
 pub use experiment::Experiment;
 pub use extraction::ExtractionMode;
-pub use ledger::{read_ledger, CampaignBinding, LedgerError, LedgerHeader, LedgerWriter};
+pub use ledger::{
+    read_ledger, BitPruneBinding, CampaignBinding, LedgerError, LedgerHeader, LedgerWriter,
+};
 pub use lockstep::{fold_propagation_lockstep, LockstepReport};
 pub use monte_carlo::{monte_carlo, MonteCarloEstimate};
 pub use obs::{CampaignMetrics, MetricsSnapshot, ProgressReporter};
 pub use outcome::{Classifier, CrashKind, Outcome};
-pub use runner::{exhaustive_plan, monte_carlo_plan, ChunkedCampaign, DEFAULT_CHUNK};
+pub use runner::{
+    exhaustive_plan, monte_carlo_plan, pruned_exhaustive_plan, ChunkedCampaign, DEFAULT_CHUNK,
+};
 pub use sections::{
     create_section_ledger, read_section_ledger, run_section_campaign, SectionCampaign,
     SectionCampaignConfig, SectionLedgerRecovery, SectionRecord, SectionSummary, SlotAmp,

@@ -30,6 +30,36 @@ pub fn exhaustive_plan(n_sites: usize, bits: u8) -> Vec<FaultSpec> {
         .collect()
 }
 
+/// The bit-pruned exhaustive plan: every bit of every site in site-major
+/// order, *except* the `(site, bit)` cells whose bit is set in
+/// `certified[site]` — those are statically certified masked
+/// (`BitClass::CertifiedMasked` in `ftb-core`) and need no execution.
+/// Crash-likely bits are **not** skipped: the prediction there is about
+/// the corrupted value being non-finite, not about the outcome being
+/// ignorable, so they stay in the plan and keep the ground truth honest.
+///
+/// The surviving pairs appear in exactly the order [`exhaustive_plan`]
+/// would visit them, so a pruned ledger replays deterministically and
+/// the differential harness can compare pruned and unpruned campaigns
+/// cell-for-cell on every non-certified pair.
+///
+/// # Panics
+/// Panics if `certified` does not have one mask word per site.
+pub fn pruned_exhaustive_plan(n_sites: usize, bits: u8, certified: &[u64]) -> Vec<FaultSpec> {
+    assert_eq!(
+        certified.len(),
+        n_sites,
+        "certified masks cover a different fault space"
+    );
+    (0..n_sites)
+        .flat_map(|site| {
+            (0..bits)
+                .filter(move |&bit| certified[site] & (1u64 << bit) == 0)
+                .map(move |bit| FaultSpec { site, bit })
+        })
+        .collect()
+}
+
 /// The uniform Monte-Carlo plan: `n` pairs drawn with replacement,
 /// identical to the sequence `monte_carlo` executes for this seed.
 pub fn monte_carlo_plan(n_sites: usize, bits: u8, n: u64, seed: u64) -> Vec<FaultSpec> {
@@ -219,6 +249,55 @@ impl<'k> ChunkedCampaign<'k> {
             codes,
         }
     }
+
+    /// Convert a finished [`pruned_exhaustive_plan`] campaign into the
+    /// dense outcome table, filling every certified (skipped) cell with
+    /// `Masked` — exactly the outcome the certificate guarantees. The
+    /// result has the same layout as [`into_exhaustive`](Self::into_exhaustive),
+    /// so everything downstream (inference, metrics, reports) consumes it
+    /// unchanged.
+    ///
+    /// # Panics
+    /// Panics if the campaign is not complete or its plan is not the
+    /// pruned site-major layout for these masks.
+    pub fn into_exhaustive_with_certified(self, certified: &[u64]) -> ExhaustiveResult {
+        assert!(self.is_done(), "campaign still has pending experiments");
+        let n_sites = self.injector.n_sites();
+        let bits = self.injector.bits();
+        assert_eq!(
+            certified.len(),
+            n_sites,
+            "certified masks cover a different fault space"
+        );
+        let masked = crate::outcome::Outcome::Masked.code();
+        let mut codes = vec![masked; n_sites * bits as usize];
+        let mut executed = self.completed.iter();
+        for site in 0..n_sites {
+            for bit in 0..bits {
+                if certified[site] & (1u64 << bit) != 0 {
+                    continue;
+                }
+                let e = executed
+                    .next()
+                    .expect("plan does not cover every non-certified pair");
+                assert_eq!(
+                    e.key(),
+                    (site, bit),
+                    "plan is not in pruned site-major order"
+                );
+                codes[site * bits as usize + bit as usize] = e.outcome.code();
+            }
+        }
+        assert!(
+            executed.next().is_none(),
+            "plan has experiments beyond the pruned fault space"
+        );
+        ExhaustiveResult {
+            n_sites,
+            bits,
+            codes,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +324,7 @@ mod tests {
             n_sites: inj.n_sites(),
             bits: inj.bits(),
             plan: plan.to_string(),
+            bit_prune: None,
         }
     }
 
@@ -261,6 +341,55 @@ mod tests {
         assert_eq!((plan[0].site, plan[0].bit), (0, 0));
         assert_eq!((plan[5].site, plan[5].bit), (1, 1));
         assert_eq!((plan[11].site, plan[11].bit), (2, 3));
+    }
+
+    #[test]
+    fn pruned_plan_skips_exactly_the_certified_bits() {
+        // site 0: bits 1 and 3 certified; site 1: nothing; site 2: all 4
+        let certified = vec![0b1010u64, 0, 0b1111];
+        let plan = pruned_exhaustive_plan(3, 4, &certified);
+        let pairs: Vec<(usize, u8)> = plan.iter().map(|f| (f.site, f.bit)).collect();
+        assert_eq!(pairs, vec![(0, 0), (0, 2), (1, 0), (1, 1), (1, 2), (1, 3)]);
+        // empty masks degenerate to the exhaustive plan
+        let full = pruned_exhaustive_plan(3, 4, &[0, 0, 0]);
+        assert_eq!(full.len(), exhaustive_plan(3, 4).len());
+    }
+
+    #[test]
+    fn pruned_campaign_fills_certified_cells_with_masked() {
+        let k = tiny_kernel();
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let truth = inj.exhaustive();
+        // certify only bits that really are masked, from the ground
+        // truth itself: the pruned table must then equal the full one.
+        let masked_code = crate::outcome::Outcome::Masked.code();
+        let bits = inj.bits() as usize;
+        let certified: Vec<u64> = (0..inj.n_sites())
+            .map(|site| {
+                (0..bits.min(8)) // prune a slice of the low mantissa bits
+                    .filter(|&b| truth.codes[site * bits + b] == masked_code)
+                    .fold(0u64, |m, b| m | 1 << b)
+            })
+            .collect();
+        let skipped: u64 = certified.iter().map(|m| m.count_ones() as u64).sum();
+        assert!(skipped > 0, "tiny matvec should mask some low bits");
+
+        let plan = pruned_exhaustive_plan(inj.n_sites(), inj.bits(), &certified);
+        assert_eq!(plan.len() as u64 + skipped, (inj.n_sites() * bits) as u64);
+        let mut cc = ChunkedCampaign::new(&inj, plan, 37);
+        cc.run_to_completion().unwrap();
+        assert_eq!(cc.into_exhaustive_with_certified(&certified), truth);
+    }
+
+    #[test]
+    #[should_panic(expected = "pruned site-major order")]
+    fn pruned_completion_rejects_foreign_plans() {
+        let k = tiny_kernel();
+        let inj = Injector::new(&k, Classifier::new(1e-6));
+        let certified = vec![1u64; inj.n_sites()]; // claims bit 0 skipped
+        let mut cc = ChunkedCampaign::new(&inj, exhaustive_plan(inj.n_sites(), inj.bits()), 64);
+        cc.run_to_completion().unwrap();
+        let _ = cc.into_exhaustive_with_certified(&certified);
     }
 
     #[test]

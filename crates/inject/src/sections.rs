@@ -484,10 +484,11 @@ mod tests {
     fn binding(k: &JacobiKernel, inj: &Injector<'_>, plan: String) -> CampaignBinding {
         CampaignBinding {
             kernel: ftb_kernels::KernelConfig::Jacobi(k.config().clone()),
-            classifier: inj.classifier().clone(),
+            classifier: *inj.classifier(),
             n_sites: inj.n_sites(),
             bits: inj.bits(),
             plan,
+            bit_prune: None,
         }
     }
 

@@ -1,0 +1,75 @@
+//! Per-static-instruction view of a bit-level vulnerability analysis:
+//! one row per instruction with its dynamic-site count, certified
+//! safe-bit fraction and crash-band incidence.
+//!
+//! Like the rest of this crate, the rows are plain data computed
+//! elsewhere — rendering only.
+
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+
+/// One static instruction's line in the vulnerability map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitsVulnRow {
+    /// Static instruction name (e.g. `jacobi.sweep.x`).
+    pub name: String,
+    /// Kernel region the instruction belongs to.
+    pub region: String,
+    /// Dynamic sites the instruction expands to.
+    pub dynamic_sites: usize,
+    /// Mean certified-masked bit fraction over the instruction's sites.
+    pub mean_safe_fraction: f64,
+    /// Sites with a provable crash-likely exponent band.
+    pub crash_band_sites: usize,
+}
+
+/// Render vulnerability rows as an aligned table.
+pub fn bits_vuln_table(rows: &[BitsVulnRow]) -> String {
+    let mut t = Table::new(&[
+        "static instruction",
+        "region",
+        "dyn sites",
+        "safe bits",
+        "crash-band sites",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.name.clone(),
+            r.region.clone(),
+            r.dynamic_sites.to_string(),
+            format!("{:.1}%", r.mean_safe_fraction * 100.0),
+            r.crash_band_sites.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_fraction_as_percentage() {
+        let rows = vec![
+            BitsVulnRow {
+                name: "jacobi.sweep.x".into(),
+                region: "compute".into(),
+                dynamic_sites: 160,
+                mean_safe_fraction: 0.668,
+                crash_band_sites: 0,
+            },
+            BitsVulnRow {
+                name: "jacobi.residual".into(),
+                region: "reduce".into(),
+                dynamic_sites: 10,
+                mean_safe_fraction: 0.998,
+                crash_band_sites: 1,
+            },
+        ];
+        let s = bits_vuln_table(&rows);
+        assert!(s.contains("66.8%"), "{s}");
+        assert!(s.contains("99.8%"), "{s}");
+        assert!(s.contains("jacobi.residual"), "{s}");
+        assert!(s.contains("crash-band sites"), "{s}");
+    }
+}

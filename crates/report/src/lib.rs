@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bits_table;
 pub mod boundary_cmp;
 pub mod grouping;
 pub mod histo;
@@ -17,6 +18,7 @@ pub mod sections_table;
 pub mod series;
 pub mod table;
 
+pub use bits_table::{bits_vuln_table, BitsVulnRow};
 pub use boundary_cmp::{boundary_comparison, BoundaryMethodRow};
 pub use grouping::{group_means, group_sums};
 pub use histo::render_histogram;

@@ -33,6 +33,152 @@ impl Precision {
         }
     }
 
+    /// Number of mantissa-field bits (23 for binary32, 52 for binary64).
+    #[inline]
+    pub const fn mantissa_bits(self) -> u8 {
+        match self {
+            Precision::F32 => 23,
+            Precision::F64 => 52,
+        }
+    }
+
+    /// Bit index of the sign bit (the highest bit).
+    #[inline]
+    pub const fn sign_bit(self) -> u8 {
+        self.bits() - 1
+    }
+
+    /// Exponent bias (127 for binary32, 1023 for binary64).
+    #[inline]
+    pub const fn exponent_bias(self) -> i32 {
+        match self {
+            Precision::F32 => 127,
+            Precision::F64 => 1023,
+        }
+    }
+
+    /// The all-ones biased exponent (Inf/NaN territory): 255 for
+    /// binary32, 2047 for binary64.
+    #[inline]
+    pub const fn max_biased_exponent(self) -> u32 {
+        match self {
+            Precision::F32 => 0xff,
+            Precision::F64 => 0x7ff,
+        }
+    }
+
+    /// Largest finite magnitude representable in this precision.
+    #[inline]
+    pub const fn max_finite(self) -> f64 {
+        match self {
+            Precision::F32 => f32::MAX as f64,
+            Precision::F64 => f64::MAX,
+        }
+    }
+}
+
+/// `2^e` as an exact `f64` (bit-constructed, no rounding), saturating to
+/// `0` below the subnormal range and `+∞` above the normal range.
+#[inline]
+fn pow2(e: i32) -> f64 {
+    if e < -1074 {
+        0.0
+    } else if e < -1022 {
+        // subnormal: a single mantissa bit at position e + 1074
+        f64::from_bits(1u64 << (e + 1074))
+    } else if e <= 1023 {
+        f64::from_bits(((e + 1023) as u64) << 52)
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Biased exponent field of `v` in the given precision (quantising
+/// first, so the field is read from exactly the representation a flip
+/// would corrupt).
+#[inline]
+pub fn biased_exponent(precision: Precision, v: f64) -> u32 {
+    match precision {
+        Precision::F32 => ((v as f32).to_bits() >> 23) & 0xff,
+        Precision::F64 => ((v.to_bits() >> 52) & 0x7ff) as u32,
+    }
+}
+
+/// Largest finite magnitude among values with biased exponent `eb`
+/// (`+∞` for the all-ones exponent, whose members are already
+/// non-finite). For `eb = 0` this is the largest subnormal.
+pub fn sup_magnitude(precision: Precision, eb: u32) -> f64 {
+    if eb >= precision.max_biased_exponent() {
+        return f64::INFINITY;
+    }
+    let mant = precision.mantissa_bits() as i32;
+    let bias = precision.exponent_bias();
+    if eb == 0 {
+        // (1 − 2^−mant) · 2^(1−bias)
+        (1.0 - pow2(-mant)) * pow2(1 - bias)
+    } else {
+        // (2 − 2^−mant) · 2^(eb−bias)
+        (2.0 - pow2(-mant)) * pow2(eb as i32 - bias)
+    }
+}
+
+/// Smallest magnitude among values with biased exponent `eb`: `2^(eb−bias)`
+/// for normals, `0` for `eb = 0` (the subnormal band includes ±0).
+pub fn min_magnitude(precision: Precision, eb: u32) -> f64 {
+    if eb == 0 {
+        0.0
+    } else {
+        pow2(eb as i32 - precision.exponent_bias())
+    }
+}
+
+/// Sound upper bound on the injected error `|flip(v, bit) − v|` over
+/// **every** finite `v` whose biased exponent is `eb` — the per-exponent
+/// worst case of the single-bit-flip fault model.
+///
+/// Returns `+∞` exactly when the flip can land non-finite from that
+/// exponent (an exponent-bit flip into the all-ones exponent), mirroring
+/// [`injected_error`]'s convention. The mantissa-bit rows are exact
+/// (a flip of mantissa bit `b` moves the value by exactly `2^b` ulps
+/// regardless of the mantissa); the sign/exponent rows are conservative
+/// sups.
+pub fn flip_error_sup(precision: Precision, eb: u32, bit: u8) -> f64 {
+    assert!(bit < precision.bits(), "bit {bit} out of range");
+    if eb >= precision.max_biased_exponent() {
+        return f64::INFINITY; // v itself non-finite: out of the fault model
+    }
+    let mant = precision.mantissa_bits();
+    let bias = precision.exponent_bias();
+    if bit < mant {
+        // exact: 2^bit ulps, ulp = 2^(max(eb,1) − bias − mant)
+        pow2(bit as i32 + eb.max(1) as i32 - bias - mant as i32)
+    } else if bit == precision.sign_bit() {
+        2.0 * sup_magnitude(precision, eb)
+    } else {
+        let eb2 = eb ^ (1u32 << (bit - mant));
+        if eb2 >= precision.max_biased_exponent() {
+            f64::INFINITY
+        } else {
+            // same sign before and after, so |v' − v| < max(|v|, |v'|)
+            sup_magnitude(precision, eb.max(eb2))
+        }
+    }
+}
+
+/// Whether flipping `bit` lands non-finite for **every** value with
+/// biased exponent `eb`: true exactly for exponent-bit flips into the
+/// all-ones exponent (Inf for a zero mantissa, NaN otherwise — both are
+/// the NaN-exception crash trigger).
+pub fn flip_always_nonfinite(precision: Precision, eb: u32, bit: u8) -> bool {
+    assert!(bit < precision.bits(), "bit {bit} out of range");
+    let mant = precision.mantissa_bits();
+    if bit < mant || bit == precision.sign_bit() {
+        return false;
+    }
+    (eb ^ (1u32 << (bit - mant))) == precision.max_biased_exponent()
+}
+
+impl Precision {
     /// Quantise a value to this precision (identity for `F64`).
     #[inline]
     pub fn quantize(self, v: f64) -> f64 {
@@ -191,5 +337,131 @@ mod tests {
     #[should_panic]
     fn flip_out_of_range_panics() {
         let _ = flip_bit_f32(1.0, 32);
+    }
+
+    #[test]
+    fn field_geometry_constants() {
+        assert_eq!(Precision::F32.mantissa_bits(), 23);
+        assert_eq!(Precision::F64.mantissa_bits(), 52);
+        assert_eq!(Precision::F32.sign_bit(), 31);
+        assert_eq!(Precision::F64.sign_bit(), 63);
+        assert_eq!(Precision::F32.max_biased_exponent(), 255);
+        assert_eq!(Precision::F64.max_biased_exponent(), 2047);
+        assert_eq!(Precision::F32.max_finite(), f32::MAX as f64);
+        assert_eq!(Precision::F64.max_finite(), f64::MAX);
+    }
+
+    #[test]
+    fn biased_exponent_reads_the_field() {
+        assert_eq!(biased_exponent(Precision::F64, 1.0), 1023);
+        assert_eq!(biased_exponent(Precision::F64, 2.0), 1024);
+        assert_eq!(biased_exponent(Precision::F64, 0.0), 0);
+        assert_eq!(biased_exponent(Precision::F32, 1.0), 127);
+        assert_eq!(biased_exponent(Precision::F32, -4.0), 129);
+        // quantisation first: a tiny f64 is subnormal-or-zero as f32
+        assert_eq!(biased_exponent(Precision::F32, 1e-300), 0);
+    }
+
+    #[test]
+    fn magnitude_envelopes_bracket_each_exponent_band() {
+        for prec in [Precision::F32, Precision::F64] {
+            for eb in [0u32, 1, 5, prec.max_biased_exponent() - 1] {
+                let lo = min_magnitude(prec, eb);
+                let hi = sup_magnitude(prec, eb);
+                assert!(lo <= hi, "band {eb} inverted: {lo} > {hi}");
+                assert!(hi.is_finite(), "sup of a finite band must be finite");
+            }
+            assert_eq!(min_magnitude(prec, 0), 0.0);
+            assert_eq!(
+                sup_magnitude(prec, prec.max_biased_exponent()),
+                f64::INFINITY
+            );
+        }
+        // exact spot checks: f64 band 1023 is [1, 2), sup just under 2
+        assert_eq!(min_magnitude(Precision::F64, 1023), 1.0);
+        assert_eq!(sup_magnitude(Precision::F64, 1023), 2.0 - 2f64.powi(-52));
+        // top normal band's sup is MAX itself
+        assert_eq!(sup_magnitude(Precision::F64, 2046), f64::MAX);
+        assert_eq!(sup_magnitude(Precision::F32, 254), f32::MAX as f64);
+    }
+
+    #[test]
+    fn flip_error_sup_dominates_injected_error_sampled() {
+        // the per-exponent sup must dominate the exact injected error of
+        // every sampled value in that band, both precisions, every bit
+        let samples: Vec<f64> = vec![
+            0.0, 1.0, -1.0, 1.5, -3.25, 0.1, 1e-3, 7.5e9, -2.5e-12, 1e-40,     // subnormal as f32
+            3.4e38,    // near f32::MAX
+            1.2e308,   // near f64::MAX
+            5e-324,    // min f64 subnormal
+            -1.18e-38, // near f32 min normal
+        ];
+        for prec in [Precision::F32, Precision::F64] {
+            for &raw in &samples {
+                let v = prec.quantize(raw);
+                if !v.is_finite() {
+                    continue;
+                }
+                let eb = biased_exponent(prec, v);
+                for bit in 0..prec.bits() {
+                    let exact = injected_error(prec, v, bit);
+                    let sup = flip_error_sup(prec, eb, bit);
+                    assert!(
+                        exact <= sup,
+                        "{prec:?} v={v:e} bit={bit}: exact {exact:e} > sup {sup:e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flip_error_sup_mantissa_rows_are_exact_per_band() {
+        // mantissa flips move the value by exactly 2^bit ulps, so the sup
+        // is attained by every member of the band
+        let v = 1.75f64; // eb 1023
+        let eb = biased_exponent(Precision::F64, v);
+        for bit in 0..52u8 {
+            assert_eq!(
+                injected_error(Precision::F64, v, bit),
+                flip_error_sup(Precision::F64, eb, bit)
+            );
+        }
+    }
+
+    #[test]
+    fn flip_always_nonfinite_matches_exact_flips() {
+        // where the predicate holds, every sampled member of the band
+        // flips non-finite; where it doesn't, the sup being finite means
+        // no member can
+        for prec in [Precision::F32, Precision::F64] {
+            for &v in &[1.0f64, -2.5, 0.75, 1e20] {
+                let v = prec.quantize(v);
+                let eb = biased_exponent(prec, v);
+                for bit in 0..prec.bits() {
+                    let flips_nonfinite = !prec.flip(v, bit).is_finite();
+                    if flip_always_nonfinite(prec, eb, bit) {
+                        assert!(flips_nonfinite, "{prec:?} v={v} bit={bit}");
+                        assert_eq!(flip_error_sup(prec, eb, bit), f64::INFINITY);
+                    }
+                    if flip_error_sup(prec, eb, bit).is_finite() {
+                        assert!(!flips_nonfinite, "{prec:?} v={v} bit={bit}");
+                    }
+                }
+            }
+        }
+        // the canonical example: 1.0 loses its top exponent bit to Inf
+        assert!(flip_always_nonfinite(Precision::F64, 1023, 62));
+        assert!(flip_always_nonfinite(Precision::F32, 127, 30));
+        assert!(!flip_always_nonfinite(Precision::F64, 1023, 61));
+    }
+
+    #[test]
+    fn flip_error_sup_zero_band_covers_the_paper_example() {
+        // §4.2: a 32-bit zero's top exponent-bit flip perturbs by 2; the
+        // band-0 sup must dominate it
+        let sup = flip_error_sup(Precision::F32, 0, 30);
+        assert!(sup >= 2.0, "sup {sup}");
+        assert!(sup.is_finite());
     }
 }

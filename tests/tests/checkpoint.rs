@@ -30,6 +30,7 @@ fn binding(inj: &Injector<'_>, plan: &str) -> CampaignBinding {
         n_sites: inj.n_sites(),
         bits: inj.bits(),
         plan: plan.to_string(),
+        bit_prune: None,
     }
 }
 

@@ -80,7 +80,7 @@ fn composed_is_precise_and_conservative_vs_exhaustive() {
             let mut samples = SampleSet::new();
             for c in r.campaigns.iter().flatten() {
                 for e in &c.local_experiments {
-                    samples.insert(e.clone());
+                    samples.insert(*e);
                 }
             }
             let inferred = infer_boundary(&inj, &samples, FilterMode::PerSite);
@@ -134,7 +134,7 @@ fn composed_never_looser_than_monolithic_inferred_on_local_sites() {
         let mut samples = SampleSet::new();
         for c in r.campaigns.iter().flatten() {
             for e in &c.local_experiments {
-                samples.insert(e.clone());
+                samples.insert(*e);
             }
         }
         let inferred = infer_boundary(&inj, &samples, FilterMode::PerSite);

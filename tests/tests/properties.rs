@@ -397,7 +397,7 @@ fn single_whole_program_section_reproduces_monolithic_inference() {
     );
 
     let composed = compose_thresholds(
-        &[campaign.summary.clone()],
+        std::slice::from_ref(&campaign.summary),
         &SectionDag::chain(1),
         inj.n_sites(),
         &ComposeParams {
