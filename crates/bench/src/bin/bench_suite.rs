@@ -10,7 +10,7 @@
 //! three paths disagree on any outcome table — a throughput number from
 //! a path that produces different results is meaningless.
 
-use ftb_bench::perf::run_suite;
+use ftb_bench::perf::{merge_tier, run_suite};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -51,9 +51,26 @@ fn main() {
             );
         }
         println!(
-            "  streamed vs buffered: {:.2}x   agree: {}",
-            w.speedup_streamed_vs_buffered, w.paths_agree
+            "  streamed vs buffered: {:.2}x (floor {:.1})   agree: {}",
+            w.speedup_streamed_vs_buffered, w.min_streamed_speedup, w.paths_agree
         );
+        if let Some(s) = &w.snapshot {
+            println!(
+                "  snapshot  {:>9.0} exp/s  ({} experiments in {:.2}s from {} snapshots, \
+                 {:.1} MiB store, captured in {:.2}s): {:.2}x vs streamed (floor {:.1}, \
+                 eps floor {:.1}), identical {}",
+                s.experiments_per_sec,
+                s.exhaustive_experiments,
+                s.exhaustive_secs,
+                s.snapshots,
+                s.store_mb,
+                s.capture_secs,
+                s.speedup_vs_streamed,
+                s.min_speedup,
+                s.min_eps,
+                s.identical,
+            );
+        }
         if let Some(c) = &w.compose {
             println!(
                 "  compose   {} sections, {} injections in {:.2}s: precision {:.4}, \
@@ -110,9 +127,15 @@ fn main() {
         println!();
     }
 
-    let json = serde_json::to_string_pretty(&report).unwrap();
+    // merge this tier into the existing document so a quick run never
+    // clobbers committed paper-scale numbers (and vice versa)
+    let prev = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
+    let doc = merge_tier(prev, &report);
+    let json = serde_json::to_string_pretty(&doc).unwrap();
     std::fs::write(&out, json + "\n").unwrap();
-    println!("wrote {out}");
+    println!("wrote {out} ({tier} tier)");
 
     if !report.all_paths_agree {
         eprintln!("FAIL: extraction paths disagree on at least one outcome table");
@@ -127,6 +150,18 @@ fn main() {
             "FAIL: a bit-prune stanza missed its gate (certified-bit violation, \
              pruned/unpruned divergence, or reduction below floor)"
         );
+        std::process::exit(1);
+    }
+    if !report.snapshot_ok {
+        eprintln!(
+            "FAIL: a snapshot leg missed its gate (resumed outcome table diverged \
+             from the from-t=0 table, speedup below the workload's floor, or \
+             absolute exp/s below the workload's eps floor)"
+        );
+        std::process::exit(1);
+    }
+    if !report.streamed_ok {
+        eprintln!("FAIL: streamed-vs-buffered speedup fell below a workload's pinned floor");
         std::process::exit(1);
     }
 }

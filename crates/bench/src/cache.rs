@@ -79,6 +79,7 @@ pub fn exhaustive_cached(bench: &Benchmark, injector: &Injector<'_>) -> Exhausti
         bits: injector.bits(),
         plan: "exhaustive".to_string(),
         bit_prune: None,
+        snapshot: None,
     };
     let plan = exhaustive_plan(injector.n_sites(), injector.bits());
     let ex =

@@ -87,6 +87,14 @@ ANALYSIS OPTIONS:
                            deprioritise (adaptive) bits the forward
                            interval analysis certifies as masked
                            (instrumented kernels only)
+    --snapshot             campaign/exhaustive: snapshot full kernel state
+                           at golden-run section boundaries and start each
+                           experiment from the snapshot preceding its
+                           fault site (snapshot-capable kernels only:
+                           jacobi, gemm, matrix-free cg). Results are
+                           bit-identical to from-scratch execution.
+    --snapshot-max N       snapshot: retain at most N evenly spaced
+                           boundary snapshots (128)
     --json PATH            also write results as JSON
 
 CHECKPOINT / OBSERVABILITY OPTIONS (campaign, exhaustive, adaptive):
@@ -142,6 +150,11 @@ pub struct Args {
     pub secant: bool,
     /// `exhaustive`/`adaptive`: prune statically certified bits.
     pub bit_prune: bool,
+    /// `campaign`/`exhaustive`: resume experiments from golden-run
+    /// boundary snapshots.
+    pub snapshot: bool,
+    /// Snapshot-store retention cap.
+    pub snapshot_max: usize,
     /// `analyze bits`: relative input widening for the forward pass.
     pub widen: f64,
 }
@@ -218,6 +231,7 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
                 | "static-prior"
                 | "secant"
                 | "bit-prune"
+                | "snapshot"
         );
         if boolean {
             flags.insert(key.to_string(), "true".to_string());
@@ -399,6 +413,14 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
         },
         secant: flags.contains_key("secant"),
         bit_prune: flags.contains_key("bit-prune"),
+        snapshot: flags.contains_key("snapshot"),
+        snapshot_max: {
+            let m = get_usize("snapshot-max", 128)?;
+            if m == 0 {
+                return Err(err("--snapshot-max must be at least 1"));
+            }
+            m
+        },
         widen: {
             let w = get_f64("widen", 0.0)?;
             if !(w.is_finite() && w >= 0.0) {
@@ -502,6 +524,34 @@ mod tests {
         assert!(a.bit_prune);
         let a = parse(&v(&["adaptive", "--kernel", "jacobi"])).unwrap();
         assert!(!a.bit_prune);
+    }
+
+    #[test]
+    fn parses_snapshot_flags() {
+        let a = parse(&v(&["exhaustive", "--kernel", "jacobi", "--snapshot"])).unwrap();
+        assert!(a.snapshot);
+        assert_eq!(a.snapshot_max, 128);
+        let a = parse(&v(&[
+            "exhaustive",
+            "--kernel",
+            "jacobi",
+            "--snapshot",
+            "--snapshot-max",
+            "16",
+        ]))
+        .unwrap();
+        assert_eq!(a.snapshot_max, 16);
+        let a = parse(&v(&["exhaustive", "--kernel", "jacobi"])).unwrap();
+        assert!(!a.snapshot);
+        assert!(parse(&v(&[
+            "exhaustive",
+            "--kernel",
+            "jacobi",
+            "--snapshot",
+            "--snapshot-max",
+            "0"
+        ]))
+        .is_err());
     }
 
     #[test]

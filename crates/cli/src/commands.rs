@@ -5,8 +5,9 @@ use crate::args::{Args, CliError};
 use ftb_core::prelude::*;
 use ftb_core::{AdaptiveState, StaticValidation};
 use ftb_inject::{
-    exhaustive_plan, monte_carlo_plan, pruned_exhaustive_plan, BitPruneBinding, CampaignBinding,
-    CampaignMetrics, ChunkedCampaign, ExhaustiveResult, MetricsSnapshot,
+    exhaustive_plan, monte_carlo_plan, pruned_exhaustive_plan, schedule_snapshot_major,
+    BitPruneBinding, CampaignBinding, CampaignMetrics, ChunkedCampaign, ExhaustiveResult,
+    MetricsSnapshot,
 };
 use ftb_report::{
     bits_vuln_table, boundary_comparison, sections_table, BitsVulnRow, BoundaryMethodRow,
@@ -54,6 +55,7 @@ fn campaign_binding(args: &Args, injector: &Injector<'_>, plan: &str) -> Campaig
         bits: injector.bits(),
         plan: plan.to_string(),
         bit_prune: None,
+        snapshot: injector.snapshot_store().map(|s| s.binding()),
     }
 }
 
@@ -66,6 +68,13 @@ fn run_chunked<'k>(
     plan: Vec<FaultSpec>,
     bit_prune: Option<BitPruneBinding>,
 ) -> Result<ChunkedCampaign<'k>, CliError> {
+    // snapshot-major order: one warm snapshot serves a contiguous batch.
+    // Stable, so the (already snapshot-major) exhaustive plans pass
+    // through unchanged and keep their site-major record layout.
+    let plan = match injector.snapshot_store() {
+        Some(store) => schedule_snapshot_major(&plan, store),
+        None => plan,
+    };
     let mut cc = ChunkedCampaign::new(injector, plan, args.chunk)
         .with_reporter(format!("ftb {}", args.command), Duration::from_secs(2));
     if let Some(path) = &args.checkpoint {
@@ -133,8 +142,11 @@ fn golden(args: &Args) -> Result<String, CliError> {
 
 fn campaign(args: &Args) -> Result<String, CliError> {
     let kernel = args.kernel.build();
-    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance))
+    let mut analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance))
         .with_extraction(args.extraction);
+    if args.snapshot {
+        analysis = analysis.with_snapshots(args.snapshot_max);
+    }
     let injector = analysis.injector();
     let plan_desc = format!("monte-carlo n={} seed={}", args.samples, args.seed);
     let plan = monte_carlo_plan(injector.n_sites(), injector.bits(), args.samples, args.seed);
@@ -184,9 +196,15 @@ fn static_bit_masks(args: &Args, kernel: &dyn ftb_kernels::Kernel) -> Result<Bit
 
 fn exhaustive(args: &Args) -> Result<String, CliError> {
     let kernel = args.kernel.build();
-    let analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance))
+    let mut analysis = Analysis::new(kernel.as_ref(), Classifier::new(args.tolerance))
         .with_extraction(args.extraction);
+    if args.snapshot {
+        analysis = analysis.with_snapshots(args.snapshot_max);
+    }
     let injector = analysis.injector();
+    if args.snapshot && injector.snapshot_store().is_none() {
+        eprintln!("[ftb exhaustive] note: kernel is not snapshot-capable; running from scratch");
+    }
 
     let masks = if args.bit_prune {
         Some(static_bit_masks(args, kernel.as_ref())?)
@@ -217,6 +235,14 @@ fn exhaustive(args: &Args) -> Result<String, CliError> {
     let (m, s, c) = ex.counts();
     let mut out = String::new();
     let _ = writeln!(out, "experiments:  {}", ex.n_experiments() - skipped);
+    if let Some(store) = injector.snapshot_store() {
+        let _ = writeln!(
+            out,
+            "snapshots:    {} boundaries ({:.1} MiB), experiments resumed mid-trace",
+            store.len(),
+            store.store_bytes() as f64 / (1024.0 * 1024.0)
+        );
+    }
     if let Some(masks) = &masks {
         let _ = writeln!(
             out,
@@ -1331,6 +1357,37 @@ mod tests {
                 .unwrap()
         };
         assert!(n(&pruned) < n(&full), "\nfull:\n{full}\npruned:\n{pruned}");
+    }
+
+    #[test]
+    fn exhaustive_snapshot_agrees_with_from_scratch() {
+        let base = [
+            "exhaustive",
+            "--kernel",
+            "jacobi",
+            "--grid",
+            "4",
+            "--sweeps",
+            "10",
+            "--tolerance",
+            "1e-4",
+        ];
+        let scratch = dispatch(&parse(&v(&base)).unwrap()).unwrap();
+        let mut snap_args = base.to_vec();
+        snap_args.extend(["--snapshot", "--snapshot-max", "4"]);
+        let snap = dispatch(&parse(&v(&snap_args)).unwrap()).unwrap();
+        assert!(snap.contains("snapshots:    4 boundaries"), "{snap}");
+        let tail = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with("outcomes:") || l.starts_with("SDC ratio:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            tail(&scratch),
+            tail(&snap),
+            "\nscratch:\n{scratch}\nsnapshot:\n{snap}"
+        );
     }
 
     #[test]

@@ -41,6 +41,25 @@ impl<'k> Analysis<'k> {
         self
     }
 
+    /// Capture golden-run boundary snapshots and serve every experiment
+    /// from the snapshot preceding its fault site (see
+    /// [`Injector::with_snapshots`]). A no-op for kernels that are not
+    /// snapshot-capable; results are bit-identical either way.
+    pub fn with_snapshots(mut self, max_snapshots: usize) -> Self {
+        self.injector = self.injector.with_snapshots(max_snapshots);
+        self
+    }
+
+    /// Allow contraction-certificate early exits on snapshot-resumed
+    /// runs (see [`Injector::with_certified_exits`]): outcome codes stay
+    /// identical to from-scratch execution, but `output_err` of a
+    /// certificate-exited experiment is a certified upper bound rather
+    /// than the exact deviation.
+    pub fn with_certified_exits(mut self) -> Self {
+        self.injector = self.injector.with_certified_exits();
+        self
+    }
+
     /// The underlying injector.
     pub fn injector(&self) -> &Injector<'k> {
         &self.injector

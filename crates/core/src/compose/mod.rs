@@ -260,6 +260,7 @@ pub fn compose_analysis(
         bits: injector.bits(),
         plan: scfg.plan(m),
         bit_prune: None,
+        snapshot: None,
     };
 
     // Which sections does the prior ledger still cover?

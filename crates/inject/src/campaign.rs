@@ -9,12 +9,15 @@
 
 use crate::experiment::Experiment;
 use crate::extraction::ExtractionMode;
-use crate::lockstep::fold_propagation_lockstep;
+use crate::lockstep::{
+    fold_propagation_lockstep, fold_propagation_lockstep_resumed, LockstepResume,
+};
 use crate::outcome::{Classifier, Outcome};
+use crate::snapshot::{Snapshot, SnapshotStore};
 use ftb_kernels::Kernel;
 use ftb_trace::{
     propagation, CompactGolden, CompareScratch, FaultSpec, GoldenRun, Propagation, RecordMode,
-    Tracer,
+    RunTrace, Tracer,
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -35,6 +38,26 @@ pub struct Injector<'k> {
     compact: CompactGolden,
     classifier: Classifier,
     extraction: ExtractionMode,
+    /// Golden-run boundary snapshots; when present, outcome and
+    /// propagation experiments resume from the latest snapshot preceding
+    /// their fault site instead of re-executing from `t = 0`.
+    snapshots: Option<SnapshotStore>,
+    /// Allow contraction-certificate early exits
+    /// ([`Kernel::masked_exit_bound`]) on snapshot-resumed runs. Off by
+    /// default: a certified exit proves the *outcome code* (Masked) but
+    /// reports an upper bound instead of the exact `output_err`, so only
+    /// code-only consumers opt in.
+    certified_exits: bool,
+}
+
+/// Why a snapshot-resumed run stopped at a boundary before completing.
+enum EarlyExit {
+    /// Live state became bit-identical to a stored golden boundary: the
+    /// suffix replays the golden run exactly, `output_err` is exactly 0.
+    Bitwise,
+    /// The kernel's contraction certificate proved the final deviation
+    /// cannot exceed this bound, which is within tolerance.
+    Certified(f64),
 }
 
 impl<'k> Injector<'k> {
@@ -54,7 +77,74 @@ impl<'k> Injector<'k> {
             compact,
             classifier,
             extraction: ExtractionMode::default(),
+            snapshots: None,
+            certified_exits: false,
         }
+    }
+
+    /// Capture golden-run boundary snapshots (at most `max_snapshots`,
+    /// evenly thinned) and serve every subsequent experiment from the
+    /// snapshot immediately preceding its fault site. A no-op when the
+    /// kernel is not snapshot-capable. Results stay bit-identical to
+    /// from-scratch execution in every extraction mode — the skipped
+    /// prefix is replayed from recorded golden state, not recomputed.
+    pub fn with_snapshots(mut self, max_snapshots: usize) -> Self {
+        self.snapshots = SnapshotStore::capture(self.kernel, &self.golden, max_snapshots);
+        self
+    }
+
+    /// The snapshot store serving resumed experiments, if one was
+    /// captured.
+    pub fn snapshot_store(&self) -> Option<&SnapshotStore> {
+        self.snapshots.as_ref()
+    }
+
+    /// Allow contraction-certificate early exits on snapshot-resumed
+    /// runs: at each boundary the kernel may *prove*
+    /// ([`Kernel::masked_exit_bound`]) that the final-output deviation
+    /// cannot exceed the classifier tolerance, in which case the
+    /// experiment exits immediately as `Masked` — the same outcome code
+    /// from-scratch execution would produce.
+    ///
+    /// Outcome *codes* stay exactly identical to from-scratch execution;
+    /// `Experiment::output_err` of a certificate-exited experiment is the
+    /// certified upper bound (≤ tolerance) rather than the exact final
+    /// deviation. Campaigns that compare experiment records byte-for-byte
+    /// must leave this off; campaigns that consume outcome tables
+    /// ([`ExhaustiveResult`]) lose nothing. Only effective with the L∞
+    /// norm (what the certificates bound) and on snapshot-serving,
+    /// certificate-capable kernels; otherwise a silent no-op.
+    pub fn with_certified_exits(mut self) -> Self {
+        self.certified_exits = true;
+        self
+    }
+
+    /// The boundary-monitor certificate check: with certified exits
+    /// enabled, measure the live state's deviation from the golden
+    /// boundary and ask the kernel to bound the final-output deviation.
+    /// Accepts only a finite bound within the classifier tolerance.
+    fn certified_exit(
+        &self,
+        store: &SnapshotStore,
+        cursor: usize,
+        step: u64,
+        arrays: &[&[f64]],
+    ) -> Option<f64> {
+        if !self.certified_exits || !matches!(self.classifier.norm, ftb_trace::norms::Norm::LInf) {
+            return None;
+        }
+        let budget = self.classifier.tolerance;
+        let (devs, mags) = store.state_deviations(cursor, arrays)?;
+        let bound = self.kernel.masked_exit_bound(step, &devs, mags, budget)?;
+        (bound.is_finite() && bound <= budget).then_some(bound)
+    }
+
+    /// The serving snapshot for a fault, if resumed execution applies:
+    /// the store must exist and hold a boundary at or before the site.
+    fn resume_for(&self, fault: FaultSpec) -> Option<(&SnapshotStore, &Snapshot)> {
+        let store = self.snapshots.as_ref()?;
+        let (_, snap) = store.for_site(fault.site)?;
+        Some((store, snap))
     }
 
     /// Select the propagation-extraction path (default
@@ -108,13 +198,77 @@ impl<'k> Injector<'k> {
     /// Panics if `site` is out of range.
     pub fn run_one(&self, site: usize, bit: u8) -> Experiment {
         assert!(site < self.n_sites(), "site {site} out of range");
-        let run = self
-            .kernel
-            .run_injected(FaultSpec { site, bit }, RecordMode::OutputOnly);
+        let fault = FaultSpec { site, bit };
+        if let Some(e) = self.try_run_one_resumed(fault) {
+            return e;
+        }
+        let run = self.kernel.run_injected(fault, RecordMode::OutputOnly);
         let (outcome, output_err) = self.classifier.classify(&self.golden, &run);
         Experiment {
             site,
             bit,
+            injected_err: run.injected_err.unwrap_or(0.0),
+            output_err,
+            outcome,
+        }
+    }
+
+    /// Outcome-only experiment resumed from the snapshot preceding its
+    /// fault site, with two boundary early exits once the fault has
+    /// executed: bitwise reconvergence (live state bit-identical to a
+    /// stored golden boundary — the rest of the run would replay the
+    /// golden suffix exactly, so the experiment is `(Masked, 0.0)`,
+    /// precisely what from-scratch execution would classify) and, when
+    /// enabled, the contraction certificate
+    /// ([`Injector::with_certified_exits`]). `None` when no snapshot
+    /// serves the site.
+    fn try_run_one_resumed(&self, fault: FaultSpec) -> Option<Experiment> {
+        let (store, snap) = self.resume_for(fault)?;
+        let state = store.state(snap);
+        let mut t = Tracer::inject(self.kernel.precision(), fault, RecordMode::OutputOnly)
+            .resume_at(snap.cursor, snap.branch_count);
+        let mut exit = None;
+        let out = self
+            .kernel
+            .run_resumed(&mut t, &state, &mut |cursor, step, arrays| {
+                if cursor <= fault.site {
+                    return false;
+                }
+                if store.state_matches(cursor, arrays) {
+                    exit = Some(EarlyExit::Bitwise);
+                } else if let Some(b) = self.certified_exit(store, cursor, step, arrays) {
+                    exit = Some(EarlyExit::Certified(b));
+                }
+                exit.is_some()
+            });
+        let run = t.finish(out);
+        Some(self.classify_resumed(fault, &run, exit))
+    }
+
+    /// Classify a resumed run: either via the normal classifier (the run
+    /// completed, so output/instruction-count/nonfinite state are exactly
+    /// the from-scratch ones), or by early-exit synthesis.
+    fn classify_resumed(
+        &self,
+        fault: FaultSpec,
+        run: &RunTrace,
+        exit: Option<EarlyExit>,
+    ) -> Experiment {
+        let (outcome, output_err) = match exit {
+            Some(early) => {
+                // kernels stop before the boundary callback when a traced
+                // value went non-finite, so an early-exited run is clean
+                debug_assert!(run.first_nonfinite.is_none());
+                match early {
+                    EarlyExit::Bitwise => (Outcome::Masked, 0.0),
+                    EarlyExit::Certified(bound) => (Outcome::Masked, bound),
+                }
+            }
+            None => self.classifier.classify(&self.golden, run),
+        };
+        Experiment {
+            site: fault.site,
+            bit: fault.bit,
             injected_err: run.injected_err.unwrap_or(0.0),
             output_err,
             outcome,
@@ -156,19 +310,33 @@ impl<'k> Injector<'k> {
         SCRATCH.with(|cell| {
             let mut scratch = cell.borrow_mut();
             let online = self.compact.n_branches() == 0;
-            let (run, window) = {
-                // even with no caller fold, a no-op sink keeps the
-                // branch-free path at zero retention (the window summary
-                // is accumulated online)
-                let mut noop = |_: usize, _: f64| {};
-                let mut t = Tracer::comparing(fault, &self.compact, &mut scratch);
-                if online {
-                    let sink: &mut dyn FnMut(usize, f64) = match fold.take() {
-                        Some(f) => f,
-                        None => &mut noop,
-                    };
-                    t = t.with_delta_sink(sink);
+            let (run, window) = if online {
+                match fold.take() {
+                    // branch-free + caller fold: block-batched online
+                    // sink, zero scratch retention
+                    Some(f) => {
+                        let mut batched = |block: &[(usize, f64)]| {
+                            for &(site, d) in block {
+                                f(site, d);
+                            }
+                        };
+                        let mut t = Tracer::comparing(fault, &self.compact, &mut scratch)
+                            .with_delta_sink(&mut batched);
+                        let out = self.kernel.run(&mut t);
+                        t.finish_compare(out)
+                    }
+                    // branch-free + no fold (the exhaustive-campaign hot
+                    // path): only the window summary is accumulated —
+                    // no delta is materialised or emitted at all
+                    None => {
+                        let mut t =
+                            Tracer::comparing(fault, &self.compact, &mut scratch).summary_only();
+                        let out = self.kernel.run(&mut t);
+                        t.finish_compare(out)
+                    }
                 }
+            } else {
+                let mut t = Tracer::comparing(fault, &self.compact, &mut scratch);
                 let out = self.kernel.run(&mut t);
                 t.finish_compare(out)
             };
@@ -191,6 +359,92 @@ impl<'k> Injector<'k> {
         })
     }
 
+    /// Streamed experiment resumed from the snapshot preceding its fault
+    /// site, with the same boundary early exits as
+    /// [`Injector::try_run_one_resumed`]. The comparing tracer skips
+    /// nothing semantically: dynamic instructions before the fault site
+    /// are never compared on the from-scratch path either, and the
+    /// preset branch index keeps divergence detection aligned with the
+    /// golden branch stream.
+    fn try_run_one_streamed_resumed(&self, fault: FaultSpec) -> Option<Experiment> {
+        let (store, snap) = self.resume_for(fault)?;
+        let state = store.state(snap);
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let mut exit = None;
+            let (run, _window) = {
+                let mut t = Tracer::comparing(fault, &self.compact, &mut scratch);
+                if self.compact.n_branches() == 0 {
+                    t = t.summary_only();
+                }
+                let mut t = t.resume_at(snap.cursor, snap.branch_count);
+                let out = self
+                    .kernel
+                    .run_resumed(&mut t, &state, &mut |cursor, step, arrays| {
+                        if cursor <= fault.site {
+                            return false;
+                        }
+                        if store.state_matches(cursor, arrays) {
+                            exit = Some(EarlyExit::Bitwise);
+                        } else if let Some(b) = self.certified_exit(store, cursor, step, arrays) {
+                            exit = Some(EarlyExit::Certified(b));
+                        }
+                        exit.is_some()
+                    });
+                t.finish_compare(out)
+            };
+            Some(self.classify_resumed(fault, &run, exit))
+        })
+    }
+
+    /// Buffered experiment resumed from the snapshot preceding its fault
+    /// site. The buffered contract includes a full propagation record, so
+    /// there is no early exit; instead the recorded suffix is stitched
+    /// onto the golden prefix — which the skipped execution would have
+    /// reproduced bit-for-bit — before the comparison.
+    fn try_run_one_buffered_resumed(&self, fault: FaultSpec) -> Option<(Experiment, Propagation)> {
+        let (store, snap) = self.resume_for(fault)?;
+        let state = store.state(snap);
+        let mut t = Tracer::inject(self.kernel.precision(), fault, RecordMode::Full)
+            .resume_at(snap.cursor, snap.branch_count);
+        let out = self
+            .kernel
+            .run_resumed(&mut t, &state, &mut |_, _, _| false);
+        let run = t.finish(out);
+
+        let mut values = self.golden.values[..snap.cursor].to_vec();
+        values.extend_from_slice(run.values.as_deref().unwrap_or(&[]));
+        let mut branches = self.golden.branches[..snap.branch_count].to_vec();
+        branches.extend_from_slice(run.branches.as_deref().unwrap_or(&[]));
+        let stitched = RunTrace {
+            values: Some(values),
+            branches: Some(branches),
+            ..run
+        };
+        let (outcome, output_err) = self.classifier.classify(&self.golden, &stitched);
+        let prop = propagation(&self.golden, &stitched);
+        Some((
+            Experiment {
+                site: fault.site,
+                bit: fault.bit,
+                injected_err: stitched.injected_err.unwrap_or(0.0),
+                output_err,
+                outcome,
+            },
+            prop,
+        ))
+    }
+
+    /// Lockstep resume coordinates for a fault, if a snapshot serves it.
+    fn lockstep_resume_for(&self, fault: FaultSpec) -> Option<LockstepResume> {
+        let (store, snap) = self.resume_for(fault)?;
+        Some(LockstepResume {
+            cursor: snap.cursor,
+            branch_count: snap.branch_count,
+            state: store.state(snap),
+        })
+    }
+
     /// Run one propagation-extracting experiment via the configured
     /// extraction path, discarding the propagation fold.
     fn run_one_via(&self, fault: FaultSpec) -> Experiment {
@@ -200,15 +454,28 @@ impl<'k> Injector<'k> {
             fault.site
         );
         match self.extraction {
-            ExtractionMode::Buffered => self.run_one_traced(fault.site, fault.bit).0,
+            ExtractionMode::Buffered => match self.try_run_one_buffered_resumed(fault) {
+                Some((e, _)) => e,
+                None => self.run_one_traced(fault.site, fault.bit).0,
+            },
             ExtractionMode::Lockstep { capacity } => {
-                let report = fold_propagation_lockstep(
-                    self.kernel,
-                    fault,
-                    &self.classifier,
-                    capacity,
-                    |_, _| {},
-                );
+                let report = match self.lockstep_resume_for(fault) {
+                    Some(rs) => fold_propagation_lockstep_resumed(
+                        self.kernel,
+                        fault,
+                        &self.classifier,
+                        capacity,
+                        &rs,
+                        |_, _| {},
+                    ),
+                    None => fold_propagation_lockstep(
+                        self.kernel,
+                        fault,
+                        &self.classifier,
+                        capacity,
+                        |_, _| {},
+                    ),
+                };
                 Experiment {
                     site: fault.site,
                     bit: fault.bit,
@@ -217,7 +484,10 @@ impl<'k> Injector<'k> {
                     outcome: report.outcome,
                 }
             }
-            ExtractionMode::Streamed => self.run_one_streamed(fault, None).0,
+            ExtractionMode::Streamed => match self.try_run_one_streamed_resumed(fault) {
+                Some(e) => e,
+                None => self.run_one_streamed(fault, None).0,
+            },
         }
     }
 
@@ -556,6 +826,99 @@ mod tests {
         assert!(b.0.max_err > 0.0);
         assert_eq!(b, s);
         assert_eq!(b, l);
+    }
+
+    #[test]
+    fn snapshots_are_a_noop_for_incapable_kernels() {
+        let k = tiny_kernel();
+        let inj = injector(&k).with_snapshots(8);
+        assert!(inj.snapshot_store().is_none());
+        // and execution still works, from scratch
+        let e = inj.run_one(0, 63);
+        assert_eq!(e.outcome, Outcome::Sdc);
+    }
+
+    #[test]
+    fn snapshot_resumed_experiments_match_from_scratch_in_every_mode() {
+        use crate::extraction::ExtractionMode;
+        use ftb_kernels::{JacobiConfig, JacobiKernel};
+        let k = JacobiKernel::new(JacobiConfig {
+            sweeps: 8,
+            ..JacobiConfig::small()
+        });
+        let n = k.golden().n_sites();
+        // sites spread over the whole trace (early ones have no serving
+        // snapshot), bits spread over the word (low bits reconverge)
+        let faults: Vec<FaultSpec> = (0..24)
+            .map(|i| FaultSpec {
+                site: i * (n - 1) / 23,
+                bit: (i * 11 % 64) as u8,
+            })
+            .collect();
+        for mode in [
+            ExtractionMode::Buffered,
+            ExtractionMode::Lockstep { capacity: 32 },
+            ExtractionMode::Streamed,
+        ] {
+            let scratch = Injector::new(&k, Classifier::new(1e-6))
+                .with_extraction(mode)
+                .run_batch(&faults);
+            let inj = Injector::new(&k, Classifier::new(1e-6))
+                .with_extraction(mode)
+                .with_snapshots(usize::MAX);
+            assert!(inj.snapshot_store().is_some());
+            assert_eq!(scratch, inj.run_batch(&faults), "{mode:?} diverged");
+            // the outcome-only path resumes too
+            assert_eq!(
+                Injector::new(&k, Classifier::new(1e-6)).run_many(&faults),
+                inj.run_many(&faults),
+                "outcome-only path diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn certified_exits_preserve_outcome_codes() {
+        use ftb_kernels::{JacobiConfig, JacobiKernel};
+        let k = JacobiKernel::new(JacobiConfig {
+            sweeps: 8,
+            ..JacobiConfig::small()
+        });
+        let n = k.golden().n_sites();
+        let faults: Vec<FaultSpec> = (0..48)
+            .map(|i| FaultSpec {
+                site: i * (n - 1) / 47,
+                bit: (i * 13 % 64) as u8,
+            })
+            .collect();
+        let scratch = Injector::new(&k, Classifier::new(1e-6)).run_batch(&faults);
+        let inj = Injector::new(&k, Classifier::new(1e-6))
+            .with_snapshots(usize::MAX)
+            .with_certified_exits();
+        let certified = inj.run_batch(&faults);
+        // the certified contract: outcome codes identical to from-scratch,
+        // and a certificate-exited experiment reports a bound ≤ tolerance
+        for (s, c) in scratch.iter().zip(&certified) {
+            assert_eq!((s.site, s.bit, s.outcome), (c.site, c.bit, c.outcome));
+            if c.outcome == Outcome::Masked {
+                assert!(c.output_err <= 1e-6);
+            }
+        }
+        // ...and the certificate actually fired somewhere: at least one
+        // masked experiment exited early with a bound instead of running
+        // to completion for the exact deviation
+        assert!(
+            scratch
+                .iter()
+                .zip(&certified)
+                .any(|(s, c)| s.output_err != c.output_err),
+            "no certificate exit fired — the fast path is dead"
+        );
+        // the outcome-only path agrees
+        let fast = inj.run_many(&faults);
+        for (f, c) in fast.iter().zip(&certified) {
+            assert_eq!(f.outcome, c.outcome);
+        }
     }
 
     #[test]

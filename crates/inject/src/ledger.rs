@@ -47,6 +47,27 @@ pub struct CampaignBinding {
     /// and defaulted on read, so pre-existing ledgers keep matching.
     #[serde(default)]
     pub bit_prune: Option<BitPruneBinding>,
+    /// Snapshot-store identity, present iff the campaign resumes
+    /// experiments from golden-run snapshots (`--snapshot`). Part of the
+    /// binding: resumed execution is only byte-identical when every
+    /// session serves experiments from the *same* capture, so a
+    /// snapshot-run ledger must not resume under a different store (or
+    /// none at all). `None` on from-scratch campaigns and defaulted on
+    /// read, so pre-existing ledgers keep matching.
+    #[serde(default)]
+    pub snapshot: Option<SnapshotBinding>,
+}
+
+/// Identity of the snapshot store a campaign serves experiments from:
+/// the retained boundary count plus a content digest that also binds the
+/// golden run the store was captured against.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotBinding {
+    /// Number of retained boundary snapshots.
+    pub snapshots: u64,
+    /// `SnapshotStore::digest`: FNV-1a over pooled array bits, boundary
+    /// coordinates, and the golden output bits.
+    pub digest: u64,
 }
 
 /// Identity of the certified-bit masks a pruned campaign was planned
@@ -340,6 +361,7 @@ mod tests {
             bits: 64,
             plan: plan.to_string(),
             bit_prune: None,
+            snapshot: None,
         }
     }
 

@@ -41,14 +41,18 @@ pub mod obs;
 pub mod outcome;
 pub mod runner;
 pub mod sections;
+pub mod snapshot;
 
 pub use campaign::{ExhaustiveResult, ExtractionSummary, Injector};
 pub use experiment::Experiment;
 pub use extraction::ExtractionMode;
 pub use ledger::{
     read_ledger, BitPruneBinding, CampaignBinding, LedgerError, LedgerHeader, LedgerWriter,
+    SnapshotBinding,
 };
-pub use lockstep::{fold_propagation_lockstep, LockstepReport};
+pub use lockstep::{
+    fold_propagation_lockstep, fold_propagation_lockstep_resumed, LockstepReport, LockstepResume,
+};
 pub use monte_carlo::{monte_carlo, MonteCarloEstimate};
 pub use obs::{CampaignMetrics, MetricsSnapshot, ProgressReporter};
 pub use outcome::{Classifier, CrashKind, Outcome};
@@ -60,3 +64,4 @@ pub use sections::{
     SectionCampaignConfig, SectionLedgerRecovery, SectionRecord, SectionSummary, SlotAmp,
     SECTIONS_FORMAT,
 };
+pub use snapshot::{schedule_snapshot_major, Snapshot, SnapshotStore, DEFAULT_MAX_SNAPSHOTS};

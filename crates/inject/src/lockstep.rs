@@ -17,8 +17,22 @@
 
 use crate::outcome::{Classifier, Outcome};
 use crossbeam::channel::{bounded, Receiver};
-use ftb_kernels::Kernel;
+use ftb_kernels::{Kernel, KernelState};
 use ftb_trace::{FaultSpec, StreamEvent, Tracer};
+
+/// Where a lockstep extraction resumes from: both producer runs re-enter
+/// the kernel at the same golden-run snapshot, so the skipped prefix —
+/// identical in both by construction — contributes no deltas and no
+/// branch events, exactly as when it is executed and compared.
+#[derive(Debug, Clone)]
+pub struct LockstepResume {
+    /// Tracer cursor at the snapshot boundary.
+    pub cursor: usize,
+    /// Tracer branch count at the boundary.
+    pub branch_count: usize,
+    /// Kernel state at the boundary.
+    pub state: KernelState,
+}
 
 /// Scan the tail of a stream (starting with `first`) for a branch
 /// event. When one run's stream ends while the other still has events,
@@ -72,6 +86,33 @@ pub fn fold_propagation_lockstep(
     fault: FaultSpec,
     classifier: &Classifier,
     capacity: usize,
+    fold: impl FnMut(usize, f64),
+) -> LockstepReport {
+    lockstep_impl(kernel, fault, classifier, capacity, None, fold)
+}
+
+/// [`fold_propagation_lockstep`], but both producer runs start from a
+/// golden-run snapshot instead of `t = 0`. The fault site must not lie
+/// inside the skipped prefix (enforced by the tracer). The report is
+/// identical to the from-scratch one: skipped sites are identical in
+/// both runs, so they fold nothing and shift no coordinates.
+pub fn fold_propagation_lockstep_resumed(
+    kernel: &dyn Kernel,
+    fault: FaultSpec,
+    classifier: &Classifier,
+    capacity: usize,
+    resume: &LockstepResume,
+    fold: impl FnMut(usize, f64),
+) -> LockstepReport {
+    lockstep_impl(kernel, fault, classifier, capacity, Some(resume), fold)
+}
+
+fn lockstep_impl(
+    kernel: &dyn Kernel,
+    fault: FaultSpec,
+    classifier: &Classifier,
+    capacity: usize,
+    resume: Option<&LockstepResume>,
     mut fold: impl FnMut(usize, f64),
 ) -> LockstepReport {
     assert!(capacity > 0, "need a positive channel capacity");
@@ -81,19 +122,37 @@ pub fn fold_propagation_lockstep(
     let (ftx, frx) = bounded::<StreamEvent>(capacity);
 
     std::thread::scope(|scope| {
-        let golden_handle = scope.spawn(move || {
-            let mut t = Tracer::streaming(precision, None, gtx);
-            let out = kernel.run(&mut t);
-            (t.finish(out), false)
+        let golden_handle = scope.spawn(move || match resume {
+            Some(rs) => {
+                let mut t =
+                    Tracer::streaming(precision, None, gtx).resume_at(rs.cursor, rs.branch_count);
+                let out = kernel.run_resumed(&mut t, &rs.state, &mut |_, _, _| false);
+                (t.finish(out), false)
+            }
+            None => {
+                let mut t = Tracer::streaming(precision, None, gtx);
+                let out = kernel.run(&mut t);
+                (t.finish(out), false)
+            }
         });
-        let faulty_handle = scope.spawn(move || {
-            let mut t = Tracer::streaming(precision, Some(fault), ftx);
-            let out = kernel.run(&mut t);
-            (t.finish(out), true)
+        let faulty_handle = scope.spawn(move || match resume {
+            Some(rs) => {
+                let mut t = Tracer::streaming(precision, Some(fault), ftx)
+                    .resume_at(rs.cursor, rs.branch_count);
+                let out = kernel.run_resumed(&mut t, &rs.state, &mut |_, _, _| false);
+                (t.finish(out), true)
+            }
+            None => {
+                let mut t = Tracer::streaming(precision, Some(fault), ftx);
+                let out = kernel.run(&mut t);
+                (t.finish(out), true)
+            }
         });
 
-        // the consumer: zip the two event streams
-        let mut site = 0usize;
+        // the consumer: zip the two event streams. Under a resume the
+        // skipped prefix was compared implicitly (identical by
+        // construction), so site counting starts at the boundary cursor.
+        let mut site = resume.map_or(0, |rs| rs.cursor);
         let mut compare_len_limit = usize::MAX;
         let mut diverged = false;
         let mut max_err = 0.0f64;
@@ -256,6 +315,42 @@ mod tests {
             }
         }
         assert!(checked > 0, "no diverging fault found to exercise the test");
+    }
+
+    #[test]
+    fn resumed_lockstep_matches_from_scratch() {
+        use crate::snapshot::SnapshotStore;
+        use ftb_kernels::{JacobiConfig, JacobiKernel};
+        let kernel = JacobiKernel::new(JacobiConfig {
+            sweeps: 10,
+            ..JacobiConfig::small()
+        });
+        let g = kernel.golden();
+        let store = SnapshotStore::capture(&kernel, &g, usize::MAX).unwrap();
+        let classifier = Classifier::new(1e-6);
+        let site = g.n_sites() - 5;
+        let fault = FaultSpec { site, bit: 40 };
+
+        let mut scratch_deltas = Vec::new();
+        let scratch = fold_propagation_lockstep(&kernel, fault, &classifier, 64, |s, d| {
+            scratch_deltas.push((s, d));
+        });
+
+        let (_, snap) = store.for_site(site).unwrap();
+        assert!(snap.cursor > 0, "late site should resume past t = 0");
+        let rs = LockstepResume {
+            cursor: snap.cursor,
+            branch_count: snap.branch_count,
+            state: store.state(snap),
+        };
+        let mut resumed_deltas = Vec::new();
+        let resumed =
+            fold_propagation_lockstep_resumed(&kernel, fault, &classifier, 64, &rs, |s, d| {
+                resumed_deltas.push((s, d));
+            });
+
+        assert_eq!(scratch, resumed);
+        assert_eq!(scratch_deltas, resumed_deltas);
     }
 
     #[test]

@@ -325,6 +325,7 @@ mod tests {
             bits: inj.bits(),
             plan: plan.to_string(),
             bit_prune: None,
+            snapshot: None,
         }
     }
 

@@ -489,6 +489,7 @@ mod tests {
             bits: inj.bits(),
             plan,
             bit_prune: None,
+            snapshot: None,
         }
     }
 

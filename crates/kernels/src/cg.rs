@@ -23,7 +23,7 @@
 
 use crate::csr::Csr;
 use crate::inputs::uniform_vec;
-use crate::Kernel;
+use crate::{BoundaryMonitor, CaptureHook, Kernel, KernelState};
 use ftb_trace::{OpKind, Precision, StaticRegistry, Tracer};
 use serde::{Deserialize, Serialize};
 
@@ -200,6 +200,103 @@ impl CgKernel {
             }
         }
     }
+
+    /// The matrix-free setup region (the non-provenance prefix of a
+    /// [`CgStorage::MatrixFree`] run): `x = 0`, `b` from the manufactured
+    /// solution, `r = b`, `p = r`, `rr = ⟨r, r⟩`.
+    fn setup_plain(&self, t: &mut Tracer) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, f64) {
+        let n = self.n_unknowns();
+        let g = self.cfg.grid;
+        let mut x = vec![0.0; n];
+        for xi in x.iter_mut() {
+            *xi = t.value(sid::INIT_X, 0.0);
+        }
+        let mut b = vec![0.0; n];
+        for i in 0..g {
+            for j in 0..g {
+                let idx = i * g + j;
+                let v = &self.x_true;
+                let mut s = 4.0 * v[idx];
+                if i > 0 {
+                    s -= v[idx - g];
+                }
+                if i + 1 < g {
+                    s -= v[idx + g];
+                }
+                if j > 0 {
+                    s -= v[idx - 1];
+                }
+                if j + 1 < g {
+                    s -= v[idx + 1];
+                }
+                b[idx] = t.value(sid::INIT_B, s);
+            }
+        }
+        let mut r = vec![0.0; n];
+        for i in 0..n {
+            r[i] = t.value(sid::INIT_R, b[i]);
+        }
+        let mut p = vec![0.0; n];
+        for i in 0..n {
+            p[i] = t.value(sid::INIT_P, r[i]);
+        }
+        let rr = t.value(sid::DOT_RR0, dot(&r, &r));
+        (x, b, r, p, rr)
+    }
+
+    /// The CG iterations from `start_it` onward, shared by the plain,
+    /// snapshotting and resumed matrix-free paths. `tol2` is recomputed
+    /// from the traced `b`, so a resumed run reproduces the convergence
+    /// test bit-for-bit. `boundary(cursor, branch_count, it, x, r, p,
+    /// rr)` fires at the bottom of every completed iteration; returning
+    /// `true` stops the loop early.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn solve_loop(
+        &self,
+        t: &mut Tracer,
+        x: &mut [f64],
+        r: &mut [f64],
+        p: &mut [f64],
+        b: &[f64],
+        rr0: f64,
+        start_it: usize,
+        boundary: &mut dyn FnMut(usize, usize, usize, &[f64], &[f64], &[f64], f64) -> bool,
+    ) {
+        let n = self.n_unknowns();
+        let bb: f64 = dot(b, b);
+        let tol2 = self.cfg.rtol * self.cfg.rtol * bb;
+        let mut q = vec![0.0; n];
+        let mut rr = rr0;
+        let mut it = start_it;
+        loop {
+            if !t.branch(it < self.cfg.max_iters && rr > tol2) {
+                break;
+            }
+            self.apply_poisson(t, p, &mut q, None);
+            let pq = t.value(sid::DOT_PQ, dot(p, &q));
+            let alpha = t.value(sid::ALPHA, rr / pq);
+            for i in 0..n {
+                x[i] = t.value(sid::UPDATE_X, x[i] + alpha * p[i]);
+            }
+            for i in 0..n {
+                r[i] = t.value(sid::UPDATE_R, r[i] - alpha * q[i]);
+            }
+            let rr_new = t.value(sid::DOT_RR, dot(r, r));
+            let beta = t.value(sid::BETA, rr_new / rr);
+            for i in 0..n {
+                p[i] = t.value(sid::UPDATE_P, r[i] + beta * p[i]);
+            }
+            rr = rr_new;
+            it += 1;
+            // NaN-exception model, as in the main body
+            if t.trapped() {
+                break;
+            }
+            if boundary(t.cursor(), t.branch_count(), it, x, r, p, rr) {
+                break;
+            }
+        }
+    }
 }
 
 impl Kernel for CgKernel {
@@ -223,7 +320,82 @@ impl Kernel for CgKernel {
         self.branches_hint
     }
 
+    fn snapshot_capable(&self) -> bool {
+        // AssembledCsr keeps its traced operator entries live across the
+        // whole loop; snapshotting it would have to carry the full matrix
+        // in every state. Matrix-free is the paper-scale configuration.
+        self.matrix.is_none()
+    }
+
+    fn run_snapshotting(&self, t: &mut Tracer, capture: CaptureHook<'_>) -> Vec<f64> {
+        assert!(self.matrix.is_none(), "snapshotting needs matrix-free CG");
+        let (mut x, b, mut r, mut p, rr) = self.setup_plain(t);
+        let rr_arr = [rr];
+        capture(t.cursor(), t.branch_count(), 0, &[&x, &r, &p, &b, &rr_arr]);
+        self.solve_loop(
+            t,
+            &mut x,
+            &mut r,
+            &mut p,
+            &b,
+            rr,
+            0,
+            &mut |cursor, bc, it, x, r, p, rr| {
+                let rr_arr = [rr];
+                capture(cursor, bc, it as u64, &[x, r, p, &b, &rr_arr]);
+                false
+            },
+        );
+        x
+    }
+
+    fn run_resumed(
+        &self,
+        t: &mut Tracer,
+        state: &KernelState,
+        monitor: BoundaryMonitor<'_>,
+    ) -> Vec<f64> {
+        assert!(self.matrix.is_none(), "resume needs matrix-free CG");
+        assert_eq!(state.arrays.len(), 5, "cg state is [x, r, p, b, [rr]]");
+        let mut x = state.arrays[0].clone();
+        let mut r = state.arrays[1].clone();
+        let mut p = state.arrays[2].clone();
+        let b = state.arrays[3].clone();
+        let rr = state.arrays[4][0];
+        self.solve_loop(
+            t,
+            &mut x,
+            &mut r,
+            &mut p,
+            &b,
+            rr,
+            state.step as usize,
+            &mut |cursor, _bc, it, x, r, p, rr| {
+                let rr_arr = [rr];
+                monitor(cursor, it as u64, &[x, r, p, &b, &rr_arr])
+            },
+        );
+        x
+    }
+
     fn run(&self, t: &mut Tracer) -> Vec<f64> {
+        // The hot (injection) path of the matrix-free configuration goes
+        // through the shared setup + solve loop; provenance recording and
+        // the assembled-CSR variant keep the annotated body below.
+        if self.matrix.is_none() && !t.ddg_enabled() {
+            let (mut x, b, mut r, mut p, rr) = self.setup_plain(t);
+            self.solve_loop(
+                t,
+                &mut x,
+                &mut r,
+                &mut p,
+                &b,
+                rr,
+                0,
+                &mut |_, _, _, _, _, _, _| false,
+            );
+            return x;
+        }
         let n = self.n_unknowns();
         let g = self.cfg.grid;
 

@@ -7,7 +7,7 @@
 //! three evaluation kernels.
 
 use crate::inputs::uniform_vec;
-use crate::Kernel;
+use crate::{BoundaryMonitor, CaptureHook, Kernel, KernelState};
 use ftb_trace::{OpKind, Precision, StaticRegistry, Tracer};
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +61,50 @@ impl GemmKernel {
     pub fn config(&self) -> &GemmConfig {
         &self.cfg
     }
+
+    /// Initialise the traced copies of `A` and `B` (the non-provenance
+    /// prefix of every run).
+    fn init_plain(&self, t: &mut Tracer) -> (Vec<f64>, Vec<f64>) {
+        let n = self.cfg.n;
+        let mut a = vec![0.0; n * n];
+        for (dst, &src) in a.iter_mut().zip(&self.a) {
+            *dst = t.value(sid::INIT_A, src);
+        }
+        let mut b = vec![0.0; n * n];
+        for (dst, &src) in b.iter_mut().zip(&self.b) {
+            *dst = t.value(sid::INIT_B, src);
+        }
+        (a, b)
+    }
+
+    /// The CELL rows from `start_row` onward, shared by the plain,
+    /// snapshotting and resumed paths. `boundary(cursor, branch_count,
+    /// rows_done, c)` fires after every row but the last; returning
+    /// `true` stops the loop early.
+    #[allow(clippy::type_complexity)]
+    fn cell_rows(
+        &self,
+        t: &mut Tracer,
+        start_row: usize,
+        a: &[f64],
+        b: &[f64],
+        c: &mut [f64],
+        boundary: &mut dyn FnMut(usize, usize, usize, &[f64]) -> bool,
+    ) {
+        let n = self.cfg.n;
+        for i in start_row..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += a[i * n + k] * b[k * n + j];
+                }
+                c[i * n + j] = t.value(sid::CELL, s);
+            }
+            if i + 1 < n && boundary(t.cursor(), t.branch_count(), i + 1, c) {
+                return;
+            }
+        }
+    }
 }
 
 impl Kernel for GemmKernel {
@@ -80,7 +124,53 @@ impl Kernel for GemmKernel {
         3 * self.cfg.n * self.cfg.n
     }
 
+    fn snapshot_capable(&self) -> bool {
+        true
+    }
+
+    fn run_snapshotting(&self, t: &mut Tracer, capture: CaptureHook<'_>) -> Vec<f64> {
+        let n = self.cfg.n;
+        let (a, b) = self.init_plain(t);
+        let mut c = vec![0.0; n * n];
+        capture(t.cursor(), t.branch_count(), 0, &[&a, &b, &c]);
+        self.cell_rows(t, 0, &a, &b, &mut c, &mut |cursor, bc, rows, c| {
+            capture(cursor, bc, rows as u64, &[&a, &b, c]);
+            false
+        });
+        c
+    }
+
+    fn run_resumed(
+        &self,
+        t: &mut Tracer,
+        state: &KernelState,
+        monitor: BoundaryMonitor<'_>,
+    ) -> Vec<f64> {
+        assert_eq!(state.arrays.len(), 3, "gemm state is [a, b, c]");
+        let a = state.arrays[0].clone();
+        let b = state.arrays[1].clone();
+        let mut c = state.arrays[2].clone();
+        self.cell_rows(
+            t,
+            state.step as usize,
+            &a,
+            &b,
+            &mut c,
+            &mut |cursor, _bc, rows, c| monitor(cursor, rows as u64, &[&a, &b, c]),
+        );
+        c
+    }
+
     fn run(&self, t: &mut Tracer) -> Vec<f64> {
+        // The hot (injection) path goes through the shared row loop; only
+        // provenance recording needs the def-map-annotated body.
+        if !t.ddg_enabled() {
+            let n = self.cfg.n;
+            let (a, b) = self.init_plain(t);
+            let mut c = vec![0.0; n * n];
+            self.cell_rows(t, 0, &a, &b, &mut c, &mut |_, _, _, _| false);
+            return c;
+        }
         let n = self.cfg.n;
         // provenance mode: INIT_A occupies sites [0, n²), INIT_B sites
         // [n², 2n²) — recorded explicitly rather than assumed

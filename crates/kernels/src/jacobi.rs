@@ -15,7 +15,7 @@
 
 use crate::csr::Csr;
 use crate::inputs::uniform_vec;
-use crate::Kernel;
+use crate::{BoundaryMonitor, CaptureHook, Kernel, KernelState};
 use ftb_trace::{OpKind, Precision, StaticRegistry, Tracer};
 use serde::{Deserialize, Serialize};
 
@@ -98,6 +98,26 @@ impl JacobiConfig {
     }
 }
 
+/// Row-structure bounds backing [`Kernel::masked_exit_bound`], computed
+/// once from the Jacobi splitting.
+#[derive(Debug, Clone, Copy)]
+struct CertBounds {
+    /// `max_r Σ_c |off_rc| / |d_r|` — the sweep's L∞ amplification of a
+    /// state deviation. ≤ 1 (diagonal dominance) is what makes the
+    /// contraction certificate sound.
+    row_gain: f64,
+    /// `max_r 1 / |d_r|` — amplification of a persistent `b` deviation
+    /// per sweep.
+    inv_diag: f64,
+    /// `max_r Σ_c |off_rc|` — magnitude bound factor for the off-diagonal
+    /// accumulation.
+    row_abs: f64,
+    /// `max_r (row degree) / |d_r|` — per-sweep count of fine-grained
+    /// accumulation quantisations, already divided through by the
+    /// diagonal they end up scaled by.
+    acc_factor: f64,
+}
+
 /// The instrumented Jacobi solver.
 #[derive(Debug, Clone)]
 pub struct JacobiKernel {
@@ -113,6 +133,7 @@ pub struct JacobiKernel {
     off_ptr: Vec<u32>,
     off_cols: Vec<u32>,
     off_vals: Vec<f64>,
+    cert: CertBounds,
 }
 
 impl JacobiKernel {
@@ -140,6 +161,22 @@ impl JacobiKernel {
             }
             off_ptr.push(off_cols.len() as u32);
         }
+        let mut cert = CertBounds {
+            row_gain: 0.0,
+            inv_diag: 0.0,
+            row_abs: 0.0,
+            acc_factor: 0.0,
+        };
+        for r in 0..n {
+            let lo = off_ptr[r] as usize;
+            let hi = off_ptr[r + 1] as usize;
+            let row_abs: f64 = off_vals[lo..hi].iter().map(|v| v.abs()).sum();
+            let d = diag[r].abs();
+            cert.row_gain = cert.row_gain.max(row_abs / d);
+            cert.inv_diag = cert.inv_diag.max(1.0 / d);
+            cert.row_abs = cert.row_abs.max(row_abs);
+            cert.acc_factor = cert.acc_factor.max((hi - lo) as f64 / d);
+        }
         JacobiKernel {
             cfg,
             matrix,
@@ -149,6 +186,7 @@ impl JacobiKernel {
             off_ptr,
             off_cols,
             off_vals,
+            cert,
         }
     }
 
@@ -160,6 +198,87 @@ impl JacobiKernel {
     /// The manufactured exact solution.
     pub fn x_true(&self) -> &[f64] {
         &self.x_true
+    }
+
+    /// Initialise `x` and `b` through the tracer — the non-provenance
+    /// prefix of every run.
+    fn init_plain(&self, t: &mut Tracer) -> (Vec<f64>, Vec<f64>) {
+        let n = self.cfg.grid * self.cfg.grid;
+        let mut x = vec![0.0; n];
+        for xi in x.iter_mut() {
+            *xi = t.value(sid::INIT_X, 0.0);
+        }
+        let mut b = vec![0.0; n];
+        for (dst, &src) in b.iter_mut().zip(&self.b) {
+            *dst = t.value(sid::INIT_B, src);
+        }
+        (x, b)
+    }
+
+    /// The Jacobi sweeps from `start` onward, shared by the plain,
+    /// snapshotting and resumed execution paths (non-provenance only) so
+    /// they cannot drift arithmetically. `boundary(cursor, branch_count,
+    /// sweeps_done, x, b)` fires at the bottom of every sweep but the
+    /// last; returning `true` stops the loop early.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn sweep_loop(
+        &self,
+        t: &mut Tracer,
+        start: usize,
+        x: &mut Vec<f64>,
+        b: &[f64],
+        next: &mut Vec<f64>,
+        ax: &mut [f64],
+        boundary: &mut dyn FnMut(usize, usize, usize, &[f64], &[f64]) -> bool,
+    ) {
+        let n = self.cfg.grid * self.cfg.grid;
+        let resid_every = self.cfg.residual_every.max(1);
+        for sweep in start..self.cfg.sweeps {
+            let omega = match self.cfg.tweak {
+                Some(tw) if tw.sweep == sweep => Some(tw.omega),
+                _ => None,
+            };
+            for (r, nr) in next.iter_mut().enumerate() {
+                let lo = self.off_ptr[r] as usize;
+                let hi = self.off_ptr[r + 1] as usize;
+                let mut off = 0.0;
+                if self.cfg.fine_grained {
+                    for (&c, &v) in self.off_cols[lo..hi].iter().zip(&self.off_vals[lo..hi]) {
+                        off = t.value(sid::SWEEP_ACC, off + v * x[c as usize]);
+                    }
+                } else {
+                    for (&c, &v) in self.off_cols[lo..hi].iter().zip(&self.off_vals[lo..hi]) {
+                        off += v * x[c as usize];
+                    }
+                }
+                let xj = (b[r] - off) / self.diag[r];
+                *nr = t.value(
+                    sid::SWEEP_X,
+                    match omega {
+                        Some(w) => (1.0 - w) * x[r] + w * xj,
+                        None => xj,
+                    },
+                );
+            }
+            std::mem::swap(x, next);
+            if (sweep + 1) % resid_every == 0 {
+                let mut res2 = 0.0;
+                self.matrix.spmv(x, ax);
+                for r in 0..n {
+                    let d = b[r] - ax[r];
+                    res2 += d * d;
+                }
+                let _ = t.value(sid::RESID, res2);
+            }
+            if t.trapped() {
+                break;
+            }
+            if sweep + 1 < self.cfg.sweeps
+                && boundary(t.cursor(), t.branch_count(), sweep + 1, x, b)
+            {
+                break;
+            }
+        }
     }
 }
 
@@ -215,7 +334,128 @@ impl Kernel for JacobiKernel {
         }
     }
 
+    fn snapshot_capable(&self) -> bool {
+        true
+    }
+
+    /// Contraction certificate: one Jacobi sweep maps a state deviation
+    /// `δx` to at most `row_gain·δx + δb/|d| + ρ`, where `row_gain =
+    /// max_r Σ|off|/|d_r| ≤ 1` by diagonal dominance of the Poisson
+    /// operator, `δb` is the (persistent) right-hand-side deviation and
+    /// `ρ` is the per-sweep quantisation slack. The sweep's exact
+    /// arithmetic is a convex-ish row combination, so with `row_gain ≤ 1`
+    /// the deviation after the `S` remaining sweeps is at most
+    /// `δx + S·(δb·max(1/|d|) + ρ)` — and the output *is* the final
+    /// iterate, so that bounds the classifier's L∞ output distance.
+    ///
+    /// `ρ` accounts for every rounding the two runs can disagree by: one
+    /// round-to-nearest quantisation of each stored update (each run
+    /// moves by at most half a [`Precision::ulp_of`] at the magnitude
+    /// cap), an explicit guard for the `f64` intermediate-arithmetic
+    /// divergence (`16ε₆₄` per unit of intermediate magnitude, far above
+    /// the ≤6 roundings a row update performs), plus — in fine-grained
+    /// mode — the quantisation of each off-diagonal accumulation, scaled
+    /// through the diagonal.
+    /// Magnitudes are capped by the snapshot store's recorded golden
+    /// suffix maxima plus the deviation budget, valid under the trait's
+    /// self-consistency condition (`bound ≤ budget` throughout, since
+    /// the bound grows monotonically with remaining sweeps).
+    ///
+    /// Control flow is data-independent (fixed sweep count) and every
+    /// value stays finite inside the magnitude cap, so an accepted bound
+    /// proves the outcome code is exactly `Masked`. A tweaked remaining
+    /// sweep with ω outside `[0, 1]` breaks the convex-combination
+    /// argument, so no certificate is offered there.
+    fn masked_exit_bound(
+        &self,
+        step: u64,
+        deviations: &[f64],
+        suffix_mags: &[f64],
+        budget: f64,
+    ) -> Option<f64> {
+        if self.cert.row_gain > 1.0 || !budget.is_finite() {
+            return None;
+        }
+        if let Some(tw) = self.cfg.tweak {
+            if tw.sweep >= step as usize && !(0.0..=1.0).contains(&tw.omega) {
+                return None;
+            }
+        }
+        let [dx, db] = deviations else { return None };
+        let mx = *suffix_mags.first()?;
+        let remaining = self.cfg.sweeps.saturating_sub(step as usize) as f64;
+        let m_hat = mx + budget;
+        let p = self.cfg.precision;
+        let dust = 16.0 * f64::EPSILON * (self.cert.row_abs + 2.0) * m_hat;
+        let rho = if self.cfg.fine_grained {
+            self.cert.acc_factor * p.ulp_of(self.cert.row_abs * m_hat) + p.ulp_of(m_hat) + dust
+        } else {
+            p.ulp_of(m_hat) + dust
+        };
+        Some(dx + remaining * (db * self.cert.inv_diag + rho))
+    }
+
+    fn run_snapshotting(&self, t: &mut Tracer, capture: CaptureHook<'_>) -> Vec<f64> {
+        let (mut x, b) = self.init_plain(t);
+        let mut next = vec![0.0; x.len()];
+        let mut ax = vec![0.0; x.len()];
+        capture(t.cursor(), t.branch_count(), 0, &[&x, &b]);
+        self.sweep_loop(
+            t,
+            0,
+            &mut x,
+            &b,
+            &mut next,
+            &mut ax,
+            &mut |cursor, bc, done, x, b| {
+                capture(cursor, bc, done as u64, &[x, b]);
+                false
+            },
+        );
+        x
+    }
+
+    fn run_resumed(
+        &self,
+        t: &mut Tracer,
+        state: &KernelState,
+        monitor: BoundaryMonitor<'_>,
+    ) -> Vec<f64> {
+        assert_eq!(state.arrays.len(), 2, "jacobi state is [x, b]");
+        let mut x = state.arrays[0].clone();
+        let b = state.arrays[1].clone();
+        let mut next = vec![0.0; x.len()];
+        let mut ax = vec![0.0; x.len()];
+        self.sweep_loop(
+            t,
+            state.step as usize,
+            &mut x,
+            &b,
+            &mut next,
+            &mut ax,
+            &mut |cursor, _bc, done, x, b| monitor(cursor, done as u64, &[x, b]),
+        );
+        x
+    }
+
     fn run(&self, t: &mut Tracer) -> Vec<f64> {
+        // The hot (injection) path goes through the shared sweep loop;
+        // only provenance recording needs the def-map-annotated body.
+        if !t.ddg_enabled() {
+            let (mut x, b) = self.init_plain(t);
+            let mut next = vec![0.0; x.len()];
+            let mut ax = vec![0.0; x.len()];
+            self.sweep_loop(
+                t,
+                0,
+                &mut x,
+                &b,
+                &mut next,
+                &mut ax,
+                &mut |_, _, _, _, _| false,
+            );
+            return x;
+        }
         let n = self.cfg.grid * self.cfg.grid;
 
         // provenance mode: def-site maps for x/b elements, updated as the
@@ -456,6 +696,94 @@ mod tests {
         // an untweaked build stamps everything 0
         let plain = JacobiKernel::new(JacobiConfig::small());
         assert_eq!(plain.code_version(0, plain.estimated_sites()), 0);
+    }
+
+    #[test]
+    fn masked_exit_bound_is_monotone_and_gated() {
+        let k = JacobiKernel::new(JacobiConfig::small());
+        let tol = 1e-6;
+        // Poisson rows are diagonally dominant with unit off-diagonals
+        assert!(k.cert.row_gain <= 1.0);
+        assert_eq!(k.cert.inv_diag, 0.25);
+        // a bit-identical state certifies trivially: only rounding slack
+        let b0 = k
+            .masked_exit_bound(10, &[0.0, 0.0], &[1.0, 8.0], tol)
+            .unwrap();
+        assert!(b0 < tol, "pure slack must be far below tolerance: {b0}");
+        // more remaining sweeps, larger deviations ⇒ larger bound
+        let early = k
+            .masked_exit_bound(2, &[1e-8, 1e-9], &[1.0, 8.0], tol)
+            .unwrap();
+        let late = k
+            .masked_exit_bound(25, &[1e-8, 1e-9], &[1.0, 8.0], tol)
+            .unwrap();
+        assert!(early > late && late > b0);
+        // the x deviation enters the bound directly
+        let shifted = k
+            .masked_exit_bound(25, &[3e-7, 0.0], &[1.0, 8.0], tol)
+            .unwrap();
+        assert!(shifted >= 3e-7);
+        // a non-convex tweak in the remaining sweeps voids the
+        // certificate; one already executed does not
+        let tweaked = JacobiKernel::new(JacobiConfig {
+            tweak: Some(SweepTweak {
+                sweep: 20,
+                omega: 1.5,
+            }),
+            ..JacobiConfig::small()
+        });
+        assert!(tweaked
+            .masked_exit_bound(10, &[0.0, 0.0], &[1.0, 8.0], tol)
+            .is_none());
+        assert!(tweaked
+            .masked_exit_bound(21, &[0.0, 0.0], &[1.0, 8.0], tol)
+            .is_some());
+        // a convex tweak keeps it
+        let damped = JacobiKernel::new(JacobiConfig {
+            tweak: Some(SweepTweak {
+                sweep: 20,
+                omega: 0.7,
+            }),
+            ..JacobiConfig::small()
+        });
+        assert!(damped
+            .masked_exit_bound(10, &[0.0, 0.0], &[1.0, 8.0], tol)
+            .is_some());
+    }
+
+    #[test]
+    fn resumed_run_is_bitwise_identical_to_scratch() {
+        let k = JacobiKernel::new(JacobiConfig::small());
+        let g = k.golden();
+        let mut snaps: Vec<(usize, usize, u64, Vec<Vec<f64>>)> = Vec::new();
+        let mut t = Tracer::untraced(Precision::F64);
+        let out = k.run_snapshotting(&mut t, &mut |c, bc, s, arrays| {
+            snaps.push((c, bc, s, arrays.iter().map(|a| a.to_vec()).collect()));
+        });
+        assert_eq!(out, g.output);
+        assert_eq!(t.cursor(), g.n_dynamic);
+        // one boundary after init (step 0) plus one per sweep but the last
+        assert_eq!(snaps.len(), k.config().sweeps);
+
+        let (cursor, bc, step, arrays) = snaps[7].clone();
+        let state = KernelState { step, arrays };
+        // a fault-free resume completes to the golden output
+        let mut t = Tracer::untraced(Precision::F64).resume_at(cursor, bc);
+        let out = k.run_resumed(&mut t, &state, &mut |_, _, _| false);
+        assert_eq!(out, g.output);
+        assert_eq!(t.cursor(), g.n_dynamic);
+
+        // a faulty resume matches the from-scratch injected run exactly
+        let fault = FaultSpec {
+            site: cursor + 3,
+            bit: 61,
+        };
+        let scratch = k.run_injected(fault, RecordMode::OutputOnly);
+        let mut t =
+            Tracer::inject(Precision::F64, fault, RecordMode::OutputOnly).resume_at(cursor, bc);
+        let out = k.run_resumed(&mut t, &state, &mut |_, _, _| false);
+        assert_eq!(out, scratch.output);
+        assert_eq!(t.cursor(), scratch.n_dynamic);
     }
 
     #[test]

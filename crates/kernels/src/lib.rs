@@ -55,6 +55,29 @@ pub use matvec::{MatvecConfig, MatvecKernel};
 pub use spmv::{SpmvConfig, SpmvKernel};
 pub use stencil::{StencilConfig, StencilKernel};
 
+/// Full mid-run state of a snapshot-capable kernel at a section
+/// boundary: everything needed to re-enter the kernel's main loop and
+/// reproduce the remaining execution bit-for-bit. The tracer position
+/// (cursor, branch count) travels separately — it belongs to the
+/// instrumentation, not the kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelState {
+    /// Loop progress: completed sweeps / rows / iterations.
+    pub step: u64,
+    /// The live arrays, in the kernel-defined order its
+    /// [`Kernel::run_resumed`] expects them back. Values are exactly as
+    /// the tracer quantised them, so resumed arithmetic is bit-identical.
+    pub arrays: Vec<Vec<f64>>,
+}
+
+/// Section-boundary capture hook for [`Kernel::run_snapshotting`]:
+/// `capture(cursor, branch_count, step, arrays)`.
+pub type CaptureHook<'a> = &'a mut dyn FnMut(usize, usize, u64, &[&[f64]]);
+
+/// Section-boundary monitor for [`Kernel::run_resumed`]:
+/// `monitor(cursor, step, arrays)` returns `true` to stop the run early.
+pub type BoundaryMonitor<'a> = &'a mut dyn FnMut(usize, u64, &[&[f64]]) -> bool;
+
 /// A fault-injectable computational kernel.
 ///
 /// Implementations hold their (deterministically generated) input data and
@@ -95,6 +118,79 @@ pub trait Kernel: Send + Sync {
     /// override this to confine invalidation to the edited phase.
     fn code_version(&self, _lo: usize, _hi: usize) -> u64 {
         0
+    }
+
+    /// Whether this kernel implements snapshot-resume execution
+    /// ([`Kernel::run_snapshotting`] / [`Kernel::run_resumed`]). The
+    /// default is `false`: campaigns fall back to from-`t=0` execution.
+    fn snapshot_capable(&self) -> bool {
+        false
+    }
+
+    /// Execute fault-free, invoking `capture(cursor, branch_count, step,
+    /// arrays)` at every section boundary — a point where the live arrays
+    /// plus the loop step fully determine the rest of the run. The first
+    /// capture fires right after input initialisation (`step` 0); later
+    /// captures fire at the bottom of each outer-loop step, *before* the
+    /// dynamic instructions of the next step. A run resumed from any
+    /// captured state reproduces the remaining trace bit-for-bit.
+    ///
+    /// # Panics
+    /// The default panics: only kernels reporting
+    /// [`Kernel::snapshot_capable`] implement this.
+    fn run_snapshotting(&self, _t: &mut Tracer, _capture: CaptureHook<'_>) -> Vec<f64> {
+        panic!("kernel {:?} is not snapshot-capable", self.name());
+    }
+
+    /// Re-enter the main loop from a captured [`KernelState`], driving a
+    /// tracer that was positioned with `Tracer::resume_at` at the
+    /// matching cursor. `monitor(cursor, step, arrays)` fires at exactly
+    /// the boundaries [`Kernel::run_snapshotting`] captures; returning
+    /// `true` stops the run early (the caller has everything it needs —
+    /// e.g. the live state reconverged bitwise with the golden state).
+    /// On an early stop the returned output is unspecified.
+    ///
+    /// # Panics
+    /// The default panics: only kernels reporting
+    /// [`Kernel::snapshot_capable`] implement this.
+    fn run_resumed(
+        &self,
+        _t: &mut Tracer,
+        _state: &KernelState,
+        _monitor: BoundaryMonitor<'_>,
+    ) -> Vec<f64> {
+        panic!("kernel {:?} is not snapshot-capable", self.name());
+    }
+
+    /// Contraction certificate for snapshot-resumed early exit: a sound
+    /// upper bound on the L∞ deviation of the *final output* from the
+    /// golden output, given the per-array L∞ deviations of the live
+    /// state from the golden state at a section boundary with `step`
+    /// loop steps completed. `suffix_mags` are per-array upper bounds on
+    /// the golden state magnitudes over the remaining suffix (supplied
+    /// by the snapshot store, which records them at capture time).
+    ///
+    /// The contract is *conditionally* sound: the returned bound must
+    /// hold whenever it is at most `budget` (the classifier tolerance) —
+    /// i.e. the implementation may assume the faulty state stays within
+    /// `budget` of golden throughout the suffix, which the caller's
+    /// acceptance test (`bound ≤ budget`) makes self-consistent for
+    /// monotone bounds. Implementations must also guarantee that a
+    /// state within the bound can neither produce a non-finite value
+    /// nor change the remaining control flow (no data-dependent trip
+    /// counts), so the outcome code is provably `Masked`.
+    ///
+    /// The default (`None`) offers no certificate; only kernels whose
+    /// remaining iteration is non-expansive under the output norm (e.g.
+    /// diagonally dominant Jacobi relaxation) should implement this.
+    fn masked_exit_bound(
+        &self,
+        _step: u64,
+        _deviations: &[f64],
+        _suffix_mags: &[f64],
+        _budget: f64,
+    ) -> Option<f64> {
+        None
     }
 
     /// Record the golden (fault-free) run.

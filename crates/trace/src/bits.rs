@@ -75,6 +75,42 @@ impl Precision {
             Precision::F64 => f64::MAX,
         }
     }
+
+    /// Conservative unit-in-the-last-place at `magnitude`: an upper
+    /// bound on the representable-value gap anywhere in
+    /// `[-|magnitude|, |magnitude|]`, so `|q(a) − q(b)| ≤ |a − b| +
+    /// ulp_at(m)` for any `a, b` of magnitude ≤ `m` under this
+    /// precision's round-to-nearest quantisation. Uses the exponent
+    /// ceiling, so the bound holds with a factor-2 margin at exact
+    /// powers of two. Returns the smallest normal ulp for `0`.
+    pub fn ulp_at(self, magnitude: f64) -> f64 {
+        let m = magnitude.abs();
+        let e = if m <= f64::MIN_POSITIVE {
+            1 - self.exponent_bias()
+        } else {
+            (m.log2().ceil() as i32).max(1 - self.exponent_bias())
+        };
+        pow2(e - self.mantissa_bits() as i32)
+    }
+
+    /// Exact unit-in-the-last-place of `magnitude`'s own binade — up to
+    /// 2× tighter than [`Precision::ulp_at`] while keeping the same
+    /// quantisation-gap contract: `ulp(v) ≤ ulp_of(m)` for every
+    /// `|v| ≤ |m|`, and round-to-nearest moves each value by at most
+    /// half an ulp, so `|q(a) − q(b)| ≤ |a − b| + ulp_of(m)` for any
+    /// `a, b` of magnitude ≤ `m`. (Rounding in the `log2` may land the
+    /// exponent one binade high near exact powers of two — still an
+    /// upper bound, never an underestimate.) Returns the smallest
+    /// normal ulp for `0`.
+    pub fn ulp_of(self, magnitude: f64) -> f64 {
+        let m = magnitude.abs();
+        let e = if m < f64::MIN_POSITIVE {
+            1 - self.exponent_bias()
+        } else {
+            (m.log2().floor() as i32).max(1 - self.exponent_bias())
+        };
+        pow2(e - self.mantissa_bits() as i32)
+    }
 }
 
 /// `2^e` as an exact `f64` (bit-constructed, no rounding), saturating to
@@ -244,6 +280,49 @@ pub fn injected_error(precision: Precision, v: f64, bit: u8) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ulp_at_bounds_the_quantisation_gap() {
+        // the contract: |q(a) − q(b)| ≤ |a − b| + ulp_at(max magnitude)
+        for p in [Precision::F32, Precision::F64] {
+            for m in [0.0, 0.3, 1.0, 1.5, 6.0, 1000.0] {
+                let u = p.ulp_at(m);
+                assert!(u > 0.0 && u.is_finite());
+                let a = m * 0.99 + 1e-9;
+                let b = a + u * 0.4;
+                let gap = (p.quantize(a) - p.quantize(b)).abs();
+                assert!(gap <= (a - b).abs() + u, "{p:?} m={m}");
+            }
+        }
+        // exact values at powers of two
+        assert_eq!(Precision::F32.ulp_at(1.0), pow2(-23));
+        assert_eq!(Precision::F32.ulp_at(1.5), pow2(-22));
+        assert_eq!(Precision::F64.ulp_at(1.0), pow2(-52));
+        // conservative monotonicity in magnitude
+        assert!(Precision::F32.ulp_at(8.0) >= Precision::F32.ulp_at(2.0));
+    }
+
+    #[test]
+    fn ulp_of_is_tight_and_keeps_the_gap_contract() {
+        // same contract as ulp_at, with the tighter binade-exact value
+        for p in [Precision::F32, Precision::F64] {
+            for m in [0.0, 0.3, 1.0, 1.5, 2.05, 6.0, 1000.0] {
+                let u = p.ulp_of(m);
+                assert!(u > 0.0 && u.is_finite());
+                assert!(u <= p.ulp_at(m), "{p:?} m={m}");
+                let a = m * 0.99 + 1e-9;
+                let b = a + u * 0.4;
+                let gap = (p.quantize(a) - p.quantize(b)).abs();
+                assert!(gap <= (a - b).abs() + u, "{p:?} m={m}");
+            }
+        }
+        // binade-exact values: 1.0 and 1.5 share the [1, 2) binade
+        assert_eq!(Precision::F32.ulp_of(1.0), pow2(-23));
+        assert_eq!(Precision::F32.ulp_of(1.5), pow2(-23));
+        assert_eq!(Precision::F32.ulp_of(2.05), pow2(-22));
+        assert_eq!(Precision::F64.ulp_of(1.5), pow2(-52));
+        assert!(Precision::F32.ulp_of(8.0) >= Precision::F32.ulp_of(2.0));
+    }
 
     #[test]
     fn flip_is_an_involution_f64() {

@@ -89,12 +89,33 @@ struct CompareState<'g> {
     block_len: usize,
     /// Pending faulty values awaiting a batched compare.
     block: [f64; COMPARE_BLOCK],
-    /// Online fold: nonzero deltas go here instead of `scratch`, with
-    /// *zero* per-experiment retention. Only sound when the golden branch
-    /// stream is empty (see [`Tracer::with_delta_sink`]).
-    sink: Option<&'g mut dyn FnMut(usize, f64)>,
-    /// Largest delta handed to `sink` so far.
-    sink_max: f64,
+    /// Where each flushed block's nonzero deltas go.
+    route: DeltaRoute<'g>,
+    /// Largest in-window delta seen by an online route (`Sink` or
+    /// `SummaryOnly`); the scratch route computes it in `seal` instead.
+    online_max: f64,
+}
+
+/// An online fold receiving each flushed block's nonzero `(site, Δx)`
+/// pairs; see [`Tracer::with_delta_sink`].
+pub type DeltaSink<'g> = &'g mut dyn FnMut(&[(usize, f64)]);
+
+/// Destination of the nonzero deltas a compare block produces.
+///
+/// The online routes (`Sink`, `SummaryOnly`) retain nothing per
+/// experiment and are only sound against a branch-free golden trace;
+/// see [`Tracer::with_delta_sink`] for the argument.
+enum DeltaRoute<'g> {
+    /// Retain `(site, Δx)` pairs in the scratch, sealed post-hoc against
+    /// the final comparable window. The general (branch-capable) path.
+    Scratch,
+    /// Hand each flushed block's nonzero deltas to an online fold — one
+    /// indirect call per *block*, not per delta.
+    Sink(DeltaSink<'g>),
+    /// Fold only the window summary (`max_err`): no deltas are
+    /// materialised or emitted at all. The exhaustive-campaign hot path,
+    /// where only the outcome and summary are consumed.
+    SummaryOnly,
 }
 
 impl std::fmt::Debug for CompareState<'_> {
@@ -103,7 +124,7 @@ impl std::fmt::Debug for CompareState<'_> {
             .field("branch_idx", &self.branch_idx)
             .field("div_cursor", &self.div_cursor)
             .field("limit", &self.limit)
-            .field("online", &self.sink.is_some())
+            .field("online", &!matches!(self.route, DeltaRoute::Scratch))
             .finish_non_exhaustive()
     }
 }
@@ -123,25 +144,89 @@ impl CompareState<'_> {
             return;
         }
         let faulty = &self.block[..end - start];
-        if let Some(sink) = self.sink.as_deref_mut() {
-            let mut max = self.sink_max;
-            let mut emit = |s: usize, d: f64| {
-                max = max.max(d);
-                sink(s, d);
-            };
-            match self.gvalues {
-                GoldenValues::F64(g) => push_deltas_f64(&mut emit, start, &g[start..end], faulty),
-                GoldenValues::F32(g) => push_deltas_f32(&mut emit, start, &g[start..end], faulty),
+        match &mut self.route {
+            DeltaRoute::Scratch => {
+                let deltas = &mut self.scratch.deltas;
+                let mut emit = |s: usize, d: f64| deltas.push((s, d));
+                match self.gvalues {
+                    GoldenValues::F64(g) => {
+                        push_deltas_f64(&mut emit, start, &g[start..end], faulty)
+                    }
+                    GoldenValues::F32(g) => {
+                        push_deltas_f32(&mut emit, start, &g[start..end], faulty)
+                    }
+                }
             }
-            self.sink_max = max;
-        } else {
-            let deltas = &mut self.scratch.deltas;
-            let mut emit = |s: usize, d: f64| deltas.push((s, d));
-            match self.gvalues {
-                GoldenValues::F64(g) => push_deltas_f64(&mut emit, start, &g[start..end], faulty),
-                GoldenValues::F32(g) => push_deltas_f32(&mut emit, start, &g[start..end], faulty),
+            DeltaRoute::Sink(sink) => {
+                // stage the block's deltas on the stack so the fold costs
+                // one indirect call per block, not one per delta
+                let mut staged = [(0usize, 0.0f64); COMPARE_BLOCK];
+                let mut n = 0usize;
+                let mut max = self.online_max;
+                {
+                    let mut emit = |s: usize, d: f64| {
+                        max = max.max(d);
+                        staged[n] = (s, d);
+                        n += 1;
+                    };
+                    match self.gvalues {
+                        GoldenValues::F64(g) => {
+                            push_deltas_f64(&mut emit, start, &g[start..end], faulty)
+                        }
+                        GoldenValues::F32(g) => {
+                            push_deltas_f32(&mut emit, start, &g[start..end], faulty)
+                        }
+                    }
+                }
+                if n > 0 {
+                    sink(&staged[..n]);
+                }
+                self.online_max = max;
+            }
+            DeltaRoute::SummaryOnly => {
+                let block_max = match self.gvalues {
+                    GoldenValues::F64(g) => block_max_f64(&g[start..end], faulty),
+                    GoldenValues::F32(g) => block_max_f32(&g[start..end], faulty),
+                };
+                self.online_max = self.online_max.max(block_max);
             }
         }
+    }
+}
+
+/// Largest `|g − f|` over one compare block, with any NaN difference
+/// (corruption) mapped to `+∞` — exactly the maximum the scalar delta
+/// pass would have emitted. Branch-free so the common all-identical
+/// block reduces to a vectorisable scan.
+fn block_max_f64(golden: &[f64], faulty: &[f64]) -> f64 {
+    let mut max = 0.0f64;
+    let mut any_nan = false;
+    for (&g, &f) in golden.iter().zip(faulty) {
+        let d = (g - f).abs();
+        any_nan |= d.is_nan();
+        // f64::max drops the NaN operand, so `max` stays finite here
+        max = max.max(d);
+    }
+    if any_nan {
+        f64::INFINITY
+    } else {
+        max
+    }
+}
+
+/// `f32`-golden variant of [`block_max_f64`].
+fn block_max_f32(golden: &[f32], faulty: &[f64]) -> f64 {
+    let mut max = 0.0f64;
+    let mut any_nan = false;
+    for (&g, &f) in golden.iter().zip(faulty) {
+        let d = (f64::from(g) - f).abs();
+        any_nan |= d.is_nan();
+        max = max.max(d);
+    }
+    if any_nan {
+        f64::INFINITY
+    } else {
+        max
     }
 }
 
@@ -350,15 +435,16 @@ impl<'g> Tracer<'g> {
             block_start: 0,
             block_len: 0,
             block: [0.0; COMPARE_BLOCK],
-            sink: None,
-            sink_max: 0.0,
+            route: DeltaRoute::Scratch,
+            online_max: 0.0,
         });
         t
     }
 
-    /// Upgrade a comparing-mode tracer to *online-fold* mode: nonzero
-    /// window deltas are handed to `sink` as their compare block flushes,
-    /// and nothing is retained in the scratch — the per-experiment state
+    /// Upgrade a comparing-mode tracer to *online-fold* mode: each
+    /// compare block's nonzero `(site, Δx)` pairs are handed to `sink` as
+    /// the block flushes (one call per block, cursor-ordered), and
+    /// nothing is retained in the scratch — the per-experiment state
     /// becomes O(1) even when the perturbation touches every site.
     ///
     /// Only sound when the golden trace has **no branch events**: a
@@ -373,7 +459,7 @@ impl<'g> Tracer<'g> {
     /// # Panics
     /// Panics if the tracer is not in comparing mode, or if the golden
     /// trace has branch events.
-    pub fn with_delta_sink(mut self, sink: &'g mut dyn FnMut(usize, f64)) -> Self {
+    pub fn with_delta_sink(mut self, sink: DeltaSink<'g>) -> Self {
         let cs = self
             .compare
             .as_mut()
@@ -382,7 +468,69 @@ impl<'g> Tracer<'g> {
             cs.gbranches.is_empty(),
             "online delta folding requires a branch-free golden trace"
         );
-        cs.sink = Some(sink);
+        cs.route = DeltaRoute::Sink(sink);
+        self
+    }
+
+    /// Upgrade a comparing-mode tracer to *summary-only* mode: the
+    /// comparison still runs over every in-window site, but individual
+    /// deltas are neither retained nor emitted — only the window summary
+    /// ([`StreamedWindow`]) survives. This is the exhaustive-campaign hot
+    /// path, where the caller consumes the outcome and summary and would
+    /// have discarded every delta anyway; skipping the per-delta
+    /// materialisation keeps the flush loop a pure vectorisable scan.
+    ///
+    /// Same soundness precondition as [`Tracer::with_delta_sink`].
+    ///
+    /// # Panics
+    /// Panics if the tracer is not in comparing mode, or if the golden
+    /// trace has branch events.
+    pub fn summary_only(mut self) -> Self {
+        let cs = self
+            .compare
+            .as_mut()
+            .expect("summary_only requires a Tracer::comparing tracer");
+        assert!(
+            cs.gbranches.is_empty(),
+            "online summary folding requires a branch-free golden trace"
+        );
+        cs.route = DeltaRoute::SummaryOnly;
+        self
+    }
+
+    /// Position the tracer as if `cursor` dynamic instructions and
+    /// `branch_count` branch events had already executed — the
+    /// snapshot-resume entry point. A kernel resumed from a mid-run state
+    /// snapshot drives this tracer through only the *suffix* of its
+    /// execution, and every recorded index (fault site, divergence
+    /// cursor, non-finite trap, branch encoding) comes out in the same
+    /// absolute coordinates a from-`t=0` run would have produced.
+    ///
+    /// In comparing mode the golden branch stream is fast-forwarded by
+    /// the same `branch_count`, so online divergence detection stays
+    /// index-aligned. Values are never recorded for the skipped prefix;
+    /// callers that need a full trace stitch the golden prefix back in.
+    ///
+    /// # Panics
+    /// Panics if the tracer injects a fault *before* `cursor` — the
+    /// skipped prefix would silently never flip — or if values were
+    /// already traced.
+    pub fn resume_at(mut self, cursor: usize, branch_count: usize) -> Self {
+        assert!(
+            self.fault_site == usize::MAX || self.fault_site >= cursor,
+            "fault site {} lies inside the skipped prefix (resume cursor {})",
+            self.fault_site,
+            cursor
+        );
+        assert!(
+            self.cursor == 0 && self.branch_count == 0,
+            "resume_at requires a fresh tracer"
+        );
+        self.cursor = cursor;
+        self.branch_count = branch_count;
+        if let Some(cs) = &mut self.compare {
+            cs.branch_idx = branch_count;
+        }
         self
     }
 
@@ -651,17 +799,16 @@ impl<'g> Tracer<'g> {
         if let Some(d) = div {
             compare_len = compare_len.min(d);
         }
-        let window = if cs.sink.is_some() {
-            // online-fold mode: every emitted delta is already final and
-            // in-window (see `with_delta_sink`), so the summary is complete
-            // without a scratch pass
-            StreamedWindow {
+        let window = match cs.route {
+            // online modes: every folded delta is already final and
+            // in-window (see `with_delta_sink`), so the summary is
+            // complete without a scratch pass
+            DeltaRoute::Sink(_) | DeltaRoute::SummaryOnly => StreamedWindow {
                 compare_len,
                 diverged: div.is_some(),
-                max_err: cs.sink_max,
-            }
-        } else {
-            cs.scratch.seal(compare_len, div.is_some())
+                max_err: cs.online_max,
+            },
+            DeltaRoute::Scratch => cs.scratch.seal(compare_len, div.is_some()),
         };
         (self.finish(output), window)
     }
@@ -817,6 +964,30 @@ mod tests {
             RecordMode::Full,
         );
         let _ = t.finish_golden(vec![]);
+    }
+
+    #[test]
+    fn resume_at_presets_absolute_coordinates() {
+        let f = FaultSpec { site: 5, bit: 63 };
+        let mut t = Tracer::inject(Precision::F64, f, RecordMode::OutputOnly).resume_at(4, 1);
+        // sites 4 and 5 execute; the flip lands on site 5
+        let a = t.value(SID, 1.0);
+        assert_eq!(a, 1.0);
+        let b = t.value(SID, 1.0);
+        assert_eq!(b, -1.0);
+        assert!(t.branch(true));
+        assert_eq!(t.cursor(), 6);
+        assert_eq!(t.branch_count(), 2);
+        let r = t.finish(vec![b]);
+        assert_eq!(r.n_dynamic, 6);
+        assert_eq!(r.injected_err, Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "skipped prefix")]
+    fn resume_past_fault_site_rejected() {
+        let f = FaultSpec { site: 2, bit: 0 };
+        let _ = Tracer::inject(Precision::F64, f, RecordMode::OutputOnly).resume_at(3, 0);
     }
 
     #[test]

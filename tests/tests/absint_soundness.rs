@@ -279,6 +279,7 @@ fn pruned_campaign_resumes_from_ledger() {
             certified: masks.certified_total(),
             digest: masks.digest(),
         }),
+        snapshot: None,
     };
 
     let dir = std::env::temp_dir().join("ftb-absint-tests");

@@ -31,6 +31,7 @@ fn binding(inj: &Injector<'_>, plan: &str) -> CampaignBinding {
         bits: inj.bits(),
         plan: plan.to_string(),
         bit_prune: None,
+        snapshot: None,
     }
 }
 

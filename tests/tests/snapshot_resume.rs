@@ -1,0 +1,242 @@
+//! Snapshot-resume differential tests: experiments served from
+//! golden-run boundary snapshots must be **bit-identical** to
+//! from-scratch execution — across every extraction mode, across worker
+//! thread counts, and across a kill/resume of a snapshot-backed ledger
+//! campaign mid-section. The snapshot store is a pure performance
+//! artefact; nothing downstream may be able to tell it was there.
+
+use ftb_core::prelude::*;
+use ftb_inject::{
+    monte_carlo_plan, read_ledger, schedule_snapshot_major, CampaignBinding, ChunkedCampaign,
+    Experiment, LedgerError,
+};
+use ftb_kernels::{JacobiConfig, JacobiKernel, KernelConfig};
+use ftb_trace::FaultSpec;
+use std::path::PathBuf;
+
+fn cfg() -> JacobiConfig {
+    JacobiConfig {
+        sweeps: 8,
+        ..JacobiConfig::small()
+    }
+}
+
+fn kernel() -> JacobiKernel {
+    JacobiKernel::new(cfg())
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ftb-snapshot-resume-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Faults spread over the whole trace (early sites have no serving
+/// snapshot, so both execution paths are exercised) and over the whole
+/// word (low bits reconverge, high bits crash or corrupt).
+fn spread_faults(n_sites: usize, count: usize) -> Vec<FaultSpec> {
+    (0..count)
+        .map(|i| FaultSpec {
+            site: i * (n_sites - 1) / (count - 1),
+            bit: (i * 11 % 64) as u8,
+        })
+        .collect()
+}
+
+fn binding(inj: &Injector<'_>, plan: &str) -> CampaignBinding {
+    CampaignBinding {
+        kernel: KernelConfig::Jacobi(cfg()),
+        classifier: *inj.classifier(),
+        n_sites: inj.n_sites(),
+        bits: inj.bits(),
+        plan: plan.to_string(),
+        bit_prune: None,
+        snapshot: inj.snapshot_store().map(|s| s.binding()),
+    }
+}
+
+/// Snapshot-started experiments are bit-identical to from-scratch ones
+/// in every extraction mode and under 1, 4, and 8 worker threads — both
+/// as in-memory values and through the serialized (ledger) byte form.
+#[test]
+fn snapshot_resume_is_bit_identical_across_modes_and_threads() {
+    let k = kernel();
+    let classifier = Classifier::new(1e-6);
+    let n = Injector::new(&k, classifier).n_sites();
+    let faults = spread_faults(n, 36);
+
+    for mode in [
+        ExtractionMode::Buffered,
+        ExtractionMode::Lockstep { capacity: 32 },
+        ExtractionMode::Streamed,
+    ] {
+        let reference = Injector::new(&k, classifier)
+            .with_extraction(mode)
+            .run_batch(&faults);
+        let ref_bytes = serde_json::to_string(&reference).unwrap();
+        for threads in [1usize, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let inj = Injector::new(&k, classifier)
+                .with_extraction(mode)
+                .with_snapshots(usize::MAX);
+            assert!(inj.snapshot_store().is_some());
+            let got: Vec<Experiment> = pool.install(|| inj.run_batch(&faults));
+            assert_eq!(reference, got, "{mode:?} with {threads} threads diverged");
+            assert_eq!(
+                ref_bytes,
+                serde_json::to_string(&got).unwrap(),
+                "{mode:?} with {threads} threads serialized differently"
+            );
+        }
+    }
+}
+
+/// Contraction-certificate early exits (`--certified` analyses) keep
+/// the exhaustive outcome table cell-for-cell identical to from-scratch
+/// execution: a certificate may only fire where Masked is provable.
+#[test]
+fn certified_exits_keep_exhaustive_table_identical() {
+    let k = kernel();
+    let scratch = Analysis::new(&k, Classifier::new(1e-6)).exhaustive();
+    let certified = Analysis::new(&k, Classifier::new(1e-6))
+        .with_certified_exits()
+        .with_snapshots(usize::MAX)
+        .exhaustive();
+    assert_eq!(scratch, certified);
+}
+
+/// A snapshot-backed ledger campaign killed mid-section (the chunk
+/// boundary falls inside a snapshot-major section, not at its edge) and
+/// resumed from the ledger matches the uninterrupted run exactly, and
+/// re-executes only the missing tail.
+#[test]
+fn snapshot_campaign_kill_resume_mid_section_matches_uninterrupted() {
+    let k = kernel();
+    let inj = Injector::new(&k, Classifier::new(1e-6)).with_snapshots(usize::MAX);
+    let store = inj.snapshot_store().unwrap();
+    let plan = schedule_snapshot_major(&monte_carlo_plan(inj.n_sites(), inj.bits(), 180, 7), store);
+    let desc = "mc n=180 seed=7 snapshot-major";
+
+    // uninterrupted reference, same injector and plan order
+    let mut full = ChunkedCampaign::new(&inj, plan.clone(), 32);
+    full.run_to_completion().unwrap();
+    let reference = full.into_experiments();
+
+    // the kill: one 32-experiment chunk lands inside a section (sections
+    // span ~25 experiments here), then the process dies with no shutdown
+    let path = tmp("snapshot-mid-section.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let mut first = ChunkedCampaign::new(&inj, plan.clone(), 32)
+        .with_ledger(&path, binding(&inj, desc), false)
+        .unwrap();
+    first.step().unwrap();
+    drop(first);
+
+    let mut resumed = ChunkedCampaign::new(&inj, plan, 32)
+        .with_ledger(&path, binding(&inj, desc), true)
+        .unwrap();
+    resumed.run_to_completion().unwrap();
+    let metrics = resumed.metrics();
+    assert_eq!(metrics.resumed, 32);
+    assert_eq!(metrics.executed, 180 - 32);
+    assert_eq!(reference, resumed.into_experiments());
+
+    // the finished ledger holds the full campaign, byte-faithfully
+    assert_eq!(read_ledger(&path).unwrap().experiments, reference);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A ledger recorded under one snapshot store must refuse to resume
+/// under a different store: the snapshot binding (count + content
+/// digest) is part of the campaign identity.
+#[test]
+fn snapshot_campaign_resume_rejects_different_store() {
+    let k = kernel();
+    let inj = Injector::new(&k, Classifier::new(1e-6)).with_snapshots(4);
+    let plan = monte_carlo_plan(inj.n_sites(), inj.bits(), 60, 3);
+    let desc = "mc n=60 seed=3";
+
+    let path = tmp("snapshot-binding-mismatch.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let mut first = ChunkedCampaign::new(&inj, plan.clone(), 16)
+        .with_ledger(&path, binding(&inj, desc), false)
+        .unwrap();
+    first.step().unwrap();
+    drop(first);
+
+    // same campaign, different snapshot store (2 boundaries, not 4)
+    let other = Injector::new(&k, Classifier::new(1e-6)).with_snapshots(2);
+    match ChunkedCampaign::new(&other, plan, 16).with_ledger(&path, binding(&other, desc), true) {
+        Err(LedgerError::BindingMismatch { .. }) => {}
+        Err(e) => panic!("unexpected error: {e}"),
+        Ok(_) => panic!("resume under a different snapshot store must be refused"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------- CLI level
+
+fn cli(args: &[&str]) -> String {
+    let raw: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let parsed = ftb_cli::parse(&raw).unwrap();
+    ftb_cli::commands::dispatch(&parsed).unwrap()
+}
+
+/// End-to-end: a `--snapshot` campaign crashed mid-run (torn tail) and
+/// resumed produces a report and ledger identical to the uninterrupted
+/// snapshot run — and to the plain from-scratch run of the same
+/// campaign, since snapshots must be invisible in every artefact.
+#[test]
+fn cli_snapshot_campaign_crash_resume_matches_uninterrupted() {
+    let snap_ledger = tmp("cli-snap-ledger.jsonl");
+    let _ = std::fs::remove_file(&snap_ledger);
+    let sl = snap_ledger.to_str().unwrap();
+
+    let base = [
+        "campaign",
+        "--kernel",
+        "jacobi",
+        "--grid",
+        "4",
+        "--sweeps",
+        "10",
+        "--tolerance",
+        "1e-4",
+        "--samples",
+        "120",
+        "--seed",
+        "5",
+    ];
+
+    // from-scratch reference report (no ledger, no snapshots)
+    let scratch_out = cli(&base);
+
+    // snapshot run with a ledger, crashed at 60 records with a torn tail
+    let mut snap = base.to_vec();
+    snap.extend(["--snapshot", "--snapshot-max", "4", "--checkpoint", sl]);
+    let snap_out = cli(&snap);
+    assert_eq!(
+        scratch_out, snap_out,
+        "snapshots must not change the report"
+    );
+    let text = std::fs::read_to_string(&snap_ledger).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 121, "header + 120 records");
+    let mut crashed = lines[..61].join("\n");
+    crashed.push_str("\n{\"site\":4,\"bit\"");
+    let full_bytes = text.clone().into_bytes();
+    std::fs::write(&snap_ledger, crashed).unwrap();
+
+    // resume under the same snapshot flags: identical report, and the
+    // healed ledger is byte-identical to the uninterrupted one
+    let mut resume = snap.to_vec();
+    resume.push("--resume");
+    let resumed_out = cli(&resume);
+    assert_eq!(snap_out, resumed_out);
+    assert_eq!(full_bytes, std::fs::read(&snap_ledger).unwrap());
+
+    let _ = std::fs::remove_file(&snap_ledger);
+}

@@ -18,6 +18,7 @@ pub trait Serializer: Sized {
     type Error: Error;
     type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
     type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
 
     fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
     fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
@@ -29,6 +30,7 @@ pub trait Serializer: Sized {
     fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
     fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
     fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
     fn serialize_struct(
         self,
         name: &'static str,
@@ -79,6 +81,19 @@ pub trait SerializeSeq {
     type Error: Error;
 
     fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Map sub-serializer (string keys only, as in the supported formats).
+pub trait SerializeMap {
+    type Ok;
+    type Error: Error;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Self::Error>;
     fn end(self) -> Result<Self::Ok, Self::Error>;
 }
 

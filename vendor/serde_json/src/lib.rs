@@ -20,6 +20,13 @@ pub use de::{from_slice, from_str};
 pub use ser::{to_string, to_string_pretty, to_vec, to_vec_pretty};
 pub use value::Value;
 
+/// Convert any serializable value into a parsed [`Value`] tree, by way
+/// of JSON text. The round-trip is exact: floats use shortest-roundtrip
+/// formatting and parse back bit-identically, integers stay integers.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    from_str(&to_string(&value)?)
+}
+
 use std::fmt;
 
 /// Error produced by JSON (de)serialization.

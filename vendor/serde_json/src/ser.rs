@@ -1,7 +1,7 @@
 //! Streaming JSON serializer.
 
 use crate::Error;
-use serde::ser::{SerializeSeq, SerializeStruct};
+use serde::ser::{SerializeMap, SerializeSeq, SerializeStruct};
 use serde::{Serialize, Serializer};
 
 /// Serialize to compact JSON text.
@@ -112,6 +112,30 @@ impl SerializeSeq for Compound<'_> {
     }
 }
 
+impl SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Error> {
+        self.before_element();
+        // keys must serialize to JSON strings (String/str in this tree)
+        key.serialize(&mut *self.writer)?;
+        self.writer.out.push(':');
+        if self.writer.indent.is_some() {
+            self.writer.out.push(' ');
+        }
+        value.serialize(&mut *self.writer)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
 impl SerializeStruct for Compound<'_> {
     type Ok = ();
     type Error = Error;
@@ -140,6 +164,7 @@ impl<'a> Serializer for &'a mut Writer {
     type Error = Error;
     type SerializeSeq = Compound<'a>;
     type SerializeStruct = Compound<'a>;
+    type SerializeMap = Compound<'a>;
 
     fn serialize_bool(self, v: bool) -> Result<(), Error> {
         self.out.push_str(if v { "true" } else { "false" });
@@ -201,6 +226,16 @@ impl<'a> Serializer for &'a mut Writer {
         Ok(Compound {
             writer: self,
             close: ']',
+            has_elements: false,
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        self.depth += 1;
+        Ok(Compound {
+            writer: self,
+            close: '}',
             has_elements: false,
         })
     }
