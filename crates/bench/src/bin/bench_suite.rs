@@ -1,6 +1,8 @@
 //! The extraction-path performance suite: exhaustive + adaptive
-//! campaigns over Jacobi, GEMM and CG at pinned seeds and sizes, run
-//! through all three extraction paths, with a machine-readable report.
+//! campaigns over the instrumented kernels at pinned seeds and sizes,
+//! run through all three extraction paths, with a machine-readable
+//! report (the quick tier also characterizes serial-vs-parallel outcome
+//! distributions per workload and gates their TVD at exactly zero).
 //!
 //! Usage:
 //!   `cargo run --release -p ftb-bench --bin bench_suite [-- --quick] [-- --out PATH]`
@@ -107,6 +109,19 @@ fn main() {
                 sb.conservative_fraction * 100.0,
             );
         }
+        if let Some(t) = &w.tvd {
+            println!(
+                "  tvd       pools {:?}: max {:.3e}, mean {:.3e} over {} sites \
+                 ({} experiments per pool), diverging sites {}, deterministic {}",
+                t.thread_counts,
+                t.max_tvd,
+                t.mean_tvd,
+                t.n_sites,
+                t.n_experiments,
+                t.diverging_sites,
+                t.deterministic,
+            );
+        }
         if let Some(b) = &w.bits_map {
             println!(
                 "  bits      {:.2}x reduction ({} of {} bits certified, {:.1} ms analysis): \
@@ -162,6 +177,13 @@ fn main() {
     }
     if !report.streamed_ok {
         eprintln!("FAIL: streamed-vs-buffered speedup fell below a workload's pinned floor");
+        std::process::exit(1);
+    }
+    if !report.tvd_ok {
+        eprintln!(
+            "FAIL: a serial-vs-parallel characterization found a nonzero \
+             total-variation distance between pool sizes"
+        );
         std::process::exit(1);
     }
 }

@@ -2,11 +2,17 @@
 //!
 //! Measures the three propagation-extraction paths — buffered, lockstep
 //! and streamed — against each other on exhaustive and adaptive
-//! campaigns over Jacobi, GEMM and CG at pinned seeds and sizes, and
-//! emits a machine-readable report (`BENCH_ppopp21.json`) so every PR
-//! has a throughput trajectory to answer to. The suite also *asserts*
-//! that all paths agree on the exhaustive outcome table: a performance
-//! number from a path that disagrees with the reference is meaningless.
+//! campaigns at pinned seeds and sizes, and emits a machine-readable
+//! report (`BENCH_ppopp21.json`) so every PR has a throughput
+//! trajectory to answer to. The full tier runs Jacobi, GEMM and CG (the
+//! paper's scale on Jacobi); the quick tier covers every
+//! provenance-instrumented kernel — jacobi, gemm, cg, lu, fft, stencil,
+//! matvec, spmv — and additionally records each workload's
+//! serial-vs-parallel outcome-distribution delta (per-site
+//! total-variation distance under 1- and 8-thread pools, gated at
+//! exactly zero). The suite also *asserts* that all paths agree on the
+//! exhaustive outcome table: a performance number from a path that
+//! disagrees with the reference is meaningless.
 //!
 //! The full tier's Jacobi workload runs at paper scale (~10M dynamic
 //! instructions per execution): that is where the paths separate, because
@@ -31,7 +37,8 @@
 use ftb_core::prelude::*;
 use ftb_inject::{ExhaustiveResult, ExtractionMode, DEFAULT_MAX_SNAPSHOTS};
 use ftb_kernels::{
-    CgConfig, CgStorage, GemmConfig, JacobiConfig, Kernel, KernelConfig, SweepTweak,
+    CgConfig, CgStorage, FftConfig, GemmConfig, JacobiConfig, Kernel, KernelConfig, LuConfig,
+    MatvecConfig, SpmvConfig, StencilConfig, SweepTweak,
 };
 use ftb_trace::{CompactGolden, Precision};
 use serde::Serialize;
@@ -40,8 +47,11 @@ use std::time::Instant;
 /// Schema tag of the committed benchmark file. The v5 format is a
 /// two-tier document — `{ schema, tiers: { quick, full } }` — so the
 /// CI smoke run and the paper-scale run ratchet against the same file
-/// without clobbering each other's numbers.
-pub const BENCH_SCHEMA: &str = "ftb-bench/extraction-v5";
+/// without clobbering each other's numbers. v6 extends the quick tier
+/// to every provenance-instrumented kernel (lu, fft, spmv, stencil,
+/// matvec join jacobi, gemm, cg) and adds the serial-vs-parallel
+/// `tvd` stanza with its `tvd_ok` reproducibility gate.
+pub const BENCH_SCHEMA: &str = "ftb-bench/extraction-v6";
 
 /// Merge one tier's report into the committed benchmark document,
 /// preserving whatever the other tier last recorded. `prev` is the
@@ -441,6 +451,47 @@ pub fn run_bits(bw: &BitsWorkload) -> Option<BitsStats> {
     })
 }
 
+/// Serial-vs-parallel outcome-distribution stanza for one workload: the
+/// exhaustive campaign re-run under each pinned rayon pool size and the
+/// per-site outcome histograms compared with the total-variation
+/// distance (see `ftb_inject::characterize`). Campaign outcomes are a
+/// pure function of the fault, so reproducibility demands exactly zero
+/// distance — any nonzero TVD is a scheduling-dependence bug.
+#[derive(Debug, Clone, Serialize)]
+pub struct TvdStats {
+    /// Pool sizes exercised.
+    pub thread_counts: Vec<usize>,
+    /// Fault sites per campaign.
+    pub n_sites: usize,
+    /// Experiments per campaign.
+    pub n_experiments: u64,
+    /// Largest per-site total-variation distance across all pool pairs.
+    pub max_tvd: f64,
+    /// Mean of the per-pair mean distances.
+    pub mean_tvd: f64,
+    /// Sites with any distribution difference, summed over pairs.
+    pub diverging_sites: usize,
+    /// The CI-gated reproducibility bit: every pairwise distance zero.
+    pub deterministic: bool,
+}
+
+/// Run the TVD stanza: characterize the workload's exhaustive outcome
+/// distributions across the pinned pool sizes.
+pub fn run_tvd(config: &KernelConfig, tolerance: f64, thread_counts: &[usize]) -> TvdStats {
+    let kernel = config.build();
+    let inj = Injector::new(kernel.as_ref(), Classifier::new(tolerance));
+    let r = ftb_inject::characterize(&inj, thread_counts);
+    TvdStats {
+        thread_counts: r.thread_counts.clone(),
+        n_sites: r.n_sites,
+        n_experiments: r.n_experiments,
+        max_tvd: r.pairs.iter().map(|p| p.max_tvd).fold(0.0, f64::max),
+        mean_tvd: r.pairs.iter().map(|p| p.mean_tvd).sum::<f64>() / r.pairs.len().max(1) as f64,
+        diverging_sites: r.pairs.iter().map(|p| p.diverging_sites).sum(),
+        deterministic: r.deterministic,
+    }
+}
+
 /// One pinned workload of the performance suite.
 pub struct PerfWorkload {
     /// Display name ("jacobi", "gemm", "cg").
@@ -468,6 +519,11 @@ pub struct PerfWorkload {
     pub compose: Option<ComposeWorkload>,
     /// Pinned bit-level vulnerability-map stanza; `None` skips it.
     pub bits: Option<BitsWorkload>,
+    /// Pool sizes for the serial-vs-parallel TVD stanza; `None` skips
+    /// it. Characterization runs a full exhaustive campaign per pool
+    /// size, so only validation-sized tiers pin this (the paper-scale
+    /// tier subsamples even a single exhaustive table).
+    pub tvd_threads: Option<Vec<usize>>,
     /// CI floor on the snapshot leg's throughput over the plain streamed
     /// path (0.0 disables the floor; the `identical` check always
     /// applies). Only the paper-scale Jacobi pins a real floor — at
@@ -513,6 +569,39 @@ fn jacobi_compose_stanza() -> ComposeWorkload {
             }),
             ..base
         })),
+    }
+}
+
+/// Quick-tier stanza shared by the kernels the serial-vs-parallel
+/// characterization work wired into the campaign stack (lu, fft,
+/// stencil, matvec, spmv): a validation-sized config runs the full site
+/// set on every path, plus static-bound and bit-prune stanzas at the
+/// same pinned config and a 1-vs-8-thread TVD stanza.
+fn quick_stanza(name: &'static str, config: KernelConfig, tolerance: f64) -> PerfWorkload {
+    PerfWorkload {
+        name,
+        snapshot_min_speedup: 0.0,
+        snapshot_min_eps: 0.0,
+        min_streamed_speedup: 0.0,
+        timing_repeats: 3,
+        config: config.clone(),
+        tolerance,
+        site_stride: 1,
+        lockstep_stride: 4,
+        adaptive: AdaptiveConfig {
+            seed: 7,
+            ..AdaptiveConfig::default()
+        },
+        staticbound: Some((config.clone(), tolerance)),
+        compose: None,
+        bits: Some(BitsWorkload {
+            config,
+            tolerance,
+            widen: 0.0,
+            site_stride: 1,
+            min_reduction: 1.0,
+        }),
+        tvd_threads: Some(vec![1, 8]),
     }
 }
 
@@ -572,6 +661,9 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     site_stride: 1,
                     min_reduction: 2.0,
                 }),
+                // the committed serial-vs-parallel baseline: jacobi's
+                // 1-vs-8-thread per-site TVD delta, expected exactly zero
+                tvd_threads: Some(vec![1, 8]),
             },
             PerfWorkload {
                 name: "gemm",
@@ -608,6 +700,7 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     site_stride: 1,
                     min_reduction: 1.0,
                 }),
+                tvd_threads: Some(vec![1, 8]),
             },
             PerfWorkload {
                 name: "cg",
@@ -653,7 +746,51 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     site_stride: 1,
                     min_reduction: 1.0,
                 }),
+                tvd_threads: Some(vec![1, 8]),
             },
+            quick_stanza(
+                "lu",
+                KernelConfig::Lu(LuConfig {
+                    n: 8,
+                    block: 4,
+                    ..LuConfig::small()
+                }),
+                3e-5,
+            ),
+            quick_stanza(
+                "fft",
+                KernelConfig::Fft(FftConfig {
+                    n1: 4,
+                    n2: 4,
+                    ..FftConfig::small()
+                }),
+                1.0,
+            ),
+            quick_stanza(
+                "stencil",
+                KernelConfig::Stencil(StencilConfig {
+                    grid: 6,
+                    sweeps: 3,
+                    ..StencilConfig::small()
+                }),
+                1e-6,
+            ),
+            quick_stanza(
+                "matvec",
+                KernelConfig::Matvec(MatvecConfig {
+                    n: 6,
+                    ..MatvecConfig::small()
+                }),
+                1e-6,
+            ),
+            quick_stanza(
+                "spmv",
+                KernelConfig::Spmv(SpmvConfig {
+                    grid: 5,
+                    ..SpmvConfig::small()
+                }),
+                1e-6,
+            ),
         ]
     } else {
         vec![
@@ -733,6 +870,10 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     site_stride: 614_000,
                     min_reduction: 2.0,
                 }),
+                // characterization needs a full exhaustive table per pool
+                // size — infeasible at paper scale; the quick tier owns
+                // the TVD baseline
+                tvd_threads: None,
             },
             PerfWorkload {
                 name: "gemm",
@@ -769,6 +910,7 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     site_stride: 1,
                     min_reduction: 1.0,
                 }),
+                tvd_threads: None,
             },
             PerfWorkload {
                 name: "cg",
@@ -814,6 +956,7 @@ pub fn perf_suite(quick: bool) -> Vec<PerfWorkload> {
                     site_stride: 1,
                     min_reduction: 1.0,
                 }),
+                tvd_threads: None,
             },
         ]
     }
@@ -1011,6 +1154,9 @@ pub struct WorkloadReport {
     /// Bit-level vulnerability-map stanza (`None` when the workload
     /// skips it).
     pub bits_map: Option<BitsStats>,
+    /// Serial-vs-parallel outcome-distribution stanza (`None` when the
+    /// workload skips it).
+    pub tvd: Option<TvdStats>,
 }
 
 fn run_path(
@@ -1150,6 +1296,10 @@ pub fn run_workload(w: &PerfWorkload) -> WorkloadReport {
             .and_then(|(cfg, tol)| run_staticbound(cfg, *tol)),
         compose: w.compose.as_ref().and_then(run_compose),
         bits_map: w.bits.as_ref().and_then(run_bits),
+        tvd: w
+            .tvd_threads
+            .as_ref()
+            .map(|tc| run_tvd(&w.config, w.tolerance, tc)),
     }
 }
 
@@ -1185,6 +1335,10 @@ pub struct PerfReport {
     /// guard against re-introducing the streamed-path regression the
     /// `DeltaRoute` split fixed).
     pub streamed_ok: bool,
+    /// Conjunction of every TVD stanza's reproducibility gate: per-site
+    /// outcome distributions identical (distance exactly zero) across
+    /// every pinned pool size. `true` when no stanza ran.
+    pub tvd_ok: bool,
 }
 
 /// The compose stanza's CI gate (see [`PerfReport::compose_ok`]).
@@ -1217,6 +1371,13 @@ pub fn streamed_gate(w: &WorkloadReport) -> bool {
     w.speedup_streamed_vs_buffered >= w.min_streamed_speedup
 }
 
+/// The TVD stanza's CI gate (see [`PerfReport::tvd_ok`]): campaign
+/// outcomes must be a pure function of the fault, independent of how
+/// many workers the pool schedules them across.
+pub fn tvd_gate(t: &TvdStats) -> bool {
+    t.deterministic && t.max_tvd == 0.0 && t.diverging_sites == 0
+}
+
 /// Run the full suite at the chosen tier.
 pub fn run_suite(quick: bool) -> PerfReport {
     let workloads: Vec<WorkloadReport> = perf_suite(quick).iter().map(run_workload).collect();
@@ -1234,6 +1395,10 @@ pub fn run_suite(quick: bool) -> PerfReport {
         .filter_map(|w| w.snapshot.as_ref())
         .all(snapshot_gate);
     let streamed_ok = workloads.iter().all(streamed_gate);
+    let tvd_ok = workloads
+        .iter()
+        .filter_map(|w| w.tvd.as_ref())
+        .all(tvd_gate);
     PerfReport {
         quick,
         threads: rayon::current_num_threads(),
@@ -1243,6 +1408,7 @@ pub fn run_suite(quick: bool) -> PerfReport {
         bits_ok,
         snapshot_ok,
         streamed_ok,
+        tvd_ok,
     }
 }
 
@@ -1250,10 +1416,18 @@ pub fn run_suite(quick: bool) -> PerfReport {
 mod tests {
     use super::*;
 
+    /// One shared quick-tier run: with eight workloads the suite is the
+    /// dominant cost of this crate's tests, so both tests read the same
+    /// report instead of each paying for their own.
+    fn quick_report() -> &'static PerfReport {
+        static REPORT: std::sync::OnceLock<PerfReport> = std::sync::OnceLock::new();
+        REPORT.get_or_init(|| run_suite(true))
+    }
+
     #[test]
     fn quick_suite_paths_agree() {
-        let report = run_suite(true);
-        assert_eq!(report.workloads.len(), 3);
+        let report = quick_report();
+        assert_eq!(report.workloads.len(), 8);
         assert!(report.all_paths_agree);
         for w in &report.workloads {
             assert!(w.golden_bytes_compact < w.golden_bytes_full);
@@ -1285,14 +1459,41 @@ mod tests {
         assert!(report.bits_ok, "bit-prune gate failed");
         assert!(report.snapshot_ok, "snapshot gate failed");
         assert!(report.streamed_ok, "streamed-speedup gate failed");
+        assert!(report.tvd_ok, "serial-vs-parallel TVD gate failed");
         for w in &report.workloads {
-            let s = w
-                .snapshot
+            // only the checkpoint-instrumented kernels carry the leg
+            match w.name.as_str() {
+                "jacobi" | "gemm" | "cg" => {
+                    let s = w
+                        .snapshot
+                        .as_ref()
+                        .unwrap_or_else(|| panic!("{}: snapshot leg missing", w.name));
+                    assert!(s.identical, "{}: snapshot resume diverged", w.name);
+                    assert!(s.snapshots > 0, "{}", w.name);
+                    assert!(s.store_mb > 0.0, "{}", w.name);
+                }
+                _ => assert!(
+                    w.snapshot.is_none(),
+                    "{}: snapshot leg on a non-snapshot-capable kernel",
+                    w.name
+                ),
+            }
+        }
+        for w in &report.workloads {
+            let t = w
+                .tvd
                 .as_ref()
-                .unwrap_or_else(|| panic!("{}: snapshot leg missing", w.name));
-            assert!(s.identical, "{}: snapshot resume diverged", w.name);
-            assert!(s.snapshots > 0, "{}", w.name);
-            assert!(s.store_mb > 0.0, "{}", w.name);
+                .unwrap_or_else(|| panic!("{}: tvd stanza missing", w.name));
+            assert_eq!(t.thread_counts, vec![1, 8], "{}", w.name);
+            assert!(t.deterministic, "{}: outcomes depend on pool size", w.name);
+            assert_eq!(t.max_tvd, 0.0, "{}", w.name);
+            assert_eq!(t.diverging_sites, 0, "{}", w.name);
+            assert_eq!(
+                t.n_experiments,
+                w.n_sites as u64 * u64::from(w.bits),
+                "{}",
+                w.name
+            );
         }
         for w in &report.workloads {
             let b = w
@@ -1314,7 +1515,7 @@ mod tests {
 
     #[test]
     fn report_serialises() {
-        let report = run_suite(true);
+        let report = quick_report().clone();
         let doc = merge_tier(None, &report);
         let schema_of =
             |d: &serde_json::Value| d.get("schema").and_then(|s| s.as_str().map(String::from));
@@ -1348,5 +1549,11 @@ mod tests {
         assert!(json.contains("\"speedup_vs_streamed\""));
         assert!(json.contains("\"snapshot_ok\""));
         assert!(json.contains("\"streamed_ok\""));
+        assert!(json.contains("\"tvd\""));
+        assert!(json.contains("\"max_tvd\""));
+        assert!(json.contains("\"tvd_ok\""));
+        for name in ["lu", "fft", "stencil", "matvec", "spmv"] {
+            assert!(json.contains(&format!("\"{name}\"")), "{name} missing");
+        }
     }
 }

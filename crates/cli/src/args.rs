@@ -36,6 +36,12 @@ COMMANDS:
                  over the dependence graph classifies every (site, bit)
                  flip as certified-masked / crash-likely / unknown, with a
                  conservatism scorecard against exhaustive ground truth
+    analyze characterize
+                 serial-vs-parallel outcome characterization: re-run the
+                 exhaustive campaign under dedicated worker pools
+                 (--threads, default 1,4,8) and compare per-site outcome
+                 distributions with the total-variation distance; any
+                 nonzero distance is a reproducibility bug
     adaptive     adaptive progressive sampling (paper §3.4); seeds from
                  the static boundary with --static-prior
     report       per-static-instruction / per-region vulnerability table
@@ -83,6 +89,8 @@ ANALYSIS OPTIONS:
     --widen F              analyze bits: relative input widening for the
                            forward interval pass, >= 0 (0 = envelopes
                            around the concrete golden run)
+    --threads LIST         analyze characterize: comma-separated worker
+                           pool sizes to compare (1,4,8)
     --bit-prune            exhaustive/adaptive: skip (exhaustive) or
                            deprioritise (adaptive) bits the forward
                            interval analysis certifies as masked
@@ -157,6 +165,8 @@ pub struct Args {
     pub snapshot_max: usize,
     /// `analyze bits`: relative input widening for the forward pass.
     pub widen: f64,
+    /// `analyze characterize`: worker pool sizes to compare.
+    pub threads: Vec<usize>,
 }
 
 /// Parse failure.
@@ -210,6 +220,10 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
         ("analyze", Some("bits")) => {
             flag_start = 2;
             "analyze-bits".to_string()
+        }
+        ("analyze", Some("characterize")) => {
+            flag_start = 2;
+            "analyze-characterize".to_string()
         }
         _ => command,
     };
@@ -428,6 +442,20 @@ pub fn parse(raw: &[String]) -> Result<Args, CliError> {
             }
             w
         },
+        threads: match flags.get("threads") {
+            None => vec![1, 4, 8],
+            Some(list) => {
+                let counts: Vec<usize> = list
+                    .split(',')
+                    .map(|s| s.trim().parse())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| err(format!("--threads: bad pool-size list '{list}'")))?;
+                if counts.is_empty() || counts.contains(&0) {
+                    return Err(err("--threads: pool sizes must be at least 1"));
+                }
+                counts
+            }
+        },
     })
 }
 
@@ -514,6 +542,44 @@ mod tests {
         .is_err());
         assert!(parse(&v(&[
             "analyze", "bits", "--kernel", "gemm", "--widen", "inf"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_analyze_characterize_subcommand() {
+        let a = parse(&v(&["analyze", "characterize", "--kernel", "lu"])).unwrap();
+        assert_eq!(a.command, "analyze-characterize");
+        assert_eq!(a.threads, vec![1, 4, 8]);
+
+        let a = parse(&v(&[
+            "analyze",
+            "characterize",
+            "--kernel",
+            "fft",
+            "--threads",
+            "1,2,16",
+        ]))
+        .unwrap();
+        assert_eq!(a.threads, vec![1, 2, 16]);
+
+        // zero or malformed pool sizes are refused
+        assert!(parse(&v(&[
+            "analyze",
+            "characterize",
+            "--kernel",
+            "fft",
+            "--threads",
+            "1,0"
+        ]))
+        .is_err());
+        assert!(parse(&v(&[
+            "analyze",
+            "characterize",
+            "--kernel",
+            "fft",
+            "--threads",
+            "two"
         ]))
         .is_err());
     }

@@ -100,6 +100,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "analyze-static" => analyze_static(args),
         "analyze-compose" => analyze_compose(args),
         "analyze-bits" => analyze_bits(args),
+        "analyze-characterize" => analyze_characterize(args),
         "adaptive" => adaptive(args),
         "report" => report(args),
         "protect" => protect(args),
@@ -825,6 +826,63 @@ fn analyze_bits(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn analyze_characterize(args: &Args) -> Result<String, CliError> {
+    let kernel = args.kernel.build();
+    let injector = Injector::new(kernel.as_ref(), Classifier::new(args.tolerance))
+        .with_extraction(args.extraction);
+    let report = ftb_inject::characterize(&injector, &args.threads);
+    maybe_write_json(args, &report)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "kernel:        {}", report.kernel);
+    let _ = writeln!(out, "sites:         {}", report.n_sites);
+    let _ = writeln!(
+        out,
+        "experiments:   {} per pool size ({} pool sizes)",
+        report.n_experiments,
+        report.thread_counts.len()
+    );
+
+    let mut runs = Table::new(&["threads", "masked", "SDC", "crash"]);
+    for r in &report.runs {
+        runs.row(&[
+            r.threads.to_string(),
+            r.masked.to_string(),
+            r.sdc.to_string(),
+            r.crash.to_string(),
+        ]);
+    }
+    let _ = write!(out, "\nper-pool outcome totals:\n\n{}", runs.render());
+
+    let mut pairs = Table::new(&["pools", "max TVD", "mean TVD", "diverging sites"]);
+    for p in &report.pairs {
+        pairs.row(&[
+            format!("{} vs {}", p.threads_a, p.threads_b),
+            format!("{:.6}", p.max_tvd),
+            format!("{:.6}", p.mean_tvd),
+            match p.worst_site {
+                Some(site) => format!("{} (worst: site {site})", p.diverging_sites),
+                None => p.diverging_sites.to_string(),
+            },
+        ]);
+    }
+    let _ = write!(
+        out,
+        "\nper-site outcome-distribution distance:\n\n{}",
+        pairs.render()
+    );
+    let _ = writeln!(
+        out,
+        "\nreproducible:  {}",
+        if report.deterministic {
+            "yes (every per-site distribution identical across pool sizes)"
+        } else {
+            "NO — outcome distributions depend on worker count"
+        }
+    );
+    Ok(out)
+}
+
 /// On-disk format of an adaptive `--checkpoint` file: the complete
 /// sampler state (including the per-site information counts) plus the
 /// campaign binding a resume must agree with.
@@ -1252,19 +1310,34 @@ mod tests {
 
     #[test]
     fn analyze_compose_secant_refuses_uninstrumented_kernel() {
+        // CG over assembled-CSR storage runs DDG-blind, so it is the one
+        // remaining configuration without provenance instrumentation
         let args = parse(&v(&[
-            "analyze", "compose", "--kernel", "lu", "--n", "8", "--secant",
+            "analyze", "compose", "--kernel", "cg", "--csr", "--grid", "4", "--secant",
         ]))
         .unwrap();
         let e = dispatch(&args).unwrap_err();
         assert!(e.0.contains("secant mode needs"), "{}", e.0);
+        assert!(
+            e.0.contains("instrumented kernels:"),
+            "refusal must list the instrumented kernels: {}",
+            e.0
+        );
     }
 
     #[test]
     fn analyze_static_rejects_uninstrumented_kernel() {
-        let args = parse(&v(&["analyze", "static", "--kernel", "lu", "--n", "8"])).unwrap();
+        let args = parse(&v(&[
+            "analyze", "static", "--kernel", "cg", "--csr", "--grid", "4",
+        ]))
+        .unwrap();
         let e = dispatch(&args).unwrap_err();
         assert!(e.0.contains("not provenance-instrumented"), "{}", e.0);
+        assert!(
+            e.0.contains("instrumented kernels:"),
+            "refusal must list the instrumented kernels: {}",
+            e.0
+        );
     }
 
     #[test]
@@ -1312,9 +1385,114 @@ mod tests {
 
     #[test]
     fn analyze_bits_rejects_uninstrumented_kernel() {
-        let args = parse(&v(&["analyze", "bits", "--kernel", "lu", "--n", "8"])).unwrap();
+        let args = parse(&v(&[
+            "analyze", "bits", "--kernel", "cg", "--csr", "--grid", "4",
+        ]))
+        .unwrap();
         let e = dispatch(&args).unwrap_err();
         assert!(e.0.contains("not provenance-instrumented"), "{}", e.0);
+    }
+
+    #[test]
+    fn analyze_characterize_reports_distribution_distance() {
+        let args = parse(&v(&[
+            "analyze",
+            "characterize",
+            "--kernel",
+            "matvec",
+            "--n",
+            "4",
+            "--threads",
+            "1,2",
+        ]))
+        .unwrap();
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("per-pool outcome totals"), "{out}");
+        assert!(out.contains("1 vs 2"), "{out}");
+        assert!(out.contains("max TVD"), "{out}");
+        assert!(
+            out.contains("reproducible:  yes"),
+            "campaign outcomes must not depend on worker count: {out}"
+        );
+    }
+
+    #[test]
+    fn analyze_characterize_json_schema() {
+        let path = std::env::temp_dir().join("ftb_cli_characterize.json");
+        let _ = std::fs::remove_file(&path);
+        let args = parse(&v(&[
+            "analyze",
+            "characterize",
+            "--kernel",
+            "matvec",
+            "--n",
+            "4",
+            "--threads",
+            "1,2",
+            "--json",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&args).unwrap();
+        let data = std::fs::read_to_string(&path).unwrap();
+        for key in [
+            "\"kernel\"",
+            "\"tolerance\"",
+            "\"n_sites\"",
+            "\"bits\"",
+            "\"n_experiments\"",
+            "\"thread_counts\"",
+            "\"runs\"",
+            "\"histograms\"",
+            "\"pairs\"",
+            "\"max_tvd\"",
+            "\"mean_tvd\"",
+            "\"deterministic\"",
+        ] {
+            assert!(data.contains(key), "missing key {key}");
+        }
+        // the artifact round-trips through its schema struct
+        let r: ftb_inject::CharacterizeReport = serde_json::from_str(&data).unwrap();
+        assert_eq!(r.kernel, "matvec");
+        assert_eq!(r.thread_counts, vec![1, 2]);
+        assert_eq!(r.runs.len(), 2);
+        assert_eq!(r.pairs.len(), 1);
+        assert!(r.deterministic);
+        assert_eq!(r.pairs[0].max_tvd, 0.0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn analyze_compose_json_schema() {
+        // `analyze compose` writes its report in both the validated and
+        // --no-validate paths; check the artifact's schema for parity
+        // with `analyze static` / `analyze bits`
+        let path = std::env::temp_dir().join("ftb_cli_compose.json");
+        let _ = std::fs::remove_file(&path);
+        let args = parse(&v(&[
+            "analyze",
+            "compose",
+            "--kernel",
+            "jacobi",
+            "--grid",
+            "3",
+            "--sweeps",
+            "4",
+            "--tolerance",
+            "1e-4",
+            "--rate",
+            "0.4",
+            "--no-validate",
+            "--json",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&args).unwrap();
+        let data = std::fs::read_to_string(&path).unwrap();
+        for key in ["\"kernel\"", "\"tolerance\"", "\"sections\""] {
+            assert!(data.contains(key), "missing key {key}: {data}");
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -109,7 +109,9 @@ impl std::fmt::Display for ComposeError {
             ComposeError::NotInstrumented => write!(
                 f,
                 "secant mode needs a provenance-instrumented kernel: the \
-                 recorded dependence graph has no output or branch sinks"
+                 recorded dependence graph has no output or branch sinks \
+                 (instrumented kernels: jacobi, gemm, cg (matrix-free), \
+                 lu, fft, stencil, matvec, spmv)"
             ),
             ComposeError::Ledger(e) => write!(f, "section ledger: {e}"),
         }

@@ -73,7 +73,9 @@ impl std::fmt::Display for StaticBoundError {
             StaticBoundError::NotInstrumented => write!(
                 f,
                 "kernel is not provenance-instrumented: the recorded \
-                 dependence graph has no output or branch sinks"
+                 dependence graph has no output or branch sinks \
+                 (instrumented kernels: jacobi, gemm, cg (matrix-free), \
+                 lu, fft, stencil, matvec, spmv)"
             ),
             StaticBoundError::BadTolerance(t) => {
                 write!(f, "tolerance must be positive and finite, got {t}")

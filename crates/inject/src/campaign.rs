@@ -166,6 +166,11 @@ impl<'k> Injector<'k> {
         self.extraction
     }
 
+    /// The kernel under injection.
+    pub fn kernel(&self) -> &dyn Kernel {
+        self.kernel
+    }
+
     /// The golden reference run.
     pub fn golden(&self) -> &GoldenRun {
         &self.golden

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod characterize;
 pub mod experiment;
 pub mod extraction;
 pub mod ledger;
@@ -44,6 +45,9 @@ pub mod sections;
 pub mod snapshot;
 
 pub use campaign::{ExhaustiveResult, ExtractionSummary, Injector};
+pub use characterize::{
+    characterize, site_tvd, CharacterizeReport, PairDelta, SiteHistogram, ThreadRun,
+};
 pub use experiment::Experiment;
 pub use extraction::ExtractionMode;
 pub use ledger::{

@@ -6,7 +6,7 @@
 //! 2-D Poisson stencil, deterministic random SPD-ish matrices for tests,
 //! and an instrumented sparse matrix-vector product.
 
-use ftb_trace::{StaticId, Tracer};
+use ftb_trace::{OpKind, StaticId, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// A compressed-sparse-row matrix.
@@ -173,6 +173,49 @@ impl Csr {
             }
             *yr = t.value(sid, s);
         }
+    }
+
+    /// Provenance-recording `y = A·x`: like [`Csr::spmv_traced`], but
+    /// records each stored product's operand secants before every `y[r]`
+    /// store (`|∂y_r/∂a_{rc}| = |x_c|`, `|∂y_r/∂x_c| = |a_{rc}|`, both
+    /// exact for one perturbed operand) and returns the def site of each
+    /// output row so the caller can sink them. `def_vals`/`def_x` map
+    /// each stored entry / vector element to the dynamic instruction
+    /// that defined it.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spmv_with_provenance(
+        &self,
+        t: &mut Tracer,
+        sid: StaticId,
+        vals: &[f64],
+        def_vals: &[usize],
+        x: &[f64],
+        def_x: &[usize],
+        y: &mut [f64],
+    ) -> Vec<usize> {
+        assert_eq!(vals.len(), self.nnz(), "vals dimension mismatch");
+        assert_eq!(def_vals.len(), self.nnz(), "def_vals dimension mismatch");
+        assert_eq!(x.len(), self.n_cols, "x dimension mismatch");
+        assert_eq!(def_x.len(), self.n_cols, "def_x dimension mismatch");
+        assert_eq!(y.len(), self.n_rows, "y dimension mismatch");
+        let mut defs = Vec::with_capacity(self.n_rows);
+        for (r, yr) in y.iter_mut().enumerate() {
+            let lo = self.row_ptr[r] as usize;
+            let hi = self.row_ptr[r + 1] as usize;
+            let mut s = 0.0;
+            for (p, (c, v)) in (lo..hi).zip(self.cols[lo..hi].iter().zip(&vals[lo..hi])) {
+                let c = *c as usize;
+                t.dep(def_vals[p], OpKind::Scale(x[c]));
+                t.dep(def_x[c], OpKind::Scale(*v));
+                s += v * x[c];
+            }
+            defs.push(t.cursor());
+            *yr = t.value(sid, s);
+        }
+        defs
     }
 }
 

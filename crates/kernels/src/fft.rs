@@ -22,20 +22,25 @@
 
 use crate::inputs::uniform_vec;
 use crate::Kernel;
-use ftb_trace::{Precision, StaticId, StaticRegistry, Tracer};
+use ftb_trace::{Fnv1a, OpKind, Precision, StaticId, StaticRegistry, Tracer};
 use serde::{Deserialize, Serialize};
 
 ftb_trace::static_instrs! {
     pub mod sid {
         INIT     => ("fft.init.x", Init),
-        TRANS1   => ("fft.transpose1", DataMovement),
+        // phase heads: the four six-step stages that run exactly once
+        // (the per-row bitrev/butterfly sites recur per row and would
+        // over-split, so the two FFT passes ride with the transpose or
+        // twiddle stage that precedes them) — the trace segments into
+        // [init][transpose1 + pass1][twiddle][transpose2 + pass2][out]
+        TRANS1   => ("fft.transpose1", DataMovement, phase),
         FFT1_REV => ("fft.pass1.bitrev", DataMovement),
         FFT1_BFY => ("fft.pass1.butterfly", Compute),
-        TWIDDLE  => ("fft.twiddle", Compute),
-        TRANS2   => ("fft.transpose2", DataMovement),
+        TWIDDLE  => ("fft.twiddle", Compute, phase),
+        TRANS2   => ("fft.transpose2", DataMovement, phase),
         FFT2_REV => ("fft.pass2.bitrev", DataMovement),
         FFT2_BFY => ("fft.pass2.butterfly", Compute),
-        TRANS3   => ("fft.transpose3", Output),
+        TRANS3   => ("fft.transpose3", Output, phase),
     }
 }
 
@@ -81,6 +86,23 @@ impl CBuf {
         CBuf {
             re: vec![0.0; n],
             im: vec![0.0; n],
+        }
+    }
+}
+
+/// Def-site map paralleling a [`CBuf`]: the dynamic instruction that
+/// last defined each real / imaginary element (provenance mode only).
+#[derive(Debug, Clone)]
+struct DefBuf {
+    re: Vec<usize>,
+    im: Vec<usize>,
+}
+
+impl DefBuf {
+    fn zero(n: usize) -> Self {
+        DefBuf {
+            re: vec![0usize; n],
+            im: vec![0usize; n],
         }
     }
 }
@@ -204,6 +226,113 @@ impl FftKernel {
             }
         }
     }
+
+    /// Provenance-recording transpose: each store is `Linear` in its
+    /// source element; `dst_def` receives the new def sites.
+    #[allow(clippy::too_many_arguments)]
+    fn transpose_prov(
+        t: &mut Tracer,
+        sid: StaticId,
+        src: &CBuf,
+        src_def: &DefBuf,
+        dst: &mut CBuf,
+        dst_def: &mut DefBuf,
+        rows: usize,
+        cols: usize,
+    ) {
+        for r in 0..rows {
+            for c in 0..cols {
+                let s = r * cols + c;
+                let d = c * rows + r;
+                t.dep(src_def.re[s], OpKind::Linear);
+                dst_def.re[d] = t.cursor();
+                dst.re[d] = t.value(sid, src.re[s]);
+                t.dep(src_def.im[s], OpKind::Linear);
+                dst_def.im[d] = t.cursor();
+                dst.im[d] = t.value(sid, src.im[s]);
+            }
+        }
+    }
+
+    /// Provenance-recording row FFTs. A butterfly output `u' = u ± w·v`
+    /// is `Linear` in `u` and `Scale(|w_re|)/Scale(|w_im|)` in the real /
+    /// imaginary parts of `v` (the complex product mixes them):
+    /// `re(u') = re(u) ± (w_re·re(v) − w_im·im(v))` and
+    /// `im(u') = im(u) ± (w_re·im(v) + w_im·re(v))`.
+    fn row_ffts_prov(
+        t: &mut Tracer,
+        rev_sid: StaticId,
+        bfy_sid: StaticId,
+        buf: &mut CBuf,
+        def: &mut DefBuf,
+        rows: usize,
+        len: usize,
+    ) {
+        for row in 0..rows {
+            let base = row * len;
+            let bits = len.trailing_zeros();
+            for i in 0..len {
+                let j = i.reverse_bits() >> (usize::BITS - bits);
+                if i < j {
+                    let (ai, aj) = (base + i, base + j);
+                    let (re_i, im_i) = (buf.re[ai], buf.im[ai]);
+                    let (dre_i, dim_i) = (def.re[ai], def.im[ai]);
+                    t.dep(def.re[aj], OpKind::Linear);
+                    def.re[ai] = t.cursor();
+                    buf.re[ai] = t.value(rev_sid, buf.re[aj]);
+                    t.dep(def.im[aj], OpKind::Linear);
+                    def.im[ai] = t.cursor();
+                    buf.im[ai] = t.value(rev_sid, buf.im[aj]);
+                    t.dep(dre_i, OpKind::Linear);
+                    def.re[aj] = t.cursor();
+                    buf.re[aj] = t.value(rev_sid, re_i);
+                    t.dep(dim_i, OpKind::Linear);
+                    def.im[aj] = t.cursor();
+                    buf.im[aj] = t.value(rev_sid, im_i);
+                }
+            }
+            let mut half = 1;
+            while half < len {
+                let step = half * 2;
+                let ang0 = -std::f64::consts::PI / half as f64;
+                for start in (0..len).step_by(step) {
+                    for k in 0..half {
+                        let ang = ang0 * k as f64;
+                        let (wr, wi) = (ang.cos(), ang.sin());
+                        let u = base + start + k;
+                        let v = u + half;
+                        let (ur, ui) = (buf.re[u], buf.im[u]);
+                        let (vr, vi) = (buf.re[v], buf.im[v]);
+                        let (dur, dui) = (def.re[u], def.im[u]);
+                        let (dvr, dvi) = (def.re[v], def.im[v]);
+                        let tr = wr * vr - wi * vi;
+                        let ti = wr * vi + wi * vr;
+                        t.dep(dur, OpKind::Linear);
+                        t.dep(dvr, OpKind::Scale(wr));
+                        t.dep(dvi, OpKind::Scale(wi));
+                        def.re[u] = t.cursor();
+                        buf.re[u] = t.value(bfy_sid, ur + tr);
+                        t.dep(dui, OpKind::Linear);
+                        t.dep(dvi, OpKind::Scale(wr));
+                        t.dep(dvr, OpKind::Scale(wi));
+                        def.im[u] = t.cursor();
+                        buf.im[u] = t.value(bfy_sid, ui + ti);
+                        t.dep(dur, OpKind::Linear);
+                        t.dep(dvr, OpKind::Scale(wr));
+                        t.dep(dvi, OpKind::Scale(wi));
+                        def.re[v] = t.cursor();
+                        buf.re[v] = t.value(bfy_sid, ur - tr);
+                        t.dep(dui, OpKind::Linear);
+                        t.dep(dvi, OpKind::Scale(wr));
+                        t.dep(dvr, OpKind::Scale(wi));
+                        def.im[v] = t.cursor();
+                        buf.im[v] = t.value(bfy_sid, ui - ti);
+                    }
+                }
+                half = step;
+            }
+        }
+    }
 }
 
 impl Kernel for FftKernel {
@@ -223,25 +352,86 @@ impl Kernel for FftKernel {
         self.sites_hint
     }
 
+    fn code_version(&self, _lo: usize, _hi: usize) -> u64 {
+        // the factorisation shapes the instruction stream; the seed only
+        // changes input values
+        let mut h = Fnv1a::new();
+        h.write(b"fft/six-step/v1");
+        h.write_u64(self.cfg.n1 as u64);
+        h.write_u64(self.cfg.n2 as u64);
+        h.finish()
+    }
+
     fn run(&self, t: &mut Tracer) -> Vec<f64> {
         let (n1, n2) = (self.cfg.n1, self.cfg.n2);
         let n = n1 * n2;
 
-        // Init region: load the signal (2 dynamic instructions per sample).
+        // Hot (injection) path: no def-map bookkeeping.
+        if !t.ddg_enabled() {
+            // Init region: load the signal (2 dynamic instructions per
+            // sample).
+            let mut x = CBuf::zero(n);
+            for i in 0..n {
+                x.re[i] = t.value(sid::INIT, self.input_re[i]);
+                x.im[i] = t.value(sid::INIT, self.input_im[i]);
+            }
+
+            // Step 1: transpose n1×n2 -> n2×n1.
+            let mut y = CBuf::zero(n);
+            Self::transpose(t, sid::TRANS1, &x, &mut y, n1, n2);
+
+            // Step 2: n2 row FFTs of length n1.
+            Self::row_ffts(t, sid::FFT1_REV, sid::FFT1_BFY, &mut y, n2, n1);
+
+            // Step 3: twiddle multiply Y[j2][j1] *= W_n^(j1*j2).
+            let w0 = -2.0 * std::f64::consts::PI / n as f64;
+            for j2 in 0..n2 {
+                for j1 in 0..n1 {
+                    let ang = w0 * (j1 * j2) as f64;
+                    let (wr, wi) = (ang.cos(), ang.sin());
+                    let idx = j2 * n1 + j1;
+                    let (r, i) = (y.re[idx], y.im[idx]);
+                    y.re[idx] = t.value(sid::TWIDDLE, r * wr - i * wi);
+                    y.im[idx] = t.value(sid::TWIDDLE, r * wi + i * wr);
+                }
+            }
+
+            // Step 4: transpose n2×n1 -> n1×n2.
+            Self::transpose(t, sid::TRANS2, &y, &mut x, n2, n1);
+
+            // Step 5: n1 row FFTs of length n2.
+            Self::row_ffts(t, sid::FFT2_REV, sid::FFT2_BFY, &mut x, n1, n2);
+
+            // Step 6: final transpose to natural order (n1×n2 -> n2×n1).
+            Self::transpose(t, sid::TRANS3, &x, &mut y, n1, n2);
+
+            // Output: interleaved re/im.
+            let mut out = Vec::with_capacity(2 * n);
+            for i in 0..n {
+                out.push(y.re[i]);
+                out.push(y.im[i]);
+            }
+            return out;
+        }
+
+        // Provenance mode: def maps travel with the complex buffers
+        // through every stage. The complex product's real/imaginary
+        // mixing makes each butterfly/twiddle store depend on both parts
+        // of its source element.
         let mut x = CBuf::zero(n);
+        let mut dx = DefBuf::zero(n);
         for i in 0..n {
+            dx.re[i] = t.cursor();
             x.re[i] = t.value(sid::INIT, self.input_re[i]);
+            dx.im[i] = t.cursor();
             x.im[i] = t.value(sid::INIT, self.input_im[i]);
         }
 
-        // Step 1: transpose n1×n2 -> n2×n1.
         let mut y = CBuf::zero(n);
-        Self::transpose(t, sid::TRANS1, &x, &mut y, n1, n2);
+        let mut dy = DefBuf::zero(n);
+        Self::transpose_prov(t, sid::TRANS1, &x, &dx, &mut y, &mut dy, n1, n2);
+        Self::row_ffts_prov(t, sid::FFT1_REV, sid::FFT1_BFY, &mut y, &mut dy, n2, n1);
 
-        // Step 2: n2 row FFTs of length n1.
-        Self::row_ffts(t, sid::FFT1_REV, sid::FFT1_BFY, &mut y, n2, n1);
-
-        // Step 3: twiddle multiply Y[j2][j1] *= W_n^(j1*j2).
         let w0 = -2.0 * std::f64::consts::PI / n as f64;
         for j2 in 0..n2 {
             for j1 in 0..n1 {
@@ -249,24 +439,30 @@ impl Kernel for FftKernel {
                 let (wr, wi) = (ang.cos(), ang.sin());
                 let idx = j2 * n1 + j1;
                 let (r, i) = (y.re[idx], y.im[idx]);
+                let (dr, di) = (dy.re[idx], dy.im[idx]);
+                // (r + i·j)(wr + wi·j): re' = r·wr − i·wi, im' = r·wi + i·wr
+                t.dep(dr, OpKind::Scale(wr));
+                t.dep(di, OpKind::Scale(wi));
+                dy.re[idx] = t.cursor();
                 y.re[idx] = t.value(sid::TWIDDLE, r * wr - i * wi);
+                t.dep(dr, OpKind::Scale(wi));
+                t.dep(di, OpKind::Scale(wr));
+                dy.im[idx] = t.cursor();
                 y.im[idx] = t.value(sid::TWIDDLE, r * wi + i * wr);
             }
         }
 
-        // Step 4: transpose n2×n1 -> n1×n2.
-        Self::transpose(t, sid::TRANS2, &y, &mut x, n2, n1);
+        Self::transpose_prov(t, sid::TRANS2, &y, &dy, &mut x, &mut dx, n2, n1);
+        Self::row_ffts_prov(t, sid::FFT2_REV, sid::FFT2_BFY, &mut x, &mut dx, n1, n2);
+        Self::transpose_prov(t, sid::TRANS3, &x, &dx, &mut y, &mut dy, n1, n2);
 
-        // Step 5: n1 row FFTs of length n2.
-        Self::row_ffts(t, sid::FFT2_REV, sid::FFT2_BFY, &mut x, n1, n2);
-
-        // Step 6: final transpose to natural order (n1×n2 -> n2×n1).
-        Self::transpose(t, sid::TRANS3, &x, &mut y, n1, n2);
-
-        // Output: interleaved re/im.
+        // Output: interleaved re/im, each element sunk from its final
+        // (transpose3) definition.
         let mut out = Vec::with_capacity(2 * n);
         for i in 0..n {
+            t.out_dep(dy.re[i], 1.0);
             out.push(y.re[i]);
+            t.out_dep(dy.im[i], 1.0);
             out.push(y.im[i]);
         }
         out
@@ -376,6 +572,34 @@ mod tests {
             diffs > k.n(),
             "an input corruption should spread across the spectrum, touched {diffs}"
         );
+    }
+
+    #[test]
+    fn provenance_mode_matches_plain_golden() {
+        let k = FftKernel::new(FftConfig::small());
+        let plain = k.golden();
+        let (with_ddg, ddg) = k.golden_with_ddg();
+        assert_eq!(plain.values, with_ddg.values);
+        assert_eq!(plain.output, with_ddg.output);
+        assert!(ddg.is_instrumented());
+        assert_eq!(
+            ddg.out_sinks.len(),
+            2 * k.n(),
+            "one sink per real/imaginary output element"
+        );
+    }
+
+    #[test]
+    fn provenance_mode_matches_for_rectangular_factorisation() {
+        let k = FftKernel::new(FftConfig {
+            n1: 4,
+            n2: 8,
+            ..FftConfig::small()
+        });
+        let plain = k.golden();
+        let (with_ddg, ddg) = k.golden_with_ddg();
+        assert_eq!(plain.values, with_ddg.values);
+        assert!(ddg.is_instrumented());
     }
 
     #[test]

@@ -15,13 +15,17 @@
 
 use crate::inputs::diag_dominant_matrix;
 use crate::Kernel;
-use ftb_trace::{Precision, StaticRegistry, Tracer};
+use ftb_trace::{Fnv1a, OpKind, Precision, StaticRegistry, Tracer};
 use serde::{Deserialize, Serialize};
 
 ftb_trace::static_instrs! {
     pub mod sid {
         INIT_A  => ("lu.init.a", Init),
-        DIAG_L  => ("lu.diag.scale", Compute),
+        // phase head: every re-entry into the diagonal scale loop (from
+        // the previous k-step's updates or the previous block's trailing
+        // update) opens a new section — `coalesce` merges these k-step
+        // sections up to block granularity for compositional analysis
+        DIAG_L  => ("lu.diag.scale", Compute, phase),
         DIAG_U  => ("lu.diag.update", Compute),
         COL_L   => ("lu.colpanel.scale", Compute),
         COL_U   => ("lu.colpanel.update", Compute),
@@ -117,68 +121,178 @@ impl Kernel for LuKernel {
         self.sites_hint
     }
 
+    fn code_version(&self, _lo: usize, _hi: usize) -> u64 {
+        // structural stamp: seeds change values, not code; n and block
+        // change which instruction stream a section covers
+        let mut h = Fnv1a::new();
+        h.write(b"lu/blocked-right-looking/v1");
+        h.write_u64(self.cfg.n as u64);
+        h.write_u64(self.cfg.block as u64);
+        h.finish()
+    }
+
     fn run(&self, t: &mut Tracer) -> Vec<f64> {
         let n = self.cfg.n;
         let nb = self.cfg.block;
 
-        // Init region: load the input matrix (one store per element).
+        // The hot (injection) path carries no def-map bookkeeping; only
+        // provenance recording takes the annotated body below.
+        if !t.ddg_enabled() {
+            // Init region: load the input matrix (one store per element).
+            let mut a = vec![0.0; n * n];
+            for (dst, &src) in a.iter_mut().zip(&self.a0) {
+                *dst = t.value(sid::INIT_A, src);
+            }
+
+            // Blocked right-looking factorization.
+            let mut k0 = 0;
+            while k0 < n {
+                let kend = k0 + nb;
+
+                // 1. Factor the diagonal block A[k0..kend, k0..kend].
+                for k in k0..kend {
+                    let pivot = a[k * n + k];
+                    for i in (k + 1)..kend {
+                        a[i * n + k] = t.value(sid::DIAG_L, a[i * n + k] / pivot);
+                    }
+                    for i in (k + 1)..kend {
+                        let lik = a[i * n + k];
+                        for j in (k + 1)..kend {
+                            a[i * n + j] = t.value(sid::DIAG_U, a[i * n + j] - lik * a[k * n + j]);
+                        }
+                    }
+                }
+
+                // 2. Column panel: rows below the diagonal block.
+                for k in k0..kend {
+                    let pivot = a[k * n + k];
+                    for i in kend..n {
+                        a[i * n + k] = t.value(sid::COL_L, a[i * n + k] / pivot);
+                    }
+                    for i in kend..n {
+                        let lik = a[i * n + k];
+                        for j in (k + 1)..kend {
+                            a[i * n + j] = t.value(sid::COL_U, a[i * n + j] - lik * a[k * n + j]);
+                        }
+                    }
+                }
+
+                // 3. Row panel: columns right of the diagonal block
+                //    (forward-substitute L of the diagonal block through them).
+                for k in k0..kend {
+                    for i in (k + 1)..kend {
+                        let lik = a[i * n + k];
+                        for j in kend..n {
+                            a[i * n + j] = t.value(sid::ROW_U, a[i * n + j] - lik * a[k * n + j]);
+                        }
+                    }
+                }
+
+                // 4. Trailing submatrix update: one store per element, inner
+                //    accumulation in registers (a GEMM tile).
+                for i in kend..n {
+                    for j in kend..n {
+                        let mut s = a[i * n + j];
+                        for k in k0..kend {
+                            s -= a[i * n + k] * a[k * n + j];
+                        }
+                        a[i * n + j] = t.value(sid::TRAIL, s);
+                    }
+                }
+
+                k0 = kend;
+                if t.trapped() {
+                    break;
+                }
+            }
+
+            // Output: the packed L\U factors.
+            return a;
+        }
+
+        // Provenance mode: def[idx] is the dynamic instruction that last
+        // defined a[idx]; every store records its operands' secant
+        // amplifications before the defining `t.value`. The divisions use
+        // DivNum/DivDen (the denominator path carries the |den|/2
+        // perturbation cap), everything else is Linear/Scale.
+        let mut def = vec![0usize; n * n];
         let mut a = vec![0.0; n * n];
-        for (dst, &src) in a.iter_mut().zip(&self.a0) {
+        for (i, (dst, &src)) in a.iter_mut().zip(&self.a0).enumerate() {
+            def[i] = t.cursor();
             *dst = t.value(sid::INIT_A, src);
         }
 
-        // Blocked right-looking factorization.
         let mut k0 = 0;
         while k0 < n {
             let kend = k0 + nb;
 
-            // 1. Factor the diagonal block A[k0..kend, k0..kend].
             for k in k0..kend {
                 let pivot = a[k * n + k];
                 for i in (k + 1)..kend {
-                    a[i * n + k] = t.value(sid::DIAG_L, a[i * n + k] / pivot);
+                    let num = a[i * n + k];
+                    t.dep(def[i * n + k], OpKind::DivNum(pivot));
+                    t.dep(def[k * n + k], OpKind::DivDen { num, den: pivot });
+                    def[i * n + k] = t.cursor();
+                    a[i * n + k] = t.value(sid::DIAG_L, num / pivot);
                 }
                 for i in (k + 1)..kend {
                     let lik = a[i * n + k];
                     for j in (k + 1)..kend {
+                        t.dep(def[i * n + j], OpKind::Linear);
+                        t.dep(def[i * n + k], OpKind::Scale(a[k * n + j]));
+                        t.dep(def[k * n + j], OpKind::Scale(lik));
+                        def[i * n + j] = t.cursor();
                         a[i * n + j] = t.value(sid::DIAG_U, a[i * n + j] - lik * a[k * n + j]);
                     }
                 }
             }
 
-            // 2. Column panel: rows below the diagonal block.
             for k in k0..kend {
                 let pivot = a[k * n + k];
                 for i in kend..n {
-                    a[i * n + k] = t.value(sid::COL_L, a[i * n + k] / pivot);
+                    let num = a[i * n + k];
+                    t.dep(def[i * n + k], OpKind::DivNum(pivot));
+                    t.dep(def[k * n + k], OpKind::DivDen { num, den: pivot });
+                    def[i * n + k] = t.cursor();
+                    a[i * n + k] = t.value(sid::COL_L, num / pivot);
                 }
                 for i in kend..n {
                     let lik = a[i * n + k];
                     for j in (k + 1)..kend {
+                        t.dep(def[i * n + j], OpKind::Linear);
+                        t.dep(def[i * n + k], OpKind::Scale(a[k * n + j]));
+                        t.dep(def[k * n + j], OpKind::Scale(lik));
+                        def[i * n + j] = t.cursor();
                         a[i * n + j] = t.value(sid::COL_U, a[i * n + j] - lik * a[k * n + j]);
                     }
                 }
             }
 
-            // 3. Row panel: columns right of the diagonal block
-            //    (forward-substitute L of the diagonal block through them).
             for k in k0..kend {
                 for i in (k + 1)..kend {
                     let lik = a[i * n + k];
                     for j in kend..n {
+                        t.dep(def[i * n + j], OpKind::Linear);
+                        t.dep(def[i * n + k], OpKind::Scale(a[k * n + j]));
+                        t.dep(def[k * n + j], OpKind::Scale(lik));
+                        def[i * n + j] = t.cursor();
                         a[i * n + j] = t.value(sid::ROW_U, a[i * n + j] - lik * a[k * n + j]);
                     }
                 }
             }
 
-            // 4. Trailing submatrix update: one store per element, inner
-            //    accumulation in registers (a GEMM tile).
             for i in kend..n {
                 for j in kend..n {
+                    // s = a_ij - Σ_k a_ik a_kj: Linear in the accumulator,
+                    // Scale in each product operand
+                    t.dep(def[i * n + j], OpKind::Linear);
                     let mut s = a[i * n + j];
                     for k in k0..kend {
+                        t.dep(def[i * n + k], OpKind::Scale(a[k * n + j]));
+                        t.dep(def[k * n + j], OpKind::Scale(a[i * n + k]));
                         s -= a[i * n + k] * a[k * n + j];
                     }
+                    def[i * n + j] = t.cursor();
                     a[i * n + j] = t.value(sid::TRAIL, s);
                 }
             }
@@ -189,7 +303,11 @@ impl Kernel for LuKernel {
             }
         }
 
-        // Output: the packed L\U factors.
+        // The output is the packed factorization itself: every element's
+        // final definition reaches the output with amplification 1.
+        for &d in &def {
+            t.out_dep(d, 1.0);
+        }
         a
     }
 }
@@ -291,6 +409,39 @@ mod tests {
         let k = LuKernel::new(LuConfig::small());
         let g = k.golden();
         assert!(g.branches.is_empty());
+    }
+
+    #[test]
+    fn provenance_mode_matches_plain_golden() {
+        let k = LuKernel::new(LuConfig::small());
+        let plain = k.golden();
+        let (with_ddg, ddg) = k.golden_with_ddg();
+        assert_eq!(plain.values, with_ddg.values);
+        assert_eq!(plain.output, with_ddg.output);
+        assert!(ddg.is_instrumented(), "LU must record output sinks");
+    }
+
+    #[test]
+    fn every_output_element_has_an_out_sink() {
+        let k = LuKernel::new(LuConfig::small());
+        let (_, ddg) = k.golden_with_ddg();
+        let n2 = k.config().n * k.config().n;
+        assert_eq!(ddg.out_sinks.len(), n2);
+    }
+
+    #[test]
+    fn code_version_tracks_structure_not_seed() {
+        let base = LuKernel::new(LuConfig::small());
+        let reseeded = LuKernel::new(LuConfig {
+            seed: 7,
+            ..LuConfig::small()
+        });
+        let reblocked = LuKernel::new(LuConfig {
+            block: 8,
+            ..LuConfig::small()
+        });
+        assert_eq!(base.code_version(0, 10), reseeded.code_version(0, 10));
+        assert_ne!(base.code_version(0, 10), reblocked.code_version(0, 10));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::inputs::uniform_vec;
 use crate::Kernel;
-use ftb_trace::{Precision, StaticRegistry, Tracer};
+use ftb_trace::{Fnv1a, OpKind, Precision, StaticRegistry, Tracer};
 use serde::{Deserialize, Serialize};
 
 ftb_trace::static_instrs! {
@@ -96,23 +96,62 @@ impl Kernel for MatvecKernel {
         self.cfg.n * self.cfg.n + 2 * self.cfg.n
     }
 
+    fn code_version(&self, _lo: usize, _hi: usize) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(b"matvec/dense/v1");
+        h.write_u64(self.cfg.n as u64);
+        h.finish()
+    }
+
     fn run(&self, t: &mut Tracer) -> Vec<f64> {
         let n = self.cfg.n;
+
+        // Hot (injection) path: no def-map bookkeeping.
+        if !t.ddg_enabled() {
+            let mut a = vec![0.0; n * n];
+            for (dst, &src) in a.iter_mut().zip(&self.a) {
+                *dst = t.value(sid::INIT_A, src);
+            }
+            let mut x = vec![0.0; n];
+            for (dst, &src) in x.iter_mut().zip(&self.x) {
+                *dst = t.value(sid::INIT_X, src);
+            }
+            let mut y = vec![0.0; n];
+            for i in 0..n {
+                let mut s = 0.0;
+                for j in 0..n {
+                    s += a[i * n + j] * x[j];
+                }
+                y[i] = t.value(sid::ROW, s);
+            }
+            return y;
+        }
+
+        // Provenance mode: y_i = Σ_j a_ij x_j, so |∂y_i/∂a_ij| = |x_j|
+        // and |∂y_i/∂x_j| = |a_ij| — exact for one perturbed operand.
+        let mut def_a = vec![0usize; n * n];
         let mut a = vec![0.0; n * n];
-        for (dst, &src) in a.iter_mut().zip(&self.a) {
+        for (i, (dst, &src)) in a.iter_mut().zip(&self.a).enumerate() {
+            def_a[i] = t.cursor();
             *dst = t.value(sid::INIT_A, src);
         }
+        let mut def_x = vec![0usize; n];
         let mut x = vec![0.0; n];
-        for (dst, &src) in x.iter_mut().zip(&self.x) {
+        for (i, (dst, &src)) in x.iter_mut().zip(&self.x).enumerate() {
+            def_x[i] = t.cursor();
             *dst = t.value(sid::INIT_X, src);
         }
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut s = 0.0;
             for j in 0..n {
+                t.dep(def_a[i * n + j], OpKind::Scale(x[j]));
+                t.dep(def_x[j], OpKind::Scale(a[i * n + j]));
                 s += a[i * n + j] * x[j];
             }
+            let def = t.cursor();
             y[i] = t.value(sid::ROW, s);
+            t.out_dep(def, 1.0);
         }
         y
     }
@@ -169,5 +208,16 @@ mod tests {
     fn estimated_sites_is_exact() {
         let k = MatvecKernel::new(MatvecConfig::small());
         assert_eq!(k.estimated_sites(), k.golden().n_sites());
+    }
+
+    #[test]
+    fn provenance_mode_matches_plain_golden() {
+        let k = MatvecKernel::new(MatvecConfig::small());
+        let plain = k.golden();
+        let (with_ddg, ddg) = k.golden_with_ddg();
+        assert_eq!(plain.values, with_ddg.values);
+        assert_eq!(plain.output, with_ddg.output);
+        assert!(ddg.is_instrumented());
+        assert_eq!(ddg.out_sinks.len(), k.config().n);
     }
 }

@@ -10,7 +10,7 @@
 use crate::csr::Csr;
 use crate::inputs::uniform_vec;
 use crate::Kernel;
-use ftb_trace::{Precision, StaticRegistry, Tracer};
+use ftb_trace::{Fnv1a, Precision, StaticRegistry, Tracer};
 use serde::{Deserialize, Serialize};
 
 ftb_trace::static_instrs! {
@@ -101,22 +101,63 @@ impl Kernel for SpmvKernel {
         self.matrix.nnz() + 2 * self.matrix.n_rows()
     }
 
+    fn code_version(&self, _lo: usize, _hi: usize) -> u64 {
+        // the mesh size shapes the sparsity pattern (and thus the
+        // instruction stream); the seed only changes input values
+        let mut h = Fnv1a::new();
+        h.write(b"spmv/csr-poisson/v1");
+        h.write_u64(self.cfg.grid as u64);
+        h.finish()
+    }
+
     fn run(&self, t: &mut Tracer) -> Vec<f64> {
         let n = self.matrix.n_rows();
-        // Init: matrix entries, then the input vector.
+
+        // Hot (injection) path: no def-map bookkeeping.
+        if !t.ddg_enabled() {
+            // Init: matrix entries, then the input vector.
+            let avals: Vec<f64> = self
+                .matrix
+                .values()
+                .iter()
+                .map(|&v| t.value(sid::INIT_A, v))
+                .collect();
+            let mut x = vec![0.0; n];
+            for (dst, &src) in x.iter_mut().zip(&self.x) {
+                *dst = t.value(sid::INIT_X, src);
+            }
+            // Compute: one store per output row.
+            let mut y = vec![0.0; n];
+            self.matrix.spmv_traced(t, sid::ROW, &avals, &x, &mut y);
+            return y;
+        }
+
+        // Provenance mode: the CSR substrate records the per-entry
+        // product secants (`Csr::spmv_with_provenance`); we record the
+        // init def sites and sink each output row.
+        let mut def_a = Vec::with_capacity(self.matrix.nnz());
         let avals: Vec<f64> = self
             .matrix
             .values()
             .iter()
-            .map(|&v| t.value(sid::INIT_A, v))
+            .map(|&v| {
+                def_a.push(t.cursor());
+                t.value(sid::INIT_A, v)
+            })
             .collect();
+        let mut def_x = vec![0usize; n];
         let mut x = vec![0.0; n];
-        for (dst, &src) in x.iter_mut().zip(&self.x) {
+        for (i, (dst, &src)) in x.iter_mut().zip(&self.x).enumerate() {
+            def_x[i] = t.cursor();
             *dst = t.value(sid::INIT_X, src);
         }
-        // Compute: one store per output row.
         let mut y = vec![0.0; n];
-        self.matrix.spmv_traced(t, sid::ROW, &avals, &x, &mut y);
+        let defs =
+            self.matrix
+                .spmv_with_provenance(t, sid::ROW, &avals, &def_a, &x, &def_x, &mut y);
+        for d in defs {
+            t.out_dep(d, 1.0);
+        }
         y
     }
 }
@@ -177,6 +218,17 @@ mod tests {
         // a 5-point interior column touches exactly 5 rows
         assert_eq!(touched.len(), 5, "touched rows {touched:?}");
         assert!(touched.contains(&col));
+    }
+
+    #[test]
+    fn provenance_mode_matches_plain_golden() {
+        let k = SpmvKernel::new(SpmvConfig::small());
+        let plain = k.golden();
+        let (with_ddg, ddg) = k.golden_with_ddg();
+        assert_eq!(plain.values, with_ddg.values);
+        assert_eq!(plain.output, with_ddg.output);
+        assert!(ddg.is_instrumented());
+        assert_eq!(ddg.out_sinks.len(), k.matrix.n_rows());
     }
 
     #[test]

@@ -10,13 +10,15 @@
 
 use crate::inputs::uniform_vec;
 use crate::Kernel;
-use ftb_trace::{Precision, StaticRegistry, Tracer};
+use ftb_trace::{Fnv1a, OpKind, Precision, StaticRegistry, Tracer};
 use serde::{Deserialize, Serialize};
 
 ftb_trace::static_instrs! {
     pub mod sid {
         INIT  => ("stencil.init", Init),
-        SWEEP => ("stencil.sweep", Compute),
+        // phase head: each sweep re-enters the interior loop from the
+        // previous sweep's edge copies, opening one section per sweep
+        SWEEP => ("stencil.sweep", Compute, phase),
         EDGE  => ("stencil.edge.copy", DataMovement),
     }
 }
@@ -96,41 +98,116 @@ impl Kernel for StencilKernel {
         self.sites_hint
     }
 
+    fn code_version(&self, _lo: usize, _hi: usize) -> u64 {
+        // structural stamp: grid and sweep count shape the instruction
+        // stream; the seed only changes input values
+        let mut h = Fnv1a::new();
+        h.write(b"stencil/five-point/v1");
+        h.write_u64(self.cfg.grid as u64);
+        h.write_u64(self.cfg.sweeps as u64);
+        h.finish()
+    }
+
     fn run(&self, t: &mut Tracer) -> Vec<f64> {
         let g = self.cfg.grid;
 
-        // Init region: load the grid.
+        // Hot (injection) path: no def-map bookkeeping.
+        if !t.ddg_enabled() {
+            // Init region: load the grid.
+            let mut cur = vec![0.0; g * g];
+            for (dst, &src) in cur.iter_mut().zip(&self.initial) {
+                *dst = t.value(sid::INIT, src);
+            }
+
+            let mut next = vec![0.0; g * g];
+            for _ in 0..self.cfg.sweeps {
+                // interior: the five-point average of the paper's §5
+                for i in 1..g - 1 {
+                    for j in 1..g - 1 {
+                        let idx = i * g + j;
+                        let s = 0.2
+                            * (cur[idx]
+                                + cur[idx - g]
+                                + cur[idx + g]
+                                + cur[idx - 1]
+                                + cur[idx + 1]);
+                        next[idx] = t.value(sid::SWEEP, s);
+                    }
+                }
+                // fixed boundary: copied forward (traced data movement)
+                for j in 0..g {
+                    next[j] = t.value(sid::EDGE, cur[j]);
+                    next[(g - 1) * g + j] = t.value(sid::EDGE, cur[(g - 1) * g + j]);
+                }
+                for i in 1..g - 1 {
+                    next[i * g] = t.value(sid::EDGE, cur[i * g]);
+                    next[i * g + g - 1] = t.value(sid::EDGE, cur[i * g + g - 1]);
+                }
+                std::mem::swap(&mut cur, &mut next);
+                if t.trapped() {
+                    break;
+                }
+            }
+
+            return cur;
+        }
+
+        // Provenance mode: def maps travel with the value buffers (and
+        // swap with them). Each interior store is a five-operand average
+        // — |∂s/∂x| = 0.2 for every neighbour — and each edge copy is
+        // Linear in its source.
+        let mut def_cur = vec![0usize; g * g];
+        let mut def_next = vec![0usize; g * g];
         let mut cur = vec![0.0; g * g];
-        for (dst, &src) in cur.iter_mut().zip(&self.initial) {
+        for (i, (dst, &src)) in cur.iter_mut().zip(&self.initial).enumerate() {
+            def_cur[i] = t.cursor();
             *dst = t.value(sid::INIT, src);
         }
 
         let mut next = vec![0.0; g * g];
         for _ in 0..self.cfg.sweeps {
-            // interior: the five-point average of the paper's §5
             for i in 1..g - 1 {
                 for j in 1..g - 1 {
                     let idx = i * g + j;
+                    for nb in [idx, idx - g, idx + g, idx - 1, idx + 1] {
+                        t.dep(def_cur[nb], OpKind::Scale(0.2));
+                    }
                     let s = 0.2
                         * (cur[idx] + cur[idx - g] + cur[idx + g] + cur[idx - 1] + cur[idx + 1]);
+                    def_next[idx] = t.cursor();
                     next[idx] = t.value(sid::SWEEP, s);
                 }
             }
-            // fixed boundary: copied forward (traced data movement)
             for j in 0..g {
+                t.dep(def_cur[j], OpKind::Linear);
+                def_next[j] = t.cursor();
                 next[j] = t.value(sid::EDGE, cur[j]);
-                next[(g - 1) * g + j] = t.value(sid::EDGE, cur[(g - 1) * g + j]);
+                let bot = (g - 1) * g + j;
+                t.dep(def_cur[bot], OpKind::Linear);
+                def_next[bot] = t.cursor();
+                next[bot] = t.value(sid::EDGE, cur[bot]);
             }
             for i in 1..g - 1 {
-                next[i * g] = t.value(sid::EDGE, cur[i * g]);
-                next[i * g + g - 1] = t.value(sid::EDGE, cur[i * g + g - 1]);
+                let left = i * g;
+                t.dep(def_cur[left], OpKind::Linear);
+                def_next[left] = t.cursor();
+                next[left] = t.value(sid::EDGE, cur[left]);
+                let right = i * g + g - 1;
+                t.dep(def_cur[right], OpKind::Linear);
+                def_next[right] = t.cursor();
+                next[right] = t.value(sid::EDGE, cur[right]);
             }
             std::mem::swap(&mut cur, &mut next);
+            std::mem::swap(&mut def_cur, &mut def_next);
             if t.trapped() {
                 break;
             }
         }
 
+        // Output: the final grid, one sink per element.
+        for &d in &def_cur {
+            t.out_dep(d, 1.0);
+        }
         cur
     }
 }
@@ -208,6 +285,32 @@ mod tests {
             ..StencilConfig::small()
         });
         let g = k.golden();
+        assert_eq!(g.output, k.initial);
+    }
+
+    #[test]
+    fn provenance_mode_matches_plain_golden() {
+        let k = StencilKernel::new(StencilConfig::small());
+        let plain = k.golden();
+        let (with_ddg, ddg) = k.golden_with_ddg();
+        assert_eq!(plain.values, with_ddg.values);
+        assert_eq!(plain.output, with_ddg.output);
+        assert!(ddg.is_instrumented());
+        assert_eq!(
+            ddg.out_sinks.len(),
+            k.config().grid * k.config().grid,
+            "one output sink per grid cell"
+        );
+    }
+
+    #[test]
+    fn zero_sweep_provenance_sinks_the_init_defs() {
+        let k = StencilKernel::new(StencilConfig {
+            sweeps: 0,
+            ..StencilConfig::small()
+        });
+        let (g, ddg) = k.golden_with_ddg();
+        assert!(ddg.is_instrumented());
         assert_eq!(g.output, k.initial);
     }
 

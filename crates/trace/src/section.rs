@@ -12,11 +12,20 @@
 //! * a **phase restart** — a [`Region::Reduction`] site (a convergence
 //!   monitor: a residual, a dot product feeding a stopping test) followed
 //!   by a *smaller* static id marks re-entry into an earlier source line,
-//!   i.e. the outer loop wrapped around.
+//!   i.e. the outer loop wrapped around;
+//! * a **phase head** — a site the kernel explicitly marked
+//!   (`phase_head` on [`StaticInstr`], declared with the `phase` marker
+//!   in `static_instrs!`): transitioning into it from a *different*
+//!   static instruction starts a new section. This is how monitor-free
+//!   kernels (stencil sweeps, LU block steps, FFT six-step stages)
+//!   expose their outer-loop structure without a reduction site.
 //!
-//! Kernels without reduction monitors (e.g. a single-pass GEMM) segment
-//! into prologue + one compute section, for which composition degenerates
-//! to the monolithic analysis — correct, just not incremental.
+//! Kernels without reduction monitors or phase-head marks (e.g. a
+//! single-pass GEMM) segment into prologue + one compute section, for
+//! which composition degenerates to the monolithic analysis — correct,
+//! just not incremental.
+//!
+//! [`StaticInstr`]: crate::site::StaticInstr
 //!
 //! Each section exposes an **output frontier**: the sites whose values
 //! are live at the section boundary. We over-approximate it as every
@@ -99,8 +108,8 @@ impl SectionMap {
         }
     }
 
-    /// Segment a golden run into phases using the init-boundary and
-    /// phase-restart heuristics described at module level.
+    /// Segment a golden run into phases using the init-boundary,
+    /// phase-restart and phase-head heuristics described at module level.
     ///
     /// # Panics
     /// Panics if the golden run recorded no dynamic instructions.
@@ -114,7 +123,8 @@ impl SectionMap {
             let cur = region(ids[i]);
             let init_boundary = prev == Region::Init && cur != Region::Init;
             let phase_restart = prev == Region::Reduction && ids[i] < ids[i - 1];
-            if init_boundary || phase_restart {
+            let phase_head = ids[i] != ids[i - 1] && registry.get(StaticId(ids[i])).phase_head;
+            if init_boundary || phase_restart || phase_head {
                 starts.push(i);
             }
         }
@@ -237,6 +247,66 @@ mod tests {
         assert_eq!(m.range(1), (3, 7));
         assert_eq!(m.range(4), (15, 19));
         assert_eq!(m.n_sites(), g.n_sites());
+    }
+
+    crate::static_instrs! {
+        mod hsid {
+            INIT => ("h.init", Init),
+            HEAD => ("h.head", Compute, phase),
+            TAIL => ("h.tail", Compute),
+        }
+    }
+
+    /// init ×2, then `phases` repetitions of (head ×3, tail ×2) — a
+    /// monitor-free kernel whose outer loop is exposed by the phase-head
+    /// mark alone.
+    fn head_golden(phases: usize) -> GoldenRun {
+        let mut t = Tracer::golden(Precision::F64);
+        for i in 0..2 {
+            t.value(hsid::INIT, i as f64);
+        }
+        for p in 0..phases {
+            for i in 0..3 {
+                t.value(hsid::HEAD, (p * 3 + i) as f64);
+            }
+            for i in 0..2 {
+                t.value(hsid::TAIL, (p * 2 + i) as f64);
+            }
+        }
+        t.finish_golden(vec![0.0])
+    }
+
+    #[test]
+    fn phase_head_marks_split_monitor_free_phases() {
+        let g = head_golden(3);
+        let m = SectionMap::phases(&g, &hsid::registry());
+        // prologue + one section per (head, tail) phase; consecutive HEAD
+        // sites within one phase must NOT split (same static id)
+        assert_eq!(m.n_sections(), 4);
+        assert_eq!(m.range(0), (0, 2));
+        assert_eq!(m.range(1), (2, 7));
+        assert_eq!(m.range(2), (7, 12));
+        assert_eq!(m.range(3), (12, 17));
+    }
+
+    #[test]
+    fn phase_head_coincident_with_init_boundary_splits_once() {
+        // first TAIL→HEAD transition after init: init_boundary and
+        // phase_head agree on the same index — one section start, not two
+        let g = head_golden(1);
+        let m = SectionMap::phases(&g, &hsid::registry());
+        assert_eq!(m.n_sections(), 2);
+        assert_eq!(m.range(0), (0, 2));
+        assert_eq!(m.range(1), (2, 7));
+    }
+
+    #[test]
+    fn unmarked_registry_segmentation_is_unchanged() {
+        // the sweep kernel marks nothing: adding the phase-head rule must
+        // not perturb reduction-restart segmentation
+        let g = sweep_golden(4);
+        let m = SectionMap::phases(&g, &sid::registry());
+        assert_eq!(m.n_sections(), 5);
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub struct StaticInstr {
     pub name: &'static str,
     /// Source region.
     pub region: Region,
+    /// Whether entering this site from a *different* static instruction
+    /// begins a new outer-loop phase (see `SectionMap::phases`). Opt-in:
+    /// kernels whose phase structure is already captured by the
+    /// init-boundary and reduction-restart heuristics mark nothing.
+    pub phase_head: bool,
 }
 
 /// The set of static instructions of one kernel.
@@ -78,8 +83,23 @@ impl StaticRegistry {
     /// densely in registration order.
     pub fn register(&mut self, name: &'static str, region: Region) -> StaticId {
         let id = StaticId(self.entries.len() as u32);
-        self.entries.push(StaticInstr { name, region });
+        self.entries.push(StaticInstr {
+            name,
+            region,
+            phase_head: false,
+        });
         id
+    }
+
+    /// Mark a registered static instruction as a phase head: the
+    /// segmentation heuristic starts a new section whenever the dynamic
+    /// stream transitions into this site from a different static
+    /// instruction.
+    ///
+    /// # Panics
+    /// Panics if the id was not produced by this registry.
+    pub fn mark_phase_head(&mut self, id: StaticId) {
+        self.entries[id.index()].phase_head = true;
     }
 
     /// Look up a static instruction.
@@ -110,21 +130,24 @@ impl StaticRegistry {
 }
 
 /// Declare a kernel's static instructions as named constants plus a
-/// `registry()` constructor, keeping kernel bodies readable:
+/// `registry()` constructor, keeping kernel bodies readable. A trailing
+/// `phase` marker flags the site as a section phase head (see
+/// [`StaticRegistry::mark_phase_head`]):
 ///
 /// ```
 /// ftb_trace::static_instrs! {
 ///     pub mod sid {
 ///         INIT_X => ("cg.init.x", Init),
-///         AXPY   => ("cg.axpy", Compute),
+///         AXPY   => ("cg.axpy", Compute, phase),
 ///     }
 /// }
 /// assert_eq!(sid::AXPY.index(), 1);
 /// assert_eq!(sid::registry().get(sid::INIT_X).name, "cg.init.x");
+/// assert!(sid::registry().get(sid::AXPY).phase_head);
 /// ```
 #[macro_export]
 macro_rules! static_instrs {
-    ($vis:vis mod $m:ident { $($name:ident => ($label:expr, $region:ident)),+ $(,)? }) => {
+    ($vis:vis mod $m:ident { $($name:ident => ($label:expr, $region:ident $(, $marker:ident)?)),+ $(,)? }) => {
         $vis mod $m {
             #![allow(missing_docs)]
             use $crate::site::{Region, StaticId, StaticRegistry};
@@ -137,10 +160,14 @@ macro_rules! static_instrs {
                 $(
                     let id = r.register($label, Region::$region);
                     debug_assert_eq!(id, $name);
+                    $($crate::static_instrs!(@mark r id $marker);)?
                 )+
                 r
             }
         }
+    };
+    (@mark $r:ident $id:ident phase) => {
+        $r.mark_phase_head($id);
     };
     (@consts $idx:expr; $head:ident $($rest:ident)*) => {
         pub const $head: StaticId = StaticId($idx);
@@ -177,7 +204,7 @@ mod tests {
     crate::static_instrs! {
         mod sid {
             FIRST => ("k.first", Init),
-            SECOND => ("k.second", Compute),
+            SECOND => ("k.second", Compute, phase),
             THIRD => ("k.third", Output),
         }
     }
@@ -191,6 +218,23 @@ mod tests {
         assert_eq!(r.len(), 3);
         assert_eq!(r.get(sid::THIRD).name, "k.third");
         assert_eq!(r.get(sid::FIRST).region, Region::Init);
+    }
+
+    #[test]
+    fn phase_marker_sets_phase_head() {
+        let r = sid::registry();
+        assert!(!r.get(sid::FIRST).phase_head);
+        assert!(r.get(sid::SECOND).phase_head);
+        assert!(!r.get(sid::THIRD).phase_head);
+    }
+
+    #[test]
+    fn mark_phase_head_is_explicit_and_sticky() {
+        let mut r = StaticRegistry::new();
+        let a = r.register("a", Region::Compute);
+        assert!(!r.get(a).phase_head);
+        r.mark_phase_head(a);
+        assert!(r.get(a).phase_head);
     }
 
     #[test]

@@ -13,7 +13,9 @@ use ftb_inject::{
     exhaustive_plan, pruned_exhaustive_plan, BitPruneBinding, CampaignBinding, ChunkedCampaign,
 };
 use ftb_kernels::{
-    CgConfig, CgKernel, GemmConfig, GemmKernel, JacobiConfig, JacobiKernel, Kernel, KernelConfig,
+    CgConfig, CgKernel, FftConfig, FftKernel, GemmConfig, GemmKernel, JacobiConfig, JacobiKernel,
+    Kernel, KernelConfig, LuConfig, LuKernel, MatvecConfig, MatvecKernel, SpmvConfig, SpmvKernel,
+    StencilConfig, StencilKernel,
 };
 use ftb_trace::{GoldenRun, Precision};
 use proptest::prelude::*;
@@ -50,6 +52,44 @@ fn kernels() -> Vec<(Box<dyn Kernel>, f64)> {
         (Box::new(jacobi_tiny()) as Box<dyn Kernel>, 1e-4),
         (Box::new(gemm_tiny()), 1e-6),
         (Box::new(cg_tiny()), 1e-1),
+        (
+            Box::new(LuKernel::new(LuConfig {
+                n: 8,
+                block: 4,
+                ..LuConfig::small()
+            })),
+            3e-5,
+        ),
+        (
+            Box::new(FftKernel::new(FftConfig {
+                n1: 4,
+                n2: 4,
+                ..FftConfig::small()
+            })),
+            1.0,
+        ),
+        (
+            Box::new(StencilKernel::new(StencilConfig {
+                grid: 6,
+                sweeps: 3,
+                ..StencilConfig::small()
+            })),
+            1e-6,
+        ),
+        (
+            Box::new(MatvecKernel::new(MatvecConfig {
+                n: 6,
+                ..MatvecConfig::small()
+            })),
+            1e-6,
+        ),
+        (
+            Box::new(SpmvKernel::new(SpmvConfig {
+                grid: 5,
+                ..SpmvConfig::small()
+            })),
+            1e-6,
+        ),
     ]
 }
 
@@ -169,7 +209,8 @@ fn masks_for(kernel: &dyn Kernel, tolerance: f64) -> (GoldenRun, BitMasks) {
 }
 
 /// The acceptance property: 100% conservative certification. Across
-/// jacobi, gemm and cg, every bit classified `CertifiedMasked` must be
+/// every instrumented kernel — jacobi, gemm, cg, lu, fft, stencil,
+/// matvec and spmv — every bit classified `CertifiedMasked` must be
 /// Masked in the exhaustive ground truth — zero SDC, zero Crash. The
 /// test also demands each kernel certifies a non-trivial fraction so
 /// the property is not vacuously true.

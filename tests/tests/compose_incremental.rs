@@ -5,7 +5,7 @@
 use ftb_core::prelude::*;
 use ftb_core::{compose_analysis, ComposeConfig, ComposeError};
 use ftb_inject::{read_section_ledger, Classifier, Injector};
-use ftb_kernels::{JacobiConfig, KernelConfig, LuConfig, SweepTweak};
+use ftb_kernels::{CgConfig, CgStorage, JacobiConfig, KernelConfig, SweepTweak};
 use std::io::Write as _;
 use std::path::PathBuf;
 
@@ -183,16 +183,19 @@ fn incompatible_campaign_shape_forces_a_full_rerun() {
 
 #[test]
 fn secant_mode_refuses_uninstrumented_kernels_with_a_clear_error() {
-    let config = KernelConfig::Lu(LuConfig {
-        n: 8,
-        block: 4,
-        ..LuConfig::small()
+    // the assembled-CSR CG storage path is the one remaining DDG-blind
+    // kernel now that lu/fft/stencil/matvec/spmv are instrumented
+    let config = KernelConfig::Cg(CgConfig {
+        grid: 4,
+        max_iters: 50,
+        storage: CgStorage::AssembledCsr,
+        ..CgConfig::small()
     });
     let kernel = config.build();
-    let inj = Injector::new(kernel.as_ref(), Classifier::new(3e-5));
+    let inj = Injector::new(kernel.as_ref(), Classifier::new(1e-1));
     let secant = ComposeConfig {
         secant: true,
-        ..ComposeConfig::new(3e-5)
+        ..ComposeConfig::new(1e-1)
     };
     let err = compose_analysis(kernel.as_ref(), &config, &inj, &secant, None).unwrap_err();
     assert!(matches!(err, ComposeError::NotInstrumented), "got {err:?}");

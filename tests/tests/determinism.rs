@@ -130,6 +130,46 @@ fn adaptive_trajectory_is_reproducible() {
     });
 }
 
+/// The serial-vs-parallel characterization itself: for the acceptance
+/// trio (lu, fft, stencil) the per-site outcome distributions under
+/// 1-, 4- and 8-thread pools must be indistinguishable — every pairwise
+/// total-variation distance exactly zero, `deterministic` set. This is
+/// the same artifact `ftb analyze characterize` gates in CI.
+#[test]
+fn characterize_reports_zero_tvd_across_pools() {
+    for idx in [1usize, 2, 3] {
+        // lu, fft, stencil
+        let (config, tol) = &tiny_suite()[idx];
+        let kernel = config.build();
+        let inj = ftb_inject::Injector::new(kernel.as_ref(), Classifier::new(*tol));
+        let report = ftb_inject::characterize(&inj, &[1, 4, 8]);
+        assert_eq!(report.thread_counts, vec![1, 4, 8], "{config:?}");
+        assert_eq!(report.runs.len(), 3, "{config:?}");
+        assert_eq!(report.pairs.len(), 3, "{config:?}: 1↔4, 1↔8, 4↔8");
+        assert!(
+            report.deterministic,
+            "{config:?}: outcome distribution depends on pool size"
+        );
+        for pair in &report.pairs {
+            assert_eq!(
+                pair.max_tvd, 0.0,
+                "{config:?}: {} vs {} threads diverge at site {:?}",
+                pair.threads_a, pair.threads_b, pair.worst_site
+            );
+            assert_eq!(pair.diverging_sites, 0, "{config:?}");
+        }
+        // the histograms really partition the whole experiment space
+        for run in &report.runs {
+            assert_eq!(run.histograms.len(), report.n_sites, "{config:?}");
+            assert_eq!(
+                run.masked + run.sdc + run.crash,
+                report.n_experiments,
+                "{config:?}"
+            );
+        }
+    }
+}
+
 #[test]
 fn golden_runs_identical_across_rebuilds() {
     for (config, _) in tiny_suite() {

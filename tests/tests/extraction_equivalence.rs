@@ -171,6 +171,72 @@ fn buffered_and_streamed_agree_when_fault_site_is_never_reached() {
     assert_eq!(buffered_run.output, streamed_run.output);
 }
 
+/// The full conformance matrix: every instrumented kernel in the tiny
+/// suite × every extraction path × {1, 4, 8}-thread rayon pools yields
+/// bit-identical experiment results. The reference cell is buffered
+/// extraction under a serial pool; all eight other cells must reproduce
+/// it exactly — this is the acceptance matrix for wiring the
+/// previously-dormant kernels (lu, fft, spmv, stencil, matvec) into the
+/// campaign stack. The bit axis is strided (every seventh bit plus the
+/// sign and top exponent bits) so the 9-cell matrix stays affordable in
+/// a debug run; full-bit-axis agreement is covered per path by
+/// `exhaustive_outcome_tables_identical_across_paths` and the proptest.
+#[test]
+fn conformance_matrix_all_kernels_modes_and_pools() {
+    let modes = [
+        ExtractionMode::Buffered,
+        ExtractionMode::Lockstep { capacity: 16 },
+        ExtractionMode::Streamed,
+    ];
+    for (config, tol) in &tiny_suite() {
+        let kernel = config.build();
+        let probe = Injector::new(kernel.as_ref(), Classifier::new(*tol));
+        let bits = probe.bits();
+        let mut probe_bits: Vec<u8> = (0..bits).step_by(7).collect();
+        probe_bits.extend([bits - 2, bits - 1]);
+        probe_bits.dedup();
+        let plan: Vec<FaultSpec> = (0..probe.n_sites())
+            .flat_map(|site| probe_bits.iter().map(move |&bit| FaultSpec { site, bit }))
+            .collect();
+        assert!(!plan.is_empty(), "{config:?}: empty campaign");
+
+        let cell = |mode: ExtractionMode, threads: usize| -> Vec<(u8, u64, u64)> {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                Injector::new(kernel.as_ref(), Classifier::new(*tol))
+                    .with_extraction(mode)
+                    .run_batch(&plan)
+                    .iter()
+                    .map(|e| {
+                        (
+                            e.outcome.code(),
+                            e.injected_err.to_bits(),
+                            e.output_err.to_bits(),
+                        )
+                    })
+                    .collect()
+            })
+        };
+        let reference = cell(ExtractionMode::Buffered, 1);
+        for mode in modes {
+            for threads in [1usize, 4, 8] {
+                if mode == ExtractionMode::Buffered && threads == 1 {
+                    continue;
+                }
+                let got = cell(mode, threads);
+                assert_eq!(
+                    reference, got,
+                    "{config:?}: {mode:?} under a {threads}-thread pool \
+                     diverged from serial buffered extraction"
+                );
+            }
+        }
+    }
+}
+
 /// Exhaustive three-way agreement on one small kernel: the whole
 /// `sites × bits` outcome table is identical across paths (this is the
 /// same assertion the CI benchmark smoke job makes on the bench suite).

@@ -1,0 +1,168 @@
+//! Property tests for the section-segmentation heuristic on the kernels
+//! whose phase structure comes from `phase_head` marks (LU block steps,
+//! FFT six-step stages) rather than reduction monitors.
+//!
+//! The compositional analysis persists section signatures in ledgers and
+//! re-uses per-section campaigns across runs, so segmentation must be a
+//! pure function of the kernel *configuration*: the same config must
+//! never split or reorder sections across rebuilds, input seeds (the
+//! control flow is data-independent — LU does not pivot), or rayon pool
+//! sizes.
+
+use ftb_kernels::{FftConfig, FftKernel, Kernel, LuConfig, LuKernel};
+use ftb_trace::{Precision, SectionMap};
+use proptest::prelude::*;
+
+/// Valid `(n, block)` LU shapes (block must divide n).
+const LU_SHAPES: [(usize, usize); 6] = [(4, 2), (4, 4), (6, 2), (6, 3), (8, 2), (8, 4)];
+
+fn lu(n: usize, block: usize, seed: u64) -> LuKernel {
+    LuKernel::new(LuConfig {
+        n,
+        block,
+        precision: Precision::F64,
+        seed,
+    })
+}
+
+fn fft(n1: usize, n2: usize, seed: u64) -> FftKernel {
+    FftKernel::new(FftConfig {
+        n1,
+        n2,
+        precision: Precision::F64,
+        seed,
+    })
+}
+
+fn segment(kernel: &dyn Kernel) -> SectionMap {
+    SectionMap::phases(&kernel.golden(), &kernel.registry())
+}
+
+/// Structural sanity: a segmentation is a partition of `0..n_sites`
+/// into non-empty contiguous ranges in increasing site order.
+fn assert_well_formed(map: &SectionMap, kernel: &dyn Kernel) {
+    assert!(map.n_sections() > 0, "{}", kernel.name());
+    assert_eq!(map.range(0).0, 0, "{}", kernel.name());
+    assert_eq!(
+        map.range(map.n_sections() - 1).1,
+        map.n_sites(),
+        "{}",
+        kernel.name()
+    );
+    for t in 0..map.n_sections() {
+        let (lo, hi) = map.range(t);
+        assert!(lo < hi, "{}: empty section {t}", kernel.name());
+        if t > 0 {
+            assert_eq!(map.range(t - 1).1, lo, "{}: gap before {t}", kernel.name());
+        }
+        for s in lo..hi {
+            assert_eq!(map.section_of(s), t, "{}: site {s}", kernel.name());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// LU segmentation is deterministic: rebuilding the kernel (fresh
+    /// golden run) and re-segmenting under 1/4/8-thread pools reproduces
+    /// the identical section map — no split, no reorder — and the
+    /// per-section content signatures are bit-stable too, since the
+    /// incremental ledger persists them.
+    #[test]
+    fn lu_segmentation_is_deterministic(
+        shape_idx in 0usize..LU_SHAPES.len(),
+        seed in any::<u64>(),
+    ) {
+        let (n, block) = LU_SHAPES[shape_idx];
+        let kernel = lu(n, block, seed);
+        let reference = segment(&kernel);
+        assert_well_formed(&reference, &kernel);
+        // the DIAG_L phase head opens a section once per k-step whose
+        // in-block elimination range is non-empty — every column except
+        // the last of each of the n/block diagonal blocks — plus the
+        // init prologue
+        prop_assert_eq!(
+            reference.n_sections(),
+            1 + n - n / block,
+            "n {} block {}",
+            n,
+            block
+        );
+
+        let golden = kernel.golden();
+        let sigs: Vec<u64> = (0..reference.n_sections())
+            .map(|t| {
+                let (lo, hi) = reference.range(t);
+                reference.signature(&golden, t, kernel.code_version(lo, hi))
+            })
+            .collect();
+
+        for threads in [1usize, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let (rebuilt, resegmented) = pool.install(|| {
+                let k = lu(n, block, seed);
+                let g = k.golden();
+                let m = SectionMap::phases(&g, &k.registry());
+                let s: Vec<u64> = (0..m.n_sections())
+                    .map(|t| {
+                        let (lo, hi) = m.range(t);
+                        m.signature(&g, t, k.code_version(lo, hi))
+                    })
+                    .collect();
+                (m, s)
+            });
+            prop_assert_eq!(&rebuilt, &reference, "{} threads", threads);
+            prop_assert_eq!(&resegmented, &sigs, "{} threads", threads);
+        }
+    }
+
+    /// LU has no data-dependent control flow (no pivoting), so the
+    /// section structure is a function of `(n, block)` alone: two
+    /// kernels differing only in their input seed segment identically.
+    #[test]
+    fn lu_sections_ignore_input_data(
+        shape_idx in 0usize..LU_SHAPES.len(),
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        let (n, block) = LU_SHAPES[shape_idx];
+        let a = segment(&lu(n, block, seed_a));
+        let b = segment(&lu(n, block, seed_b));
+        prop_assert_eq!(a, b, "n {} block {}", n, block);
+    }
+
+    /// FFT six-step stages segment identically across thread counts and
+    /// input seeds: always the five stage sections described in the
+    /// kernel ([init][transpose1+pass1][twiddle][transpose2+pass2][out]),
+    /// with stage boundaries at fixed fractions of the trace for every
+    /// power-of-two shape.
+    #[test]
+    fn fft_stages_segment_identically_across_thread_counts(
+        n1_exp in 1u32..4,
+        n2_exp in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let (n1, n2) = (1usize << n1_exp, 1usize << n2_exp);
+        let kernel = fft(n1, n2, seed);
+        let reference = segment(&kernel);
+        assert_well_formed(&reference, &kernel);
+        prop_assert_eq!(reference.n_sections(), 5, "{}x{}", n1, n2);
+
+        for threads in [1usize, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let under_pool = pool.install(|| segment(&fft(n1, n2, seed)));
+            prop_assert_eq!(&under_pool, &reference, "{} threads", threads);
+        }
+        // and across data: the butterfly/bitrev control flow is shape-
+        // driven, so a different input signal cannot move a stage boundary
+        let other = segment(&fft(n1, n2, seed ^ 0x9e37_79b9_7f4a_7c15));
+        prop_assert_eq!(&other, &reference);
+    }
+}

@@ -118,12 +118,12 @@ fn cg_static_boundary_zero_injections() {
 }
 
 #[test]
-fn uninstrumented_kernel_is_rejected() {
+fn formerly_dormant_lu_is_now_instrumented() {
     let k = LuKernel::new(LuConfig::small());
     let (_, ddg) = k.golden_with_ddg();
-    assert!(!ddg.is_instrumented());
-    let err = static_bound(&ddg, &StaticBoundConfig::new(1e-6)).unwrap_err();
-    assert_eq!(err, StaticBoundError::NotInstrumented);
+    assert!(ddg.is_instrumented());
+    static_bound(&ddg, &StaticBoundConfig::new(1e-6))
+        .expect("instrumented LU must admit a static bound");
 }
 
 #[test]
@@ -137,6 +137,8 @@ fn assembled_csr_cg_is_rejected_not_miscertified() {
         !ddg.is_instrumented(),
         "CSR-mode CG must not emit a partial (unsound) provenance graph"
     );
+    let err = static_bound(&ddg, &StaticBoundConfig::new(1e-6)).unwrap_err();
+    assert_eq!(err, StaticBoundError::NotInstrumented);
 }
 
 /// DDG construction must be a pure function of the kernel config: same
